@@ -1,0 +1,81 @@
+"""E8 (Lemma 6.2 / 6.4 / Definition 6.1): dispersed configurations and dummy domination.
+
+Regenerates the dispersion measurements: the fraction of (part, mark) cells
+inside the dispersed-configuration window, the dummy-vs-real domination check
+that Lemma 6.4 needs, and the maximum per-vertex load after Task 3 (bounded by
+2L per Definition 4.3).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.cost import CostLedger
+from repro.core.merge import solve_task3
+from repro.core.tokens import Token
+from repro.cutmatching.game import build_shuffler
+from repro.graphs.generators import random_regular_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+
+SIZES = [128, 256]
+LOADS = [1, 2, 4]
+
+
+def _prepared_root(n: int):
+    graph = random_regular_expander(n, degree=8, seed=1)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=0.5))
+    root = decomposition.root
+    parts = [sorted(part.vertices) for part in root.parts]
+    root.shuffler = build_shuffler(root.virtual_graph, parts, psi=0.1)
+    return root
+
+
+def _measure(n: int, load: int) -> dict:
+    root = _prepared_root(n)
+    t = len(root.parts)
+    tokens = []
+    token_id = 0
+    for vertex in sorted(root.vertices):
+        for slot in range(load):
+            token = Token(token_id=token_id, source=vertex, destination=vertex)
+            token.part_mark = (vertex * 7 + slot * 13) % t
+            tokens.append(token)
+            token_id += 1
+    ledger = CostLedger()
+    result = solve_task3(root, tokens, load=load, ledger=ledger)
+    part_of = root.part_of_vertex()
+    all_in_marked_part = all(
+        part_of[result.assignments[token.token_id]] == token.part_mark for token in tokens
+    )
+    return {
+        "n": n,
+        "load": load,
+        "parts": t,
+        "real_window_fraction": result.real_stats.window_fraction,
+        "dummy_window_fraction": result.dummy_stats.window_fraction,
+        "fallback_assignments": result.fallback_assignments,
+        "max_vertex_load": result.max_vertex_load,
+        "load_bound_2L": 2 * load,
+        "all_in_marked_part": all_in_marked_part,
+        "rounds": result.rounds,
+    }
+
+
+def test_dispersion_window_and_domination(benchmark):
+    def run():
+        return [_measure(n, 2) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E8] dispersed configuration quality (L=2)")
+    print(format_table(rows))
+    for row in rows:
+        assert row["all_in_marked_part"]
+        assert row["real_window_fraction"] >= 0.85
+        assert row["max_vertex_load"] <= row["load_bound_2L"]
+        assert row["fallback_assignments"] <= row["n"] * 0.05
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_dispersion_load_sweep(benchmark, load):
+    row = benchmark.pedantic(_measure, args=(128, load), rounds=1, iterations=1)
+    assert row["all_in_marked_part"]
+    assert row["max_vertex_load"] <= row["load_bound_2L"]

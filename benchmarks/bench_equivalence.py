@@ -1,0 +1,69 @@
+"""E7 (Appendix F): routing and sorting are equivalent up to small overheads.
+
+Regenerates the two overhead measurements:
+
+* Lemma F.1: sorting via a routing oracle uses exactly one routing call per
+  layer of the comparator network (O(log^2 n) with Batcher, O(log n) with AKS).
+* Lemma F.2: routing via a comparison-based sorting oracle uses O(1) sorting
+  calls (three in our implementation, as in the paper's recipe).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.applications.sorting_equivalence import routing_via_sorting, sorting_via_routing
+
+SIZES = [32, 64, 128]
+
+
+def _routing_oracle(demands):
+    delivered = {}
+    for origin, pairs in demands.items():
+        for destination, item in pairs:
+            delivered.setdefault(destination, []).append(item)
+    return delivered
+
+
+def _sorting_oracle(keyed):
+    vertices = sorted(keyed.keys())
+    everything = sorted((pair for pairs in keyed.values() for pair in pairs), key=lambda p: p[0])
+    per_vertex = max(1, -(-len(everything) // len(vertices)))
+    return {
+        vertex: everything[i * per_vertex: (i + 1) * per_vertex]
+        for i, vertex in enumerate(vertices)
+    }
+
+
+def _measure(n: int) -> dict:
+    items_at = {v: [((v * 7) % 23, f"item-{v}-{s}") for s in range(2)] for v in range(n)}
+    sort_record = sorting_via_routing(items_at, _routing_oracle, load=2)
+    flat = [key for v in range(n) for key, _ in sort_record.placement[v]]
+    tokens_at = {v: [((v * 5) % n, f"token-{v}")] for v in range(n)}
+    route_record = routing_via_sorting(tokens_at, _sorting_oracle, load=1)
+    delivered = sum(len(items) for items in route_record.delivered.values())
+    return {
+        "n": n,
+        "sorted_ok": flat == sorted(flat),
+        "routing_calls_for_sorting": sort_record.routing_calls,
+        "log2_n_squared": math.ceil(math.log2(n)) ** 2,
+        "sorting_calls_for_routing": route_record.sorting_calls,
+        "tokens_delivered": delivered,
+    }
+
+
+def test_equivalence_overheads(benchmark):
+    def run():
+        return [_measure(n) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E7] routing <-> sorting equivalence overheads")
+    print(format_table(rows))
+    for row in rows:
+        assert row["sorted_ok"]
+        # Lemma F.1 with the Batcher substitute: <= O(log^2 n) routing calls.
+        assert row["routing_calls_for_sorting"] <= row["log2_n_squared"]
+        # Lemma F.2: a constant number of sorting calls.
+        assert row["sorting_calls_for_routing"] == 3
+        assert row["tokens_delivered"] == row["n"]

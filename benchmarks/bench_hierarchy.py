@@ -1,0 +1,56 @@
+"""E9 (Property 3.1 / Theorem 3.2): hierarchical decomposition quality.
+
+Regenerates the decomposition-quality table: number of levels (O(1/eps)),
+part-size balance, rho_best, flatten-embedding quality, and build rounds, for
+an (n, epsilon) sweep.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.graphs.generators import random_regular_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+
+POINTS = [(128, 0.34), (128, 0.5), (128, 0.7), (256, 0.5)]
+
+
+def _measure(n: int, epsilon: float) -> dict:
+    graph = random_regular_expander(n, degree=8, seed=1)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=epsilon))
+    root = decomposition.root
+    k = max(1, len(root.parts))
+    part_sizes = [part.size for part in root.parts] or [n]
+    balance_ok = all(
+        n / (3 * k) - 1 <= size <= 6 * n / k + 1 for size in part_sizes
+    )
+    worst_flatten = max(node.flatten_quality() for node in decomposition.all_nodes())
+    return {
+        "n": n,
+        "epsilon": epsilon,
+        "levels": decomposition.levels(),
+        "level_bound_1_over_eps": int(1 / epsilon) + 2,
+        "root_parts": k,
+        "part_size_balance_ok": balance_ok,
+        "rho_best": decomposition.rho_best(),
+        "worst_flatten_quality": worst_flatten,
+        "build_rounds": decomposition.build_rounds,
+    }
+
+
+def test_hierarchy_quality_sweep(benchmark):
+    def run():
+        return [_measure(n, epsilon) for n, epsilon in POINTS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E9] hierarchical decomposition quality")
+    print(format_table(rows))
+    for row in rows:
+        assert row["levels"] <= row["level_bound_1_over_eps"] + 1
+        assert row["part_size_balance_ok"]
+        assert row["rho_best"] <= 2 ** (2 / row["epsilon"])
+
+
+@pytest.mark.parametrize("n,epsilon", POINTS)
+def test_hierarchy_single_point(benchmark, n, epsilon):
+    row = benchmark.pedantic(_measure, args=(n, epsilon), rounds=1, iterations=1)
+    assert row["part_size_balance_ok"]

@@ -1,0 +1,51 @@
+"""E5 (Corollary 1.3): deterministic MST on expanders via expander routing.
+
+Regenerates the series: for growing n, the MST correctness check against
+Kruskal, the number of Boruvka phases (O(log n)), the number of routing
+queries, and the total rounds (routing queries reuse the one-off preprocessing).
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.applications.mst import boruvka_mst
+from repro.graphs.generators import weighted_expander
+
+SIZES = [64, 128, 256]
+
+
+def _measure(n: int) -> dict:
+    graph = weighted_expander(n, degree=8, seed=2)
+    result = boruvka_mst(graph, epsilon=0.5)
+    reference = nx.minimum_spanning_tree(graph).size(weight="weight")
+    return {
+        "n": n,
+        "mst_weight_matches_kruskal": abs(result.total_weight - reference) < 1e-9,
+        "phases": result.phases,
+        "phase_bound_2log_n": 2 * math.ceil(math.log2(n)),
+        "routing_queries": result.routing_queries,
+        "query_rounds": result.rounds,
+        "preprocessing_rounds": result.preprocessing_rounds,
+    }
+
+
+def test_mst_scaling(benchmark):
+    def run():
+        return [_measure(n) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E5] deterministic MST on expanders (Boruvka over routing)")
+    print(format_table(rows))
+    for row in rows:
+        assert row["mst_weight_matches_kruskal"]
+        assert row["phases"] <= row["phase_bound_2log_n"] + 4
+        assert row["routing_queries"] <= row["phases"]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_mst_single_size(benchmark, n):
+    row = benchmark.pedantic(_measure, args=(n,), rounds=1, iterations=1)
+    assert row["mst_weight_matches_kruskal"]

@@ -1,0 +1,61 @@
+"""E3 (Lemma 5.5 / B.5): shuffler construction — iteration count and potential decay.
+
+Regenerates the series: for growing n, the number of cut-matching iterations
+until the potential drops below ``1/(9 t^3)`` and the per-iteration decay
+factor.  The paper's claim: O(log n) iterations with geometric potential decay.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.cutmatching.game import CutMatchingGame
+from repro.graphs.generators import random_regular_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+
+SIZES = [64, 128, 256]
+
+
+def _measure(n: int) -> dict:
+    graph = random_regular_expander(n, degree=8, seed=1)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=0.5))
+    parts = [sorted(part.vertices) for part in decomposition.root.parts]
+    outcome = CutMatchingGame(decomposition.root.virtual_graph, parts, psi=0.1).play()
+    history = outcome.potential_history
+    decay_factors = [
+        later / earlier for earlier, later in zip(history, history[1:]) if earlier > 0
+    ]
+    mean_decay = sum(decay_factors) / len(decay_factors) if decay_factors else 0.0
+    return {
+        "n": n,
+        "parts": len(parts),
+        "iterations": outcome.iterations,
+        "iterations_over_log_n": outcome.iterations / math.log2(n),
+        "mean_decay_factor": mean_decay,
+        "final_potential": outcome.shuffler.final_potential,
+        "mixed": outcome.shuffler.verify_mixing(len(parts)),
+        "quality": outcome.shuffler.quality,
+        "build_rounds": outcome.rounds,
+    }
+
+
+def test_shuffler_construction_scaling(benchmark):
+    def run():
+        return [_measure(n) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E3] shuffler construction (cut-matching game)")
+    print(format_table(rows))
+    for row in rows:
+        assert row["mixed"]
+        # O(log n) iterations with a modest constant.
+        assert row["iterations"] <= 16 * math.log2(row["n"]) + 16
+        # Geometric decay on average.
+        assert row["mean_decay_factor"] < 0.95
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_shuffler_single_size(benchmark, n):
+    row = benchmark.pedantic(_measure, args=(n,), rounds=1, iterations=1)
+    assert row["mixed"]

@@ -1,0 +1,61 @@
+"""E2 (Corollary 1.2): single routing instance, ours vs baselines.
+
+Regenerates the comparison series: for growing n, the rounds of (a) our
+deterministic router (query only, and query+preprocessing), (b) the naive
+shortest-path baseline, (c) the randomized GKS-style baseline, and (d) the
+analytic CS20/GKS bounds.  The paper's claim is about growth shape: the
+deterministic cost now matches the randomized 2^{O(sqrt(log n log log n))}
+shape and improves on CS20's 2^{O(log^{2/3} n ...)}.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_single_instance_comparison
+from repro.analysis.reporting import format_table
+
+SIZES = [64, 128, 256]
+
+
+def test_single_instance_comparison(benchmark):
+    def run():
+        return [run_single_instance_comparison(n, epsilon=0.5, load=2) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E2] single-instance routing: ours vs baselines")
+    print(
+        format_table(
+            rows,
+            [
+                "n",
+                "ours_query_rounds",
+                "ours_total_rounds",
+                "naive_rounds",
+                "naive_congestion",
+                "randomized_rounds",
+                "cs20_predicted",
+                "gks_predicted",
+            ],
+        )
+    )
+    assert all(row["ours_delivered"] for row in rows)
+    # Shape check: the analytic CS20 curve grows faster than the GKS curve we match.
+    cs20 = fit_power_law(SIZES, [row["cs20_predicted"] for row in rows])
+    gks = fit_power_law(SIZES, [row["gks_predicted"] for row in rows])
+    assert cs20.exponent > gks.exponent
+
+
+def test_ours_per_token_cost_growth(benchmark):
+    def run():
+        rows = [run_single_instance_comparison(n, epsilon=0.5, load=1) for n in SIZES]
+        return [row["ours_query_rounds"] for row in rows]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = fit_power_law(SIZES, series)
+    print(f"\n[E2] ours query-round growth exponent over n: {fit.exponent:.2f}")
+    # At these sizes the hierarchy depth jumps from 2 to 3 levels inside the
+    # sweep, which inflates the fitted exponent (a discretisation artefact the
+    # asymptotic polylog^{O(1/eps)} bound does not have); the check is only
+    # that the growth stays polynomially bounded with a small exponent rather
+    # than the exponential-in-levels blow-up a broken recursion would show.
+    assert fit.exponent < 4.5

@@ -1,0 +1,70 @@
+"""E4 (Theorems 5.6 / 6.11): expander sorting query cost scales as L * polylog(n).
+
+Regenerates the series: sorting L*n tokens for growing L and n, reporting the
+charged rounds; the claim is linear scaling in L and polylog scaling in n,
+plus correctness (global sortedness, load preservation).
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_polylog
+from repro.analysis.reporting import format_table
+from repro.sorting.expander_sort import SortItem, expander_sort, is_globally_sorted
+
+SIZES = [64, 128, 256, 512]
+LOADS = [1, 2, 4, 8]
+
+
+def _instance(n: int, load: int) -> dict:
+    vertices = list(range(n))
+    items = {
+        vertex: [
+            SortItem(key=(vertex * 31 + slot * 17) % 97, tag=f"{vertex}-{slot}")
+            for slot in range(load)
+        ]
+        for vertex in vertices
+    }
+    result = expander_sort(vertices, items, load, exchange_quality=4, engine="oracle")
+    assert is_globally_sorted(result.placement, vertices)
+    return {"n": n, "load": load, "rounds": result.rounds, "depth": result.network_depth}
+
+
+def test_sorting_cost_scales_linearly_in_load(benchmark):
+    def run():
+        return [_instance(256, load) for load in LOADS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E4] expander sorting: rounds vs load (n=256)")
+    print(format_table(rows))
+    base = rows[0]["rounds"]
+    for row in rows:
+        assert row["rounds"] == base * row["load"]
+
+
+def test_sorting_cost_scales_polylog_in_n(benchmark):
+    def run():
+        return [_instance(n, 2) for n in SIZES]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[E4] expander sorting: rounds vs n (L=2)")
+    print(format_table(rows))
+    fit = fit_polylog(SIZES, [row["rounds"] for row in rows])
+    print(f"polylog exponent of the fit: {fit.exponent:.2f}")
+    # Batcher depth is Theta(log^2 n): the polylog exponent should be ~2, far
+    # from what a polynomial-in-n growth would produce (>5 over this range).
+    assert fit.exponent < 4.0
+
+
+@pytest.mark.parametrize("engine", ["comparator", "oracle"])
+def test_sorting_engines_throughput(benchmark, engine):
+    vertices = list(range(128))
+    items = {
+        vertex: [SortItem(key=(vertex * 13 + slot) % 41, tag=f"{vertex}-{slot}") for slot in range(2)]
+        for vertex in vertices
+    }
+
+    def run():
+        return expander_sort(vertices, items, 2, engine=engine)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert is_globally_sorted(result.placement, vertices)

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures: small preprocessed routers and workloads.
+
+Benchmark scale note: the full recursion is simulated in Python, so the
+benchmark graphs are kept at a few hundred vertices (the repro hint "networkx
+prototyping easy; large instances slow" applies).  The *shapes* the paper
+claims — who wins, how costs scale, where the tradeoff bends — are what the
+benchmarks check and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.experiments import permutation_requests  # noqa: E402
+from repro.core.router import ExpanderRouter  # noqa: E402
+from repro.graphs.generators import random_regular_expander  # noqa: E402
+
+BENCH_SIZES = [64, 128, 256]
+BENCH_EPSILONS = [0.34, 0.5, 0.7]
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    """The default benchmark expander (256 vertices, degree 8)."""
+    return random_regular_expander(256, degree=8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_router(bench_graph):
+    """A preprocessed router on the benchmark expander."""
+    router = ExpanderRouter(bench_graph, epsilon=0.5)
+    router.preprocess()
+    return router
+
+
+@pytest.fixture(scope="session")
+def bench_requests(bench_graph):
+    """A load-2 permutation routing instance on the benchmark expander."""
+    return permutation_requests(bench_graph, load=2)

@@ -1,0 +1,74 @@
+"""Expander sorting, its primitives, and the routing/sorting equivalence (Appendix F).
+
+Demonstrates: sorting tokens across an expander's vertices, token ranking /
+serialization / aggregation, top-k frequent elements, and the two reductions
+between routing and sorting.
+
+Run with:  python examples/sorting_and_summarization.py
+"""
+
+from repro.applications import routing_via_sorting, sorting_via_routing, top_k_frequent
+from repro.sorting import (
+    AnnotatedToken,
+    SortItem,
+    expander_sort,
+    is_globally_sorted,
+    local_aggregation,
+    local_serialization,
+)
+
+
+def main() -> None:
+    vertices = list(range(32))
+
+    # -- expander sorting (Theorem 5.6) ------------------------------------
+    items = {
+        v: [SortItem(key=(v * 13 + s) % 17, tag=f"{v}-{s}") for s in range(2)] for v in vertices
+    }
+    result = expander_sort(vertices, items, load=2, engine="comparator")
+    print(f"expander sort: globally sorted = {is_globally_sorted(result.placement, vertices)}, "
+          f"network depth = {result.network_depth}, rounds = {result.rounds}")
+
+    # -- primitives ---------------------------------------------------------
+    tokens = [AnnotatedToken(key=v % 4, tag=v, location=v % 8) for v in range(40)]
+    serialized = local_serialization(tokens)
+    aggregated = local_aggregation(serialized.tokens)
+    sample = aggregated.tokens[0]
+    print(f"local serialization/aggregation: token key={sample.key} serial={sample.serial} "
+          f"group size={sample.count}")
+
+    # -- top-k frequent elements (SV19-style) --------------------------------
+    word_lists = {v: [f"word-{v % 5}", f"word-{v % 3}"] for v in vertices}
+    top = top_k_frequent(word_lists, k=3)
+    print(f"top-3 frequent elements: {top.top_items} ({top.rounds} rounds)")
+
+    # -- routing <-> sorting equivalence (Appendix F) -------------------------
+    def routing_oracle(demands):
+        delivered = {}
+        for origin, pairs in demands.items():
+            for destination, item in pairs:
+                delivered.setdefault(destination, []).append(item)
+        return delivered
+
+    def sorting_oracle(keyed):
+        ordered = sorted((pair for pairs in keyed.values() for pair in pairs), key=lambda p: p[0])
+        per_vertex = max(1, -(-len(ordered) // len(vertices)))
+        return {
+            vertex: ordered[i * per_vertex: (i + 1) * per_vertex]
+            for i, vertex in enumerate(sorted(keyed))
+        }
+
+    sort_record = sorting_via_routing(
+        {v: [((v * 7) % 13, f"item-{v}")] for v in vertices}, routing_oracle, load=1
+    )
+    route_record = routing_via_sorting(
+        {v: [((v * 5) % 32, f"token-{v}")] for v in vertices}, sorting_oracle, load=1
+    )
+    print(f"sorting via routing: {sort_record.routing_calls} routing calls "
+          f"(network depth {sort_record.network_depth})")
+    print(f"routing via sorting: {route_record.sorting_calls} sorting calls, "
+          f"{sum(len(v) for v in route_record.delivered.values())} tokens delivered")
+
+
+if __name__ == "__main__":
+    main()

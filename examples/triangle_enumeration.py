@@ -1,0 +1,40 @@
+"""Corollary 1.4: deterministic k-clique enumeration in general graphs.
+
+Decomposes a general graph into expander components, lists every triangle and
+4-clique, verifies against brute force, and reports the round accounting.
+
+Run with:  python examples/triangle_enumeration.py
+"""
+
+from repro.analysis import print_table
+from repro.applications import brute_force_cliques, enumerate_cliques
+from repro.graphs import planted_clique_graph, two_expander_graph
+
+
+def main() -> None:
+    rows = []
+    workloads = [
+        ("planted-clique", planted_clique_graph(96, clique_size=6, p=0.06, seed=3)),
+        ("two-expanders", two_expander_graph(96, bridge_edges=3, degree=6, seed=4)),
+    ]
+    for name, graph in workloads:
+        for k in (3, 4):
+            listed = enumerate_cliques(graph, k=k)
+            expected = brute_force_cliques(graph, k)
+            rows.append(
+                {
+                    "workload": name,
+                    "k": k,
+                    "cliques_found": len(listed.cliques),
+                    "matches_brute_force": set(listed.cliques) == set(expected),
+                    "expander_components": listed.components,
+                    "crossing_edges": listed.crossing_edges,
+                    "rounds": listed.rounds,
+                }
+            )
+    print("Deterministic k-clique enumeration (Corollary 1.4)")
+    print_table(rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of "Deterministic Expander Routing: Faster and More Versatile".
+
+Chang, Huang, Su (PODC 2024).  The package implements the CONGEST-model
+substrates the paper relies on (synchronous simulator, expanders, embeddings,
+cut-matching shufflers, hierarchical decomposition, expander sorting), the
+paper's main contribution (deterministic expander routing with
+preprocessing/query tradeoffs), the baselines it compares against, and the
+applications it derives (MST on expanders, k-clique enumeration via expander
+decomposition, routing/sorting equivalence).
+
+Quickstart::
+
+    import networkx as nx
+    from repro import ExpanderRouter, RoutingRequest
+    from repro.graphs import random_regular_expander
+
+    graph = random_regular_expander(256, degree=8, seed=1)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    requests = [RoutingRequest(source=v, destination=(v * 7) % 256) for v in graph.nodes()]
+    outcome = router.route(requests)
+    assert outcome.all_delivered
+    print(outcome.query_rounds)
+"""
+
+from repro.core.router import ExpanderRouter, RoutingOutcome
+from repro.core.tokens import RoutingRequest, Token
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExpanderRouter",
+    "RoutingOutcome",
+    "RoutingRequest",
+    "Token",
+    "__version__",
+]

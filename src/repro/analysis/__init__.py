@@ -1,0 +1,33 @@
+"""Complexity predictions, experiment drivers, and report formatting."""
+
+from repro.analysis.complexity import (
+    PowerLawFit,
+    deterministic_single_instance_bound,
+    fit_polylog,
+    fit_power_law,
+    preprocessing_bound,
+    query_bound,
+)
+from repro.analysis.experiments import (
+    permutation_requests,
+    run_single_instance_comparison,
+    run_tradeoff_point,
+    shifted_destination,
+)
+from repro.analysis.reporting import format_row, format_table, print_table
+
+__all__ = [
+    "PowerLawFit",
+    "deterministic_single_instance_bound",
+    "fit_polylog",
+    "fit_power_law",
+    "preprocessing_bound",
+    "query_bound",
+    "permutation_requests",
+    "run_single_instance_comparison",
+    "run_tradeoff_point",
+    "shifted_destination",
+    "format_row",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,83 @@
+"""Round-complexity predictions and empirical scaling fits.
+
+The evaluation of a theory paper is its set of complexity claims; this module
+turns those claims into curves that can be drawn next to measured data:
+
+* the paper's deterministic bound ``2^{O(sqrt(log n log log n))}``
+  (Corollary 1.2), the previous deterministic bound
+  ``2^{O(log^{2/3} n log^{1/3} log n)}`` (CS20), and the preprocessing/query
+  split of Theorem 1.1;
+* a log-log regression utility to extract the empirical growth exponent of a
+  measured series (used to check "polylog vs polynomial" shapes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "deterministic_single_instance_bound",
+    "preprocessing_bound",
+    "query_bound",
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_polylog",
+]
+
+
+def deterministic_single_instance_bound(n: int, constant: float = 1.0) -> float:
+    """Corollary 1.2: ``2^{O(sqrt(log n log log n))}`` (O-constant = ``constant``)."""
+    n = max(n, 4)
+    log_n = math.log2(n)
+    loglog_n = math.log2(max(log_n, 2))
+    return 2.0 ** (constant * math.sqrt(log_n * loglog_n))
+
+
+def preprocessing_bound(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Theorem 1.1 preprocessing: ``n^{O(eps)} + log^{O(1/eps)} n``."""
+    n = max(n, 4)
+    log_n = math.log2(n)
+    return (n ** (constant * epsilon)) + (log_n ** (constant / max(epsilon, 1e-6)))
+
+
+def query_bound(n: int, epsilon: float, load: int = 1, constant: float = 1.0) -> float:
+    """Theorem 1.1 query: ``L * log^{O(1/eps)} n``."""
+    n = max(n, 4)
+    log_n = math.log2(n)
+    return load * (log_n ** (constant / max(epsilon, 1e-6)))
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y = a * x^b`` by least squares in log-log space."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * (x ** self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a * x^b``; the exponent ``b`` is the empirical growth rate."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) samples with matching lengths")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.maximum(np.asarray(ys, dtype=float), 1e-12))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predictions = slope * log_x + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(exponent=float(slope), coefficient=float(math.exp(intercept)), r_squared=r_squared)
+
+
+def fit_polylog(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a * (log2 x)^b``: the exponent of the polylog growth."""
+    logs = [math.log2(max(x, 2.0)) for x in xs]
+    return fit_power_law(logs, ys)

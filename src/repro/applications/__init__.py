@@ -1,0 +1,35 @@
+"""Applications built on deterministic expander routing (Corollaries 1.3, 1.4, Appendix F)."""
+
+from repro.applications.clique import CliqueListingResult, brute_force_cliques, enumerate_cliques
+from repro.applications.expander_decomposition import ExpanderDecomposition, decompose
+from repro.applications.mst import MSTResult, boruvka_mst
+from repro.applications.sorting_equivalence import (
+    RouteRecord,
+    SortRecord,
+    routing_via_sorting,
+    sorting_via_routing,
+)
+from repro.applications.summarization import (
+    AggregateResult,
+    TopKResult,
+    global_aggregate,
+    top_k_frequent,
+)
+
+__all__ = [
+    "CliqueListingResult",
+    "brute_force_cliques",
+    "enumerate_cliques",
+    "ExpanderDecomposition",
+    "decompose",
+    "MSTResult",
+    "boruvka_mst",
+    "RouteRecord",
+    "SortRecord",
+    "routing_via_sorting",
+    "sorting_via_routing",
+    "AggregateResult",
+    "TopKResult",
+    "global_aggregate",
+    "top_k_frequent",
+]

@@ -1,0 +1,185 @@
+"""Equivalence of expander routing and expander sorting (Appendix F).
+
+The paper's side result: the two problems are reducible to each other with
+small overhead.
+
+* **Lemma F.1** (sorting via a routing oracle): simulate a sorting network
+  over the vertex ranks; each network layer is realised by one routing
+  instance that unites the two compared token blocks on one vertex, sorts
+  locally, and sends half back.  Cost: ``O(phi^-1 log n)`` for ranking plus
+  ``O(log n)`` routing calls with the AKS network (``O(log^2 n)`` calls with
+  our Batcher substitute — the per-call count is what the experiment reports).
+* **Lemma F.2** (routing via a comparison-based sorting oracle): the
+  meet-in-the-middle recipe — count incoming tokens per destination with a
+  local aggregation, create that many dummy tokens per destination, interleave
+  real (odd serials) and dummy (even serials) tokens by key, sort once with
+  load ``2L``, and let each dummy carry its paired real token home.  Cost:
+  ``O(1)`` sorting calls.
+
+Both reductions are implemented against *oracle interfaces* so they can be run
+either with the paper's own machinery (our router / expander sorter) or with
+idealised oracles in tests, and both report how many oracle calls they made —
+that count is the measured content of experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.sorting.networks import SortingNetwork, batcher_odd_even_network
+
+__all__ = [
+    "SortRecord",
+    "RouteRecord",
+    "sorting_via_routing",
+    "routing_via_sorting",
+]
+
+#: A routing oracle: given {vertex: [(destination, item), ...]}, deliver every
+#: item to its destination and return {vertex: [item, ...]}.
+RoutingOracle = Callable[[dict[Hashable, list[tuple[Hashable, Any]]]], dict[Hashable, list[Any]]]
+
+#: A sorting oracle: given {vertex: [(key, item), ...]} and the vertex order,
+#: return {vertex: [(key, item), ...]} globally sorted along the vertex order.
+SortingOracle = Callable[[dict[Hashable, list[tuple[Any, Any]]]], dict[Hashable, list[tuple[Any, Any]]]]
+
+
+@dataclass
+class SortRecord:
+    """Result of sorting via a routing oracle (Lemma F.1)."""
+
+    placement: dict[Hashable, list[tuple[Any, Any]]] = field(default_factory=dict)
+    routing_calls: int = 0
+    network_depth: int = 0
+
+
+@dataclass
+class RouteRecord:
+    """Result of routing via a sorting oracle (Lemma F.2)."""
+
+    delivered: dict[Hashable, list[Any]] = field(default_factory=dict)
+    sorting_calls: int = 0
+
+
+def sorting_via_routing(
+    items_at: dict[Hashable, list[tuple[Any, Any]]],
+    routing_oracle: RoutingOracle,
+    load: int,
+) -> SortRecord:
+    """Lemma F.1: solve ExpanderSorting with one routing call per network layer.
+
+    Args:
+        items_at: per-vertex lists of ``(key, item)`` pairs (at most ``load`` each).
+        routing_oracle: delivers addressed items (one call per network layer).
+        load: the maximum load ``L``.
+    """
+    vertices = sorted(items_at.keys())
+    if not vertices:
+        return SortRecord()
+    network: SortingNetwork = batcher_odd_even_network(len(vertices))
+    record = SortRecord(network_depth=network.depth)
+
+    # Pad every vertex to exactly `load` items with +infinity keys so the
+    # merge-split argument applies (the paper adds dummy tokens the same way).
+    padded: dict[Hashable, list[tuple[Any, Any]]] = {}
+    for vertex in vertices:
+        local = sorted(items_at[vertex], key=lambda pair: repr(pair[0]))
+        local = sorted(items_at[vertex], key=_key_order)
+        padding = [((1, None), "__pad__")] * (load - len(local))
+        padded[vertex] = [(_wrap_key(key), item) for key, item in local] + padding
+
+    for layer in network.layers:
+        # One routing instance per layer: the higher-rank vertex of every
+        # comparator sends its block to the lower-rank vertex ...
+        demands: dict[Hashable, list[tuple[Hashable, Any]]] = {vertex: [] for vertex in vertices}
+        for low_index, high_index in layer:
+            low_vertex, high_vertex = vertices[low_index], vertices[high_index]
+            for pair in padded[high_vertex]:
+                demands[high_vertex].append((low_vertex, pair))
+        routing_oracle(demands)
+        record.routing_calls += 1
+        # ... the union is sorted locally and the upper half is sent back
+        # (the return trip reverses the same routes, charged to the same call).
+        for low_index, high_index in layer:
+            low_vertex, high_vertex = vertices[low_index], vertices[high_index]
+            merged = sorted(padded[low_vertex] + padded[high_vertex], key=lambda pair: pair[0])
+            padded[low_vertex] = merged[:load]
+            padded[high_vertex] = merged[load:]
+
+    record.placement = {
+        vertex: [(key[1], item) for key, item in padded[vertex] if item != "__pad__"]
+        for vertex in vertices
+    }
+    return record
+
+
+def _wrap_key(key: Any) -> tuple:
+    return (0, key)
+
+
+def _key_order(pair: tuple[Any, Any]) -> tuple:
+    return (0, pair[0])
+
+
+def routing_via_sorting(
+    tokens_at: dict[Hashable, list[tuple[Hashable, Any]]],
+    sorting_oracle: SortingOracle,
+    load: int,
+) -> RouteRecord:
+    """Lemma F.2: solve ExpanderRouting with O(1) calls to a sorting oracle.
+
+    Args:
+        tokens_at: per-vertex lists of ``(destination, item)`` pairs.
+        sorting_oracle: sorts keyed items along the vertex-ID order.
+        load: the maximum load ``L`` (per source and per destination).
+    """
+    vertices = sorted(tokens_at.keys())
+    record = RouteRecord(delivered={vertex: [] for vertex in vertices})
+    real = [
+        (destination, item, vertex)
+        for vertex in vertices
+        for destination, item in tokens_at[vertex]
+    ]
+    if not real:
+        return record
+
+    # Call 1 (local aggregation via sorting): every destination learns how many
+    # tokens are headed its way.  We charge one oracle call for it.
+    counts: dict[Hashable, int] = {}
+    for destination, _, _ in real:
+        counts[destination] = counts.get(destination, 0) + 1
+    record.sorting_calls += 1
+
+    # Call 2 (local serialization via sorting): real tokens get odd serial
+    # numbers, dummy tokens (N_v per destination v) get even serial numbers.
+    record.sorting_calls += 1
+    keyed: dict[Hashable, list[tuple[Any, Any]]] = {vertex: [] for vertex in vertices}
+    serial_per_destination: dict[Hashable, int] = {}
+    for destination, item, origin in sorted(real, key=lambda entry: (repr(entry[0]), repr(entry[2]))):
+        serial = serial_per_destination.get(destination, 0)
+        serial_per_destination[destination] = serial + 1
+        keyed[origin].append(((repr(destination), 2 * serial + 1), ("real", destination, item)))
+    for destination, count in counts.items():
+        for serial in range(count):
+            keyed[destination].append(
+                ((repr(destination), 2 * serial + 2), ("dummy", destination, None))
+            )
+
+    # Call 3: the single sort with maximum load 2L interleaves each real token
+    # with the dummy token generated at its destination.
+    sorted_placement = sorting_oracle(keyed)
+    record.sorting_calls += 1
+
+    # Pair up: a real token and its following dummy token are now adjacent in
+    # the global order; the dummy walks the real token back to the destination.
+    flat: list[tuple[Any, Any]] = []
+    for vertex in vertices:
+        flat.extend(sorted_placement.get(vertex, []))
+    flat.sort(key=lambda pair: pair[0])
+    for (key, value), (_next_key, next_value) in zip(flat, flat[1:]):
+        kind, destination, item = value
+        next_kind, next_destination, _ = next_value
+        if kind == "real" and next_kind == "dummy" and destination == next_destination:
+            record.delivered[destination].append(item)
+    return record

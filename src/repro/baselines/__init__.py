@@ -1,0 +1,19 @@
+"""Baselines the paper compares against: naive, randomized (GKS-style), CS20-style."""
+
+from repro.baselines.cs20_model import (
+    RebuildPerQueryRouter,
+    cs20_predicted_rounds,
+    gks_predicted_rounds,
+)
+from repro.baselines.direct_routing import DirectRoutingOutcome, route_directly
+from repro.baselines.randomized_gks import RandomizedRoutingOutcome, route_randomized
+
+__all__ = [
+    "RebuildPerQueryRouter",
+    "cs20_predicted_rounds",
+    "gks_predicted_rounds",
+    "DirectRoutingOutcome",
+    "route_directly",
+    "RandomizedRoutingOutcome",
+    "route_randomized",
+]

@@ -1,0 +1,33 @@
+"""CONGEST model simulator: synchronous rounds, bandwidth limits, primitives."""
+
+from repro.congest.algorithm import Mailbox, NodeAlgorithm, NodeState, RunResult, Runner
+from repro.congest.network import BandwidthExceeded, Message, Network
+from repro.congest.primitives import (
+    BFSResult,
+    assign_ranks,
+    broadcast_value,
+    build_bfs_tree,
+    convergecast_sum,
+    elect_leader,
+)
+from repro.congest.scheduler import ScheduleResult, ScheduledToken, schedule_tokens_along_paths
+
+__all__ = [
+    "Mailbox",
+    "NodeAlgorithm",
+    "NodeState",
+    "RunResult",
+    "Runner",
+    "BandwidthExceeded",
+    "Message",
+    "Network",
+    "BFSResult",
+    "assign_ranks",
+    "broadcast_value",
+    "build_bfs_tree",
+    "convergecast_sum",
+    "elect_leader",
+    "ScheduleResult",
+    "ScheduledToken",
+    "schedule_tokens_along_paths",
+]

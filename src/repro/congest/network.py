@@ -1,0 +1,153 @@
+"""Synchronous CONGEST network simulator.
+
+The CONGEST model (Section 1 of the paper): computation proceeds in
+synchronous rounds; in each round every vertex may send one message of
+``O(log n)`` bits to each of its neighbours, receive the messages sent to it,
+and perform arbitrary local computation.  The complexity measure is the number
+of rounds.
+
+:class:`Network` implements exactly this discipline:
+
+* per-round outboxes keyed by (sender, receiver) edge;
+* a bandwidth limit of one message per directed edge per round (attempting to
+  send a second message on the same edge in the same round raises);
+* a message-size budget in "words" (a word is ``O(log n)`` bits; a message may
+  carry a constant number of words, configurable);
+* round and message counters that experiments read back.
+
+Algorithms are written as :class:`repro.congest.algorithm.NodeAlgorithm`
+subclasses and executed with :class:`repro.congest.algorithm.Runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+__all__ = ["Message", "BandwidthExceeded", "Network"]
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised when a node tries to exceed the per-edge per-round bandwidth."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes:
+        sender: the node that sent the message.
+        receiver: the neighbouring node it was addressed to.
+        payload: the message contents.  The simulator checks that the payload
+            fits in ``words_per_message`` machine words when it is a tuple/list
+            of atoms; opaque payloads count as one word (callers are trusted
+            to keep them O(log n) bits, as the model allows).
+        round_sent: the round index in which the message was sent.
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    payload: Any
+    round_sent: int
+
+
+def _payload_words(payload: Any) -> int:
+    """Crude word count of a payload for bandwidth checking."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float, str, bool)):
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_words(item) for item in payload) or 1
+    if isinstance(payload, dict):
+        return sum(1 + _payload_words(value) for value in payload.values()) or 1
+    return 1
+
+
+class Network:
+    """A synchronous message-passing network over a fixed graph topology."""
+
+    def __init__(self, graph: nx.Graph, words_per_message: int = 4) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network graph must be non-empty")
+        self.graph = graph
+        self.words_per_message = words_per_message
+        self.current_round = 0
+        self.total_messages = 0
+        self.total_words = 0
+        self._outboxes: dict[tuple[Hashable, Hashable], Message] = {}
+        self._inboxes: dict[Hashable, list[Message]] = {v: [] for v in graph.nodes()}
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
+        """Queue a message from ``sender`` to the neighbouring node ``receiver``.
+
+        Raises:
+            ValueError: if ``receiver`` is not adjacent to ``sender``.
+            BandwidthExceeded: if a message was already queued on this directed
+                edge in the current round, or the payload exceeds the per
+                message word budget.
+        """
+        if not self.graph.has_edge(sender, receiver):
+            raise ValueError(f"{sender!r} and {receiver!r} are not adjacent")
+        key = (sender, receiver)
+        if key in self._outboxes:
+            raise BandwidthExceeded(
+                f"edge {sender!r}->{receiver!r} already carries a message in round "
+                f"{self.current_round}"
+            )
+        words = _payload_words(payload)
+        if words > self.words_per_message:
+            raise BandwidthExceeded(
+                f"payload of {words} words exceeds the budget of "
+                f"{self.words_per_message} words per message"
+            )
+        self._outboxes[key] = Message(
+            sender=sender, receiver=receiver, payload=payload, round_sent=self.current_round
+        )
+        self.total_messages += 1
+        self.total_words += words
+
+    def broadcast_to_neighbors(self, sender: Hashable, payload: Any) -> None:
+        """Send the same payload to every neighbour of ``sender`` this round."""
+        for neighbour in self.graph.neighbors(sender):
+            self.send(sender, neighbour, payload)
+
+    # -- round advancement -----------------------------------------------
+
+    def deliver(self) -> None:
+        """Advance one round: deliver all queued messages to their inboxes."""
+        for inbox in self._inboxes.values():
+            inbox.clear()
+        for message in self._outboxes.values():
+            self._inboxes[message.receiver].append(message)
+        self._outboxes.clear()
+        self.current_round += 1
+
+    def inbox(self, node: Hashable) -> list[Message]:
+        """Messages delivered to ``node`` at the start of the current round."""
+        return list(self._inboxes[node])
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def nodes(self) -> list:
+        """The nodes of the underlying graph (stable sorted order)."""
+        return sorted(self.graph.nodes())
+
+    def neighbors(self, node: Hashable) -> list:
+        """Sorted neighbours of ``node``."""
+        return sorted(self.graph.neighbors(node))
+
+    def degree(self, node: Hashable) -> int:
+        """Degree of ``node`` in the topology."""
+        return self.graph.degree(node)
+
+    def reset_counters(self) -> None:
+        """Reset round and message counters (topology and inboxes unchanged)."""
+        self.current_round = 0
+        self.total_messages = 0
+        self.total_words = 0

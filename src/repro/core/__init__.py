@@ -1,0 +1,35 @@
+"""The paper's core contribution: deterministic expander routing with tradeoffs."""
+
+from repro.core.cost import CostLedger, send_round_cost, sort_round_cost, sorting_network_depth
+from repro.core.dispersion import DispersionState, DispersionStats, disperse
+from repro.core.general import GeneralGraphRouter
+from repro.core.leaf import LeafRoutingResult, route_in_leaf
+from repro.core.merge import Task3Result, solve_task3
+from repro.core.router import ExpanderRouter, PreprocessSummary, RoutingOutcome
+from repro.core.tasks import Task1Instance, Task2Instance, Task3Instance
+from repro.core.tokens import RoutingRequest, Token, TokenConfiguration, tokens_from_requests
+
+__all__ = [
+    "CostLedger",
+    "send_round_cost",
+    "sort_round_cost",
+    "sorting_network_depth",
+    "DispersionState",
+    "DispersionStats",
+    "disperse",
+    "GeneralGraphRouter",
+    "LeafRoutingResult",
+    "route_in_leaf",
+    "Task3Result",
+    "solve_task3",
+    "ExpanderRouter",
+    "PreprocessSummary",
+    "RoutingOutcome",
+    "Task1Instance",
+    "Task2Instance",
+    "Task3Instance",
+    "RoutingRequest",
+    "Token",
+    "TokenConfiguration",
+    "tokens_from_requests",
+]

@@ -1,0 +1,429 @@
+"""The deterministic expander router (Theorem 1.1, Corollary 1.2).
+
+:class:`ExpanderRouter` is the library's front door.  It separates the two
+phases the paper's tradeoff is about:
+
+* :meth:`ExpanderRouter.preprocess` builds the hierarchical decomposition
+  (Theorem 3.2), the best-vertex delegation (Appendix D), and a shuffler for
+  every internal node (Lemma 5.5).  Cost: ``n^{O(eps)} + poly(psi^-1) *
+  (log n)^{O(1/eps)}`` rounds, charged to the preprocessing ledger.
+* :meth:`ExpanderRouter.route` answers one routing query (Task 1) re-using the
+  preprocessed structures.  Cost: ``L * poly(psi^-1) * (log n)^{O(1/eps)}``
+  rounds, charged to a fresh per-query ledger.
+
+The recursion follows Sections 4 and 6 exactly: Task 1 is reduced to Task 2 by
+delegating destinations to best vertices; Task 2 on an internal node rewrites
+destination markers into part marks, solves Task 3 through the node's shuffler
+(dispersion + meet-in-the-middle merge), walks tokens off the bad vertices via
+the precomputed part matchings, and recurses into the children; leaf
+components are finished with the precomputed sorting network (Lemma 6.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
+from repro.core.leaf import route_in_leaf
+from repro.core.merge import solve_task3
+from repro.core.tasks import Task1Instance
+from repro.core.tokens import RoutingRequest, Token, TokenConfiguration, tokens_from_requests
+from repro.cutmatching.game import CutMatchingGame
+from repro.graphs.conductance import estimate_conductance, sweep_cut
+from repro.graphs.validation import max_degree, require_connected
+from repro.hierarchy.best import BestVertexIndex, build_best_index, locate_best_rank
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+from repro.hierarchy.node import HierarchicalDecomposition, HierarchyNode
+
+__all__ = ["PreprocessSummary", "RoutingOutcome", "ExpanderRouter"]
+
+
+@dataclass
+class PreprocessSummary:
+    """What preprocessing built and what it cost.
+
+    Attributes:
+        rounds: total preprocessing rounds (Theorem 1.1's first term).
+        hierarchy_levels: number of levels of the decomposition.
+        node_count: number of good nodes.
+        shuffler_count: number of shufflers built.
+        best_vertex_count: ``|Vbest|``.
+        rho_best: the delegation factor (Definition 3.7).
+        breakdown: per-phase round counts.
+    """
+
+    rounds: int
+    hierarchy_levels: int
+    node_count: int
+    shuffler_count: int
+    best_vertex_count: int
+    rho_best: float
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RoutingOutcome:
+    """Result of answering one routing query.
+
+    Attributes:
+        delivered: number of tokens that reached their requested destination.
+        total_tokens: number of tokens routed.
+        query_rounds: CONGEST rounds charged to this query (Theorem 1.1's
+            second term; excludes preprocessing).
+        preprocessing_rounds: rounds of the preprocessing phase in effect.
+        load: the load parameter ``L`` of the instance.
+        max_intermediate_part_load: diagnostic from the dispersion phases.
+        dispersion_window_fraction: fraction of (part, mark) cells inside the
+            Definition 6.1 window, averaged over all dispersions of the query.
+        fallback_assignments: tokens placed by the merge fallback instead of a
+            dummy pairing (0 in the common case).
+        breakdown: per-phase round counts of the query ledger.
+        tokens: the routed tokens (with their traces), for inspection.
+    """
+
+    delivered: int
+    total_tokens: int
+    query_rounds: int
+    preprocessing_rounds: int
+    load: int
+    max_intermediate_part_load: int = 0
+    dispersion_window_fraction: float = 1.0
+    fallback_assignments: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+    tokens: list[Token] = field(default_factory=list)
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered == self.total_tokens
+
+    @property
+    def total_rounds_including_preprocessing(self) -> int:
+        """Corollary 1.2's single-instance cost: preprocessing + one query."""
+        return self.query_rounds + self.preprocessing_rounds
+
+
+class ExpanderRouter:
+    """Deterministic expander routing with a preprocessing/query tradeoff."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        epsilon: float = 0.5,
+        psi: float | None = None,
+        hierarchy_params: HierarchyParameters | None = None,
+        max_constant_degree: int = 64,
+    ) -> None:
+        """Create a router for a (roughly constant-degree) expander ``graph``.
+
+        Args:
+            graph: connected expander with hashable, orderable vertex ids.
+            epsilon: the tradeoff parameter of Theorem 1.1 (``k = n^epsilon``).
+            psi: sparsity parameter; estimated from the graph when omitted.
+            hierarchy_params: full control over the decomposition parameters.
+            max_constant_degree: guard — graphs with larger maximum degree
+                should go through :class:`repro.core.general.GeneralGraphRouter`
+                (the expander-split reduction of Appendix E).
+        """
+        require_connected(graph)
+        worst_degree = max_degree(graph)
+        if worst_degree > max_constant_degree:
+            raise ValueError(
+                f"maximum degree {worst_degree} exceeds {max_constant_degree}; "
+                "use repro.core.general.GeneralGraphRouter (expander split, Appendix E)"
+            )
+        self.graph = graph
+        self.epsilon = epsilon
+        if psi is None:
+            estimated = estimate_conductance(graph, exact_threshold=10)
+            psi = max(min(estimated / 2.0, 0.5), 0.01)
+        self.psi = psi
+        if hierarchy_params is None:
+            hierarchy_params = HierarchyParameters(epsilon=epsilon, psi=min(psi, 0.25))
+        self.hierarchy_params = hierarchy_params
+
+        self.decomposition: HierarchicalDecomposition | None = None
+        self.best_index: BestVertexIndex | None = None
+        self.preprocess_ledger = CostLedger()
+        self.preprocessed = False
+
+    # -- preprocessing -------------------------------------------------------
+
+    def preprocess(self) -> PreprocessSummary:
+        """Build the hierarchy, the delegation index, and every shuffler (Theorem 1.1)."""
+        ledger = self.preprocess_ledger
+        with ledger.phase("preprocess"):
+            decomposition = build_hierarchy(self.graph, params=self.hierarchy_params)
+            ledger.charge("hierarchy", decomposition.build_rounds)
+            best_index = build_best_index(decomposition)
+
+            # Nodes at the same level live on disjoint vertex sets, so their
+            # preprocessing steps run in parallel in CONGEST: within a level we
+            # charge the maximum node cost, across levels we sum.
+            nodes_by_level: dict[int, list[HierarchyNode]] = {}
+            for node in decomposition.all_nodes():
+                nodes_by_level.setdefault(node.level, []).append(node)
+
+            # Appendix D: computing |Xbest| per node plus propagating it costs a
+            # bottom-up/top-down sweep of every virtual graph.
+            sweep_rounds = sum(
+                max(
+                    node.virtual_diameter() * max(1, node.flatten_quality())
+                    for node in level_nodes
+                )
+                for level_nodes in nodes_by_level.values()
+            )
+            ledger.charge("best-index", sweep_rounds)
+
+            shuffler_count = 0
+            for level in sorted(nodes_by_level):
+                level_rounds = 0
+                for node in nodes_by_level[level]:
+                    if node.is_leaf or len(node.parts) <= 1:
+                        continue
+                    parts = [sorted(part.vertices) for part in node.parts]
+                    game = CutMatchingGame(
+                        node.virtual_graph, parts, psi=self.hierarchy_params.psi
+                    )
+                    outcome = game.play()
+                    if outcome.shuffler is None:
+                        raise RuntimeError(
+                            "cut-matching game reported a sparse cut during preprocessing; "
+                            "the input graph does not have the expected expansion"
+                        )
+                    node.shuffler = outcome.shuffler
+                    level_rounds = max(level_rounds, outcome.rounds)
+                    shuffler_count += 1
+                if level_rounds:
+                    ledger.charge("shuffler", level_rounds)
+
+            # Leaf components gather their whole topology during preprocessing
+            # (Lemma 6.5): |X|^2 words through the flattened virtual graph.
+            leaf_rounds = 0
+            for node in decomposition.leaves():
+                leaf_rounds = max(
+                    leaf_rounds, node.size * node.size * max(1, node.flatten_quality())
+                )
+            ledger.charge("leaf-topology", leaf_rounds)
+
+            # All-to-best routes (Appendix D): one constant-load Task 2 style
+            # pass per level, reusing the structures just built.
+            delegation_rounds = sum(
+                max(
+                    sort_round_cost(node.size, 1, node.flatten_quality())
+                    for node in level_nodes
+                )
+                for level_nodes in nodes_by_level.values()
+            )
+            ledger.charge("all-to-best-routes", delegation_rounds)
+
+        self.decomposition = decomposition
+        self.best_index = best_index
+        self.preprocessed = True
+        return PreprocessSummary(
+            rounds=ledger.total("preprocess"),
+            hierarchy_levels=decomposition.levels(),
+            node_count=len(decomposition.all_nodes()),
+            shuffler_count=shuffler_count,
+            best_vertex_count=best_index.size,
+            rho_best=decomposition.rho_best(),
+            breakdown=ledger.breakdown(),
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def route(
+        self,
+        requests: Sequence[RoutingRequest],
+        load: int | None = None,
+    ) -> RoutingOutcome:
+        """Answer one routing query (Task 1) using the preprocessed structures.
+
+        Args:
+            requests: the tokens to deliver; every vertex may appear as the
+                source of at most ``L`` requests and the destination of at most
+                ``L`` requests.
+            load: the load parameter ``L``; inferred from the requests when
+                omitted (the doubling trick of Appendix E makes this harmless).
+        """
+        if not self.preprocessed:
+            self.preprocess()
+        assert self.decomposition is not None and self.best_index is not None
+
+        tokens = tokens_from_requests(requests)
+        if load is None:
+            source_counts: dict[Hashable, int] = {}
+            destination_counts: dict[Hashable, int] = {}
+            for token in tokens:
+                source_counts[token.source] = source_counts.get(token.source, 0) + 1
+                destination_counts[token.destination] = (
+                    destination_counts.get(token.destination, 0) + 1
+                )
+            load = max(
+                max(source_counts.values(), default=1),
+                max(destination_counts.values(), default=1),
+            )
+        instance = Task1Instance(
+            vertices=sorted(self.graph.nodes()), tokens=tokens, load=load
+        )
+        problems = instance.validate()
+        if problems:
+            raise ValueError("invalid Task 1 instance: " + "; ".join(problems))
+
+        ledger = CostLedger()
+        stats = _QueryStats()
+        with ledger.phase("query"):
+            # Task 1 -> Task 1': translate destination IDs to ranks (one
+            # expander sort over the root, Lemma D.1).
+            root = self.decomposition.root
+            ledger.charge(
+                "id-translation", sort_round_cost(root.size, load, root.flatten_quality())
+            )
+            # Task 1' -> Task 2: delegate each destination to a best vertex.
+            best_index = self.best_index
+            for token in tokens:
+                delegate = best_index.delegate_of[token.destination]
+                token.destination_marker = best_index.rank_of[delegate]
+            self._solve_task2(root, tokens, load, ledger, stats)
+            # Final leg (Appendix D): tokens now sit on the delegated best
+            # vertices; walk them along the reversed all-to-best routes.
+            needs_reversal = [
+                token for token in tokens if token.current_vertex != token.destination
+            ]
+            if needs_reversal:
+                per_best: dict[Hashable, int] = {}
+                for token in needs_reversal:
+                    per_best[token.current_vertex] = per_best.get(token.current_vertex, 0) + 1
+                max_per_best = max(per_best.values(), default=1)
+                reversal_quality = max(
+                    (leaf.flatten_quality() for leaf in self.decomposition.leaves()), default=1
+                )
+                ledger.charge(
+                    "delegation-reversal", send_round_cost(max_per_best, reversal_quality)
+                )
+                for token in needs_reversal:
+                    token.move_to(token.destination, phase="delegation-reversal")
+
+        delivered = sum(1 for token in tokens if token.delivered)
+        return RoutingOutcome(
+            delivered=delivered,
+            total_tokens=len(tokens),
+            query_rounds=ledger.total("query"),
+            preprocessing_rounds=self.preprocess_ledger.total("preprocess"),
+            load=load,
+            max_intermediate_part_load=stats.max_part_load,
+            dispersion_window_fraction=stats.window_fraction(),
+            fallback_assignments=stats.fallbacks,
+            breakdown=ledger.breakdown(),
+            tokens=tokens,
+        )
+
+    # -- the Task 2 recursion ---------------------------------------------------
+
+    def _solve_task2(
+        self,
+        node: HierarchyNode,
+        tokens: Sequence[Token],
+        load: int,
+        ledger: CostLedger,
+        stats: "_QueryStats",
+    ) -> None:
+        """Deliver each token to the node's marker-th best vertex (Definition 4.2)."""
+        if not tokens:
+            return
+        if node.is_leaf:
+            result = route_in_leaf(node, tokens, load, ledger)
+            for token in tokens:
+                token.move_to(result.placements[token.token_id], phase="leaf")
+            return
+
+        # Rewrite destination markers into (part mark, next-level marker).
+        next_marker: dict[int, int] = {}
+        for token in tokens:
+            marker = token.destination_marker
+            if marker is None:
+                raise ValueError(f"token {token.token_id} has no destination marker")
+            part_index, remainder = locate_best_rank(node, marker)
+            token.part_mark = part_index
+            next_marker[token.token_id] = remainder
+
+        # Task 3: deliver every token to a vertex of its marked part.
+        task3 = solve_task3(node, tokens, load, ledger)
+        stats.absorb_task3(task3)
+        for token in tokens:
+            if token.token_id in task3.assignments:
+                token.move_to(task3.assignments[token.token_id], phase=f"task3-L{node.level}")
+
+        # Property 3.1(3): walk tokens off the bad vertices into the good child.
+        matching_quality = max(1, node.part_matching_embedding.quality) * max(
+            1, node.flatten_quality()
+        )
+        moved_off_bad = 0
+        for part in node.parts:
+            if not part.bad_vertices:
+                continue
+            for token in tokens:
+                if token.part_mark == part.index and token.current_vertex in part.bad_vertices:
+                    mate = part.matching.get(token.current_vertex)
+                    if mate is None:
+                        mate = min(part.good_vertices)
+                    token.move_to(mate, phase=f"bad-to-good-L{node.level}")
+                    moved_off_bad += 1
+        if moved_off_bad:
+            ledger.charge(
+                f"bad-to-good-L{node.level}",
+                send_round_cost(2 * load, matching_quality),
+            )
+
+        # Recurse into every part's good child with the rewritten markers.
+        # Group before recursing: the recursive calls rewrite part marks for
+        # their own level, so re-filtering inside the loop would double-route.
+        # The children's instances run on disjoint subgraphs and therefore in
+        # parallel in CONGEST; the level costs as much as its slowest child
+        # (this is why Theorem 6.8's recurrence has a single T2(6|X|/k, 4L)
+        # term), so we charge the maximum child cost, not the sum.
+        tokens_by_part: dict[int, list[Token]] = {}
+        for token in tokens:
+            tokens_by_part.setdefault(token.part_mark, []).append(token)
+        child_costs: list[int] = []
+        for part in node.parts:
+            child = part.child
+            if child is None:
+                continue
+            child_tokens = tokens_by_part.get(part.index, [])
+            if not child_tokens:
+                continue
+            for token in child_tokens:
+                token.destination_marker = next_marker[token.token_id]
+            child_ledger = CostLedger()
+            self._solve_task2(child, child_tokens, 4 * load, child_ledger, stats)
+            child_costs.append(child_ledger.total())
+        if child_costs:
+            ledger.charge(f"children-L{node.level + 1}", max(child_costs))
+
+
+class _QueryStats:
+    """Aggregates diagnostics across the recursion of one query."""
+
+    def __init__(self) -> None:
+        self.max_part_load = 0
+        self.fallbacks = 0
+        self._window_hits = 0
+        self._window_cells = 0
+
+    def absorb_task3(self, task3) -> None:
+        self.max_part_load = max(
+            self.max_part_load, task3.real_stats.max_part_load, task3.dummy_stats.max_part_load
+        )
+        self.fallbacks += task3.fallback_assignments
+        for dispersion in (task3.real_stats, task3.dummy_stats):
+            self._window_hits += dispersion.within_window
+            self._window_cells += dispersion.total_cells
+
+    def window_fraction(self) -> float:
+        if self._window_cells == 0:
+            return 1.0
+        return self._window_hits / self._window_cells

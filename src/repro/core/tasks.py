@@ -1,0 +1,125 @@
+"""Formal task definitions (Definitions 4.1, 4.2, 4.3 and Task 1').
+
+These dataclasses describe instances of the routing tasks the paper's
+recursion is phrased in, together with validators for their preconditions.
+They are used by the router to assert that every recursive call it makes is a
+legal instance, and by the tests to generate/validate instances directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.tokens import Token
+
+__all__ = ["Task1Instance", "Task2Instance", "Task3Instance"]
+
+
+@dataclass
+class Task1Instance:
+    """Task 1 (Definition 4.1): route tokens to destination vertices.
+
+    Preconditions: every vertex holds at most ``load`` tokens and is the
+    destination of at most ``load`` tokens.
+    """
+
+    vertices: list
+    tokens: list[Token]
+    load: int
+
+    def validate(self) -> list[str]:
+        """Return a list of violated preconditions (empty = valid instance)."""
+        problems: list[str] = []
+        vertex_set = set(self.vertices)
+        source_counts = Counter(token.current_vertex for token in self.tokens)
+        destination_counts = Counter(token.destination for token in self.tokens)
+        if source_counts and max(source_counts.values()) > self.load:
+            problems.append(
+                f"a vertex holds {max(source_counts.values())} tokens > load {self.load}"
+            )
+        if destination_counts and max(destination_counts.values()) > self.load:
+            problems.append(
+                f"a vertex is the destination of {max(destination_counts.values())} tokens"
+                f" > load {self.load}"
+            )
+        for token in self.tokens:
+            if token.destination not in vertex_set:
+                problems.append(f"token {token.token_id} destined outside the graph")
+                break
+        return problems
+
+
+@dataclass
+class Task2Instance:
+    """Task 2 (Definition 4.2): route tokens to best vertices identified by rank.
+
+    ``best_count`` is ``|Xbest|`` for the hierarchy node; every token carries a
+    ``destination_marker`` in ``[0, best_count)`` and at most
+    ``load * rho_best`` tokens share a marker.
+    """
+
+    node_vertices: list
+    best_count: int
+    tokens: list[Token]
+    load: int
+    rho_best: float
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        per_vertex = Counter(token.current_vertex for token in self.tokens)
+        if per_vertex and max(per_vertex.values()) > self.load:
+            problems.append(
+                f"a vertex holds {max(per_vertex.values())} tokens > load {self.load}"
+            )
+        marker_counts = Counter(token.destination_marker for token in self.tokens)
+        limit = self.load * max(self.rho_best, 1.0)
+        for marker, count in marker_counts.items():
+            if marker is None or not (0 <= marker < self.best_count):
+                problems.append(f"marker {marker} out of range [0, {self.best_count})")
+                break
+            if count > limit + 1e-9:
+                problems.append(
+                    f"marker {marker} carried by {count} tokens > L*rho_best = {limit}"
+                )
+                break
+        return problems
+
+
+@dataclass
+class Task3Instance:
+    """Task 3 (Definition 4.3): deliver tokens to their marked parts.
+
+    ``part_sizes`` lists ``|X*_j|``; every token has a ``part_mark`` and at most
+    ``load * |X*_j|`` tokens share part mark ``j``.  The task is done when every
+    token sits in its marked part and no vertex holds more than ``2 * load``.
+    """
+
+    part_sizes: list[int]
+    tokens: list[Token]
+    load: int
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        per_vertex = Counter(token.current_vertex for token in self.tokens)
+        if per_vertex and max(per_vertex.values()) > self.load:
+            problems.append(
+                f"a vertex holds {max(per_vertex.values())} tokens > load {self.load}"
+            )
+        mark_counts = Counter(token.part_mark for token in self.tokens)
+        for mark, count in mark_counts.items():
+            if mark is None or not (0 <= mark < len(self.part_sizes)):
+                problems.append(f"part mark {mark} out of range")
+                break
+            if count > self.load * self.part_sizes[mark]:
+                problems.append(
+                    f"part mark {mark} carried by {count} tokens"
+                    f" > L*|X*_j| = {self.load * self.part_sizes[mark]}"
+                )
+                break
+        return problems
+
+    def is_final_configuration(self, part_of: dict) -> bool:
+        """Definition 6.1's final configuration: every token sits in its marked part."""
+        return all(part_of.get(token.current_vertex) == token.part_mark for token in self.tokens)

@@ -1,0 +1,161 @@
+"""Tokens, routing requests, and token configurations.
+
+The expander routing problem moves *tokens*: each vertex is the source of at
+most ``L`` tokens and the destination of at most ``L`` tokens (Task 1,
+Definition 4.1).  A :class:`Token` keeps its full life story — source,
+destination, current position, the destination markers the recursion rewrites
+(Section 4), and a trace of the phases it went through — so invariants can be
+asserted at every stage and failures are debuggable.
+
+A :class:`TokenConfiguration` is the global state "which tokens sit on which
+vertex"; it provides the load accounting that the paper's statements are all
+phrased in terms of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+__all__ = ["RoutingRequest", "Token", "TokenConfiguration"]
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """A user-facing routing request: carry ``payload`` from ``source`` to ``destination``."""
+
+    source: Hashable
+    destination: Hashable
+    payload: Any = None
+
+
+@dataclass
+class Token:
+    """One routed token.
+
+    Attributes:
+        token_id: unique id (assigned by the router; drives deterministic ties).
+        source: origin vertex.
+        destination: requested destination vertex.
+        payload: opaque payload carried along.
+        current_vertex: where the token currently resides.
+        destination_marker: the Task 2 marker ``i_z`` (rank among best vertices).
+        part_mark: the Task 3 marker ``j_z`` (index of the target part).
+        is_dummy: True for the dummy tokens the meet-in-the-middle steps create.
+        trace: human-readable list of the phases the token passed through.
+    """
+
+    token_id: int
+    source: Hashable
+    destination: Hashable
+    payload: Any = None
+    current_vertex: Hashable = None
+    destination_marker: int | None = None
+    part_mark: int | None = None
+    is_dummy: bool = False
+    trace: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.current_vertex is None:
+            self.current_vertex = self.source
+
+    def move_to(self, vertex: Hashable, phase: str = "") -> None:
+        """Relocate the token and record the phase responsible."""
+        self.current_vertex = vertex
+        if phase:
+            self.trace.append(phase)
+
+    @property
+    def delivered(self) -> bool:
+        """True when the token sits on its requested destination."""
+        return self.current_vertex == self.destination
+
+
+class TokenConfiguration:
+    """The placement of a set of tokens on graph vertices."""
+
+    def __init__(self, vertices: Iterable[Hashable], tokens: Iterable[Token] = ()) -> None:
+        self._at: dict[Hashable, list[Token]] = {vertex: [] for vertex in vertices}
+        for token in tokens:
+            self.place(token, token.current_vertex)
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, token: Token, vertex: Hashable) -> None:
+        """Put ``token`` on ``vertex`` (adding the vertex if unseen)."""
+        if vertex not in self._at:
+            self._at[vertex] = []
+        token.current_vertex = vertex
+        self._at[vertex].append(token)
+
+    def move(self, token: Token, vertex: Hashable, phase: str = "") -> None:
+        """Move a token from its current vertex to ``vertex``."""
+        current = token.current_vertex
+        if current in self._at and token in self._at[current]:
+            self._at[current].remove(token)
+        token.move_to(vertex, phase)
+        if vertex not in self._at:
+            self._at[vertex] = []
+        self._at[vertex].append(token)
+
+    # -- queries ------------------------------------------------------------
+
+    def tokens_at(self, vertex: Hashable) -> list[Token]:
+        return list(self._at.get(vertex, []))
+
+    def load(self, vertex: Hashable) -> int:
+        return len(self._at.get(vertex, []))
+
+    def max_load(self) -> int:
+        return max((len(tokens) for tokens in self._at.values()), default=0)
+
+    def all_tokens(self) -> list[Token]:
+        result: list[Token] = []
+        for vertex in sorted(self._at, key=repr):
+            result.extend(self._at[vertex])
+        return result
+
+    def vertices(self) -> list[Hashable]:
+        return list(self._at.keys())
+
+    def __len__(self) -> int:
+        return sum(len(tokens) for tokens in self._at.values())
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_source_load(self, limit: int) -> bool:
+        """Every vertex currently holds at most ``limit`` tokens."""
+        return self.max_load() <= limit
+
+    def destination_load(self) -> dict[Hashable, int]:
+        """Number of tokens destined to each vertex."""
+        counts: dict[Hashable, int] = {}
+        for tokens in self._at.values():
+            for token in tokens:
+                counts[token.destination] = counts.get(token.destination, 0) + 1
+        return counts
+
+    def check_destination_load(self, limit: int) -> bool:
+        """No vertex is the destination of more than ``limit`` tokens."""
+        counts = self.destination_load()
+        return max(counts.values(), default=0) <= limit
+
+    def all_delivered(self) -> bool:
+        """Every token sits on its requested destination."""
+        return all(token.delivered for token in self.all_tokens())
+
+
+def tokens_from_requests(requests: Sequence[RoutingRequest]) -> list[Token]:
+    """Materialise tokens from user requests with deterministic ids."""
+    ordered = sorted(
+        requests, key=lambda request: (repr(request.source), repr(request.destination))
+    )
+    return [
+        Token(
+            token_id=index,
+            source=request.source,
+            destination=request.destination,
+            payload=request.payload,
+        )
+        for index, request in enumerate(ordered)
+    ]

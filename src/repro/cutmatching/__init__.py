@@ -1,0 +1,35 @@
+"""Cut-matching game, walk potentials, and shuffler construction (Section 5.1, Appendix B)."""
+
+from repro.cutmatching.cut_player import (
+    CutPlayerResult,
+    ExhaustiveCutPlayer,
+    SpectralCutPlayer,
+    lemma_b4_split,
+)
+from repro.cutmatching.game import CutMatchingGame, CutMatchingOutcome, build_shuffler
+from repro.cutmatching.matching_player import MatchingPlayer, MatchingPlayerResult
+from repro.cutmatching.potential import (
+    FractionalMatching,
+    WalkState,
+    mixing_threshold,
+    walk_matrix,
+)
+from repro.cutmatching.shuffler import Shuffler, ShufflerMatching
+
+__all__ = [
+    "CutPlayerResult",
+    "ExhaustiveCutPlayer",
+    "SpectralCutPlayer",
+    "lemma_b4_split",
+    "CutMatchingGame",
+    "CutMatchingOutcome",
+    "build_shuffler",
+    "MatchingPlayer",
+    "MatchingPlayerResult",
+    "FractionalMatching",
+    "WalkState",
+    "mixing_threshold",
+    "walk_matrix",
+    "Shuffler",
+    "ShufflerMatching",
+]

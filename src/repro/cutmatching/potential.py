@@ -1,0 +1,103 @@
+"""Random-walk matrices and the cut-matching potential function.
+
+Definitions 5.2 and 5.3 of the paper: a fractional matching ``M = {x_uv}`` on
+the cluster graph ``Y`` induces the lazy-walk transition matrix
+
+    R_M[i, j] = 1/2 * x_{v_i v_j}                          for i != j
+    R_M[i, i] = 1/2 + 1/2 * (1 - sum_{k != i} x_{v_i v_k})
+
+The product ``R_i = R_{M_i} ... R_{M_1}`` describes the distribution of the
+natural lazy random walk over the matching sequence, and the potential
+
+    Pi(i) = sum_y || R_i[y] - 1/|Y| ||^2
+
+measures how far the walk is from uniform.  The shuffler is complete once
+``Pi(i) <= 1/(9 n^3)`` (Definition 5.4); Lemma B.5 shows the potential drops
+by a ``(1 - 1/(36*720))`` factor per round, hence ``O(log n)`` rounds suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FractionalMatching",
+    "walk_matrix",
+    "WalkState",
+    "mixing_threshold",
+]
+
+#: A fractional matching on the cluster graph: (i, j) with i < j -> x_ij in [0, 1].
+FractionalMatching = Mapping[tuple[int, int], float]
+
+
+def walk_matrix(size: int, matching: FractionalMatching) -> np.ndarray:
+    """Build the lazy-walk matrix ``R_M`` of Definition 5.2 for a cluster graph of ``size`` vertices."""
+    matrix = np.zeros((size, size), dtype=float)
+    degree = np.zeros(size, dtype=float)
+    for (i, j), value in matching.items():
+        if i == j:
+            continue
+        if not (0 <= i < size and 0 <= j < size):
+            raise ValueError(f"matching edge ({i}, {j}) outside the cluster graph")
+        if value < -1e-12:
+            raise ValueError("fractional matching values must be non-negative")
+        matrix[i, j] += 0.5 * value
+        matrix[j, i] += 0.5 * value
+        degree[i] += value
+        degree[j] += value
+    if np.any(degree > 1.0 + 1e-9):
+        raise ValueError("fractional degree exceeds one; not a fractional matching")
+    for i in range(size):
+        matrix[i, i] = 0.5 + 0.5 * (1.0 - degree[i])
+    return matrix
+
+
+def mixing_threshold(n: int) -> float:
+    """The paper's termination threshold ``1 / (9 n^3)`` for the potential (Definition 5.4)."""
+    return 1.0 / (9.0 * max(n, 2) ** 3)
+
+
+@dataclass
+class WalkState:
+    """Tracks ``R_i`` and the potential ``Pi(i)`` across cut-matching iterations.
+
+    Attributes:
+        size: number of cluster vertices ``t = |Y|``.
+        matrix: the current product ``R_i`` (identity before any matching).
+        history: potential value after each applied matching.
+    """
+
+    size: int
+    matrix: np.ndarray = field(init=False)
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("cluster graph must have at least one vertex")
+        self.matrix = np.eye(self.size, dtype=float)
+
+    def apply(self, matching: FractionalMatching) -> float:
+        """Apply one fractional matching; return the new potential value."""
+        step = walk_matrix(self.size, matching)
+        self.matrix = step @ self.matrix
+        value = self.potential()
+        self.history.append(value)
+        return value
+
+    def potential(self) -> float:
+        """Current potential ``Pi = sum_y ||R[y] - 1/t||^2`` (Definition 5.3)."""
+        uniform = np.full(self.size, 1.0 / self.size)
+        deviation = self.matrix - uniform[None, :]
+        return float(np.sum(deviation * deviation))
+
+    def row(self, index: int) -> np.ndarray:
+        """The row vector ``R_i[y]`` for cluster vertex ``index``."""
+        return self.matrix[index].copy()
+
+    def is_mixed(self, n: int) -> bool:
+        """True once the potential has dropped below the ``1/(9 n^3)`` threshold."""
+        return self.potential() <= mixing_threshold(n)

@@ -1,0 +1,16 @@
+"""Path collections, graph embeddings, and the deterministic matching embedder."""
+
+from repro.embedding.embedding import Embedding, compose, identity_embedding, union
+from repro.embedding.matching_embed import MatchingEmbedResult, embed_matching
+from repro.embedding.paths import Path, PathCollection
+
+__all__ = [
+    "Embedding",
+    "compose",
+    "identity_embedding",
+    "union",
+    "MatchingEmbedResult",
+    "embed_matching",
+    "Path",
+    "PathCollection",
+]

@@ -1,0 +1,137 @@
+"""Expander split ``G_diamond``: reduction from general to constant-degree graphs.
+
+Section 2 and Appendix E of the paper reduce routing on a general expander
+``G`` (where each vertex may source/sink up to ``deg(v)`` tokens) to routing on
+a constant-degree graph ``G_diamond`` built as follows:
+
+* every vertex ``v`` is replaced by a constant-degree expander ``X_v`` on
+  ``deg(v)`` vertices (the *gadget* for ``v``);
+* every original edge ``e = (u, v)`` becomes one edge between the
+  ``r_u(e)``-th vertex of ``X_u`` and the ``r_v(e)``-th vertex of ``X_v``,
+  where ``r_v`` is an arbitrary fixed ranking of the edges incident to ``v``.
+
+The key property is ``Psi(G_diamond) = Theta(Phi(G))`` (CS20, Appendix C),
+so a sparsity-based routing algorithm on the split graph solves the
+conductance-based problem on the original graph.  Token loads proportional to
+``deg(v)`` on ``G`` become loads of ``O(1)`` per split vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.graphs.generators import circulant_expander
+
+__all__ = ["SplitVertex", "ExpanderSplit", "expander_split"]
+
+
+@dataclass(frozen=True)
+class SplitVertex:
+    """A vertex of the split graph: copy ``index`` of original vertex ``original``."""
+
+    original: int
+    index: int
+
+
+@dataclass
+class ExpanderSplit:
+    """The expander split of a graph together with the correspondence maps.
+
+    Attributes:
+        original: the input graph ``G``.
+        split: the constant-degree split graph ``G_diamond`` with integer nodes.
+        vertex_of: maps a split-graph node id to its :class:`SplitVertex`.
+        copies_of: maps an original vertex to the ordered list of its split node ids.
+        port_of_edge: maps an original (directed) edge ``(u, v)`` to the split
+            node id inside ``X_u`` that hosts that edge's endpoint.
+    """
+
+    original: nx.Graph
+    split: nx.Graph
+    vertex_of: dict[int, SplitVertex] = field(default_factory=dict)
+    copies_of: dict[int, list[int]] = field(default_factory=dict)
+    port_of_edge: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def split_size(self) -> int:
+        """Number of vertices of the split graph (= 2m of the original)."""
+        return self.split.number_of_nodes()
+
+    def home_copy(self, original_vertex: int) -> int:
+        """Canonical (lowest-id) split copy of an original vertex.
+
+        Routing destinations addressed to an original vertex are translated to
+        split-graph destinations spread over its copies; the home copy is the
+        representative used when a single destination vertex is required.
+        """
+        return self.copies_of[original_vertex][0]
+
+    def assign_destination(self, original_vertex: int, serial: int) -> int:
+        """Load-balanced split destination for the ``serial``-th token addressed to a vertex.
+
+        This is the "(v, i := SID_z mod deg(v) + 1)" assignment of Appendix E:
+        tokens with the same original destination are spread round-robin over
+        the copies of that destination.
+        """
+        copies = self.copies_of[original_vertex]
+        return copies[serial % len(copies)]
+
+    def lift_token_position(self, split_vertex: int) -> int:
+        """Map a split-graph position back to the original vertex it belongs to."""
+        return self.vertex_of[split_vertex].original
+
+
+def _gadget_edges(size: int) -> list[tuple[int, int]]:
+    """Edges of a constant-degree expander gadget on ``size`` local vertices."""
+    if size <= 1:
+        return []
+    if size == 2:
+        return [(0, 1)]
+    if size <= 4:
+        return [(i, j) for i in range(size) for j in range(i + 1, size)]
+    offsets = (1, 2, 3)
+    gadget = circulant_expander(size, offsets=offsets)
+    return list(gadget.edges())
+
+
+def expander_split(graph: nx.Graph) -> ExpanderSplit:
+    """Construct the expander split ``G_diamond`` of ``graph``.
+
+    Isolated vertices receive a single split copy (degree-0 gadget) so that
+    the vertex correspondence is total.
+    """
+    split = nx.Graph()
+    vertex_of: dict[int, SplitVertex] = {}
+    copies_of: dict[int, list[int]] = {}
+    port_of_edge: dict[tuple[int, int], int] = {}
+
+    next_id = 0
+    for v in sorted(graph.nodes()):
+        degree = graph.degree(v)
+        count = max(degree, 1)
+        ids = list(range(next_id, next_id + count))
+        next_id += count
+        copies_of[v] = ids
+        for index, node_id in enumerate(ids):
+            vertex_of[node_id] = SplitVertex(original=v, index=index)
+            split.add_node(node_id)
+        for a, b in _gadget_edges(count):
+            split.add_edge(ids[a], ids[b])
+
+    # Assign each incident edge of v to a distinct port (split copy of v).
+    for v in sorted(graph.nodes()):
+        neighbours = sorted(graph.neighbors(v))
+        for rank, u in enumerate(neighbours):
+            port_of_edge[(v, u)] = copies_of[v][rank % len(copies_of[v])]
+
+    for u, v in graph.edges():
+        split.add_edge(port_of_edge[(u, v)], port_of_edge[(v, u)])
+
+    return ExpanderSplit(
+        original=graph,
+        split=split,
+        vertex_of=vertex_of,
+        copies_of=copies_of,
+        port_of_edge=port_of_edge,
+    )

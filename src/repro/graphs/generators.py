@@ -1,0 +1,225 @@
+"""Deterministic and seeded graph generators used by the experiments.
+
+The paper's algorithms run on phi-expanders.  For reproducible experiments we
+need graph families whose conductance is well understood:
+
+* **Deterministic expanders**: circulant (shift) graphs, hypercubes, and the
+  Margulis-Gabber-Galil construction on the torus.  These require no
+  randomness at all, matching the deterministic spirit of the paper.
+* **Seeded random regular graphs**: the workhorse of the evaluation; a random
+  d-regular graph is an expander with high probability.  A seed makes runs
+  reproducible.
+* **General-graph workloads** for the k-clique application: Erdos-Renyi
+  graphs, planted-clique graphs, and "expander of expanders" graphs with a
+  planted sparse cut (used to exercise expander decomposition).
+
+All generators return graphs whose nodes are the integers ``0..n-1`` — the
+paper assumes unique IDs in ``[1, poly(n)]`` and most of the machinery
+(expander sorting, destination ranks) keys off the ID order, so a canonical
+integer labelling keeps everything simple and reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "circulant_expander",
+    "hypercube_graph",
+    "margulis_expander",
+    "random_regular_expander",
+    "weighted_expander",
+    "erdos_renyi_graph",
+    "planted_clique_graph",
+    "two_expander_graph",
+    "barbell_of_expanders",
+    "skewed_degree_expander",
+]
+
+
+def _relabel_to_integers(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to ``0..n-1`` preserving a deterministic sorted order."""
+    nodes = sorted(graph.nodes(), key=repr)
+    mapping = {node: index for index, node in enumerate(nodes)}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def circulant_expander(n: int, offsets: Sequence[int] = (1, 2, 3, 5)) -> nx.Graph:
+    """Deterministic circulant graph on ``n`` vertices with the given shift offsets.
+
+    Vertex ``i`` is adjacent to ``i +- s (mod n)`` for each offset ``s``.  With
+    a handful of co-prime offsets this family has constant conductance and
+    constant degree, making it the default deterministic expander in tests.
+    """
+    if n < 3:
+        raise ValueError("circulant expander needs at least 3 vertices")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for i in range(n):
+        for s in offsets:
+            graph.add_edge(i, (i + s) % n)
+    return graph
+
+
+def hypercube_graph(dimension: int) -> nx.Graph:
+    """The ``dimension``-dimensional hypercube on ``2^dimension`` vertices.
+
+    Degree ``dimension = log2 n`` and edge expansion 1; a classical
+    (mildly non-constant-degree) expander used by the general-graph reduction
+    experiments.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    return _relabel_to_integers(nx.hypercube_graph(dimension))
+
+
+def margulis_expander(m: int) -> nx.Graph:
+    """Margulis-Gabber-Galil expander on the ``m x m`` torus (n = m^2 vertices).
+
+    Each vertex ``(x, y)`` is connected to ``(x + y, y)``, ``(x - y, y)``,
+    ``(x, y + x)``, ``(x, y - x)``, ``(x + y + 1, y)`` ... (all mod m).  This
+    is a fully deterministic constant-degree expander family with a known
+    constant spectral gap.
+    """
+    if m < 2:
+        raise ValueError("m must be >= 2")
+    graph = nx.Graph()
+    for x in range(m):
+        for y in range(m):
+            graph.add_node((x, y))
+    for x in range(m):
+        for y in range(m):
+            neighbours = [
+                ((x + y) % m, y),
+                ((x - y) % m, y),
+                (x, (y + x) % m),
+                (x, (y - x) % m),
+                ((x + y + 1) % m, y),
+                ((x - y + 1) % m, y),
+                (x, (y + x + 1) % m),
+                (x, (y - x + 1) % m),
+            ]
+            for neighbour in neighbours:
+                if neighbour != (x, y):
+                    graph.add_edge((x, y), neighbour)
+    relabelled = nx.Graph()
+    mapping = {(x, y): x * m + y for x in range(m) for y in range(m)}
+    relabelled.add_nodes_from(range(m * m))
+    relabelled.add_edges_from((mapping[u], mapping[v]) for u, v in graph.edges())
+    return relabelled
+
+
+def random_regular_expander(n: int, degree: int = 8, seed: int = 0) -> nx.Graph:
+    """Seeded random ``degree``-regular graph (an expander with high probability).
+
+    Retries with incremented seeds until the sampled graph is connected, so
+    the returned graph is always usable as a routing substrate.
+    """
+    if n <= degree:
+        raise ValueError("n must exceed the degree")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph to exist")
+    attempt = 0
+    while True:
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return nx.convert_node_labels_to_integers(graph)
+        attempt += 1
+        if attempt > 32:
+            raise RuntimeError("failed to sample a connected regular graph")
+
+
+def weighted_expander(n: int, degree: int = 8, seed: int = 0, max_weight: int = 1000) -> nx.Graph:
+    """Random regular expander with deterministic pseudo-random edge weights.
+
+    Weights are derived from the edge endpoints with a fixed mixing function,
+    so the weighted graph is fully determined by ``(n, degree, seed)`` — this
+    is what the MST experiments (Corollary 1.3) run on.
+    """
+    graph = random_regular_expander(n, degree=degree, seed=seed)
+    for u, v in graph.edges():
+        a, b = (u, v) if u < v else (v, u)
+        weight = ((a * 2654435761 + b * 40503 + seed * 97) % max_weight) + 1
+        graph[u][v]["weight"] = weight
+    return graph
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """Seeded G(n, p) graph restricted to its largest connected component."""
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    if graph.number_of_nodes() == 0:
+        return graph
+    largest = max(nx.connected_components(graph), key=len)
+    return nx.convert_node_labels_to_integers(graph.subgraph(largest).copy())
+
+
+def planted_clique_graph(n: int, clique_size: int, p: float = 0.1, seed: int = 0) -> nx.Graph:
+    """G(n, p) with a planted clique on the first ``clique_size`` vertices.
+
+    Used by the k-clique enumeration experiments so there is a known dense
+    subgraph to find in addition to the background random cliques.
+    """
+    if clique_size > n:
+        raise ValueError("clique size cannot exceed n")
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            graph.add_edge(i, j)
+    if not nx.is_connected(graph):
+        nodes = sorted(graph.nodes())
+        for a, b in zip(nodes, nodes[1:]):
+            graph.add_edge(a, b)
+    return graph
+
+
+def two_expander_graph(n: int, bridge_edges: int = 2, degree: int = 8, seed: int = 0) -> nx.Graph:
+    """Two expanders of size ``n//2`` joined by a small number of bridge edges.
+
+    This graph has a planted sparse cut straight down the middle, which makes
+    it the canonical positive test case for expander decomposition: the
+    decomposition should cut the bridges and keep each side intact.
+    """
+    half = n // 2
+    left = random_regular_expander(half, degree=degree, seed=seed)
+    right = random_regular_expander(half, degree=degree, seed=seed + 1)
+    graph = nx.Graph()
+    graph.add_edges_from(left.edges())
+    graph.add_edges_from((u + half, v + half) for u, v in right.edges())
+    for i in range(bridge_edges):
+        graph.add_edge(i, half + i)
+    return graph
+
+
+def barbell_of_expanders(parts: int, part_size: int, degree: int = 6, seed: int = 0) -> nx.Graph:
+    """A chain of ``parts`` expanders, consecutive ones joined by one edge.
+
+    A stress-test instance for expander decomposition with many sparse cuts.
+    """
+    graph = nx.Graph()
+    offset = 0
+    for index in range(parts):
+        component = random_regular_expander(part_size, degree=degree, seed=seed + index)
+        graph.add_edges_from((u + offset, v + offset) for u, v in component.edges())
+        if index > 0:
+            graph.add_edge(offset - 1, offset)
+        offset += part_size
+    return graph
+
+
+def skewed_degree_expander(n: int, hub_count: int = 4, degree: int = 6, seed: int = 0) -> nx.Graph:
+    """An expander with a few high-degree hubs.
+
+    Produces a connected graph whose maximum degree is far above the average,
+    exercising the expander-split reduction of Appendix E (general graphs to
+    constant-degree graphs).
+    """
+    graph = random_regular_expander(n, degree=degree, seed=seed)
+    hubs = list(range(min(hub_count, n)))
+    for hub in hubs:
+        stride = max(2, n // (4 * max(hub_count, 1)))
+        for target in range(hub + 1, n, stride):
+            graph.add_edge(hub, target)
+    return graph

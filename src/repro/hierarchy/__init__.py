@@ -1,0 +1,29 @@
+"""Hierarchical decomposition of expanders (Section 3, Appendix A)."""
+
+from repro.hierarchy.best import (
+    BestVertexIndex,
+    best_counts_per_part,
+    build_best_index,
+    locate_best_rank,
+)
+from repro.hierarchy.builder import (
+    HierarchyParameters,
+    VirtualExpanderResult,
+    build_hierarchy,
+    embed_virtual_expander,
+)
+from repro.hierarchy.node import HierarchicalDecomposition, HierarchyNode, Part
+
+__all__ = [
+    "BestVertexIndex",
+    "best_counts_per_part",
+    "build_best_index",
+    "locate_best_rank",
+    "HierarchyParameters",
+    "VirtualExpanderResult",
+    "build_hierarchy",
+    "embed_virtual_expander",
+    "HierarchicalDecomposition",
+    "HierarchyNode",
+    "Part",
+]

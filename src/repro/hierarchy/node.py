@@ -1,0 +1,211 @@
+"""Hierarchy nodes and the hierarchical decomposition tree (Property 3.1).
+
+The decomposition ``T`` is a tree of vertex sets.  Each *good* node ``X``
+carries:
+
+* its virtual graph ``H_X`` (the root's virtual graph is ``G[X]`` itself,
+  deeper virtual graphs are unions of embedded matchings of max degree
+  ``O(log n)``);
+* the embedding ``f_X`` of ``H_X`` into the parent's virtual graph
+  ``H_{p(X)}``;
+* its partition into parts ``X*_i = X_i ∪ X'_i`` where ``X_i`` is the good
+  child (carrying its own virtual expander) and ``X'_i`` is the bad sibling
+  matched into ``X_i`` (Property 3.1(3));
+* the matching embedding ``f_{M_X}`` realising those ``X'_i -> X_i``
+  matchings inside ``H_X``;
+* after preprocessing, the node's *shuffler* (Definition 5.4).
+
+``Xbest`` (Definition 3.6) is the union of good leaf descendants; every
+routing destination is delegated to a best vertex, with at most
+``rho_best = max_X |X| / |Xbest|`` (Definition 3.7) destinations per best
+vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.cutmatching.shuffler import Shuffler
+from repro.embedding.embedding import Embedding, compose, identity_embedding
+
+__all__ = ["Part", "HierarchyNode", "HierarchicalDecomposition"]
+
+
+@dataclass
+class Part:
+    """One part ``X*_i = X_i ∪ X'_i`` of a good internal node.
+
+    Attributes:
+        index: the part index ``i`` (0-based).
+        good_vertices: ``X_i`` — vertices covered by the child's virtual expander.
+        bad_vertices: ``X'_i`` — leftover vertices matched into ``X_i``.
+        matching: map from each bad vertex to its good mate (Property 3.1(3)).
+        child: the good child hierarchy node built on ``X_i`` (None until built).
+    """
+
+    index: int
+    good_vertices: frozenset
+    bad_vertices: frozenset = frozenset()
+    matching: dict[Hashable, Hashable] = field(default_factory=dict)
+    child: Optional["HierarchyNode"] = None
+
+    @property
+    def vertices(self) -> frozenset:
+        """All vertices of the part (good and bad)."""
+        return self.good_vertices | self.bad_vertices
+
+    @property
+    def size(self) -> int:
+        return len(self.good_vertices) + len(self.bad_vertices)
+
+
+@dataclass
+class HierarchyNode:
+    """A good node of the hierarchical decomposition."""
+
+    vertices: frozenset
+    level: int
+    virtual_graph: nx.Graph
+    embedding_to_parent: Embedding
+    parent: Optional["HierarchyNode"] = None
+    parts: list[Part] = field(default_factory=list)
+    part_matching_embedding: Embedding = field(default_factory=Embedding)
+    shuffler: Optional[Shuffler] = None
+    is_leaf: bool = False
+    sorting_network_quality: int = 1
+    flatten_quality_cache: Optional[int] = None
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def children(self) -> list["HierarchyNode"]:
+        return [part.child for part in self.parts if part.child is not None]
+
+    def part_of_vertex(self) -> dict:
+        """Map each vertex of this node to the index of the part containing it."""
+        result: dict = {}
+        for part in self.parts:
+            for vertex in part.vertices:
+                result[vertex] = part.index
+        return result
+
+    def iter_subtree(self) -> Iterator["HierarchyNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    # -- best vertices (Definitions 3.6 / 3.7) ------------------------------
+
+    def best_vertices(self) -> list:
+        """``Xbest``: sorted union of good-leaf vertices in this subtree."""
+        if self.is_leaf:
+            return sorted(self.vertices)
+        collected: set = set()
+        for child in self.children:
+            collected.update(child.best_vertices())
+        return sorted(collected)
+
+    def best_ratio(self) -> float:
+        """``|X| / |Xbest|`` for this node (contributes to rho_best)."""
+        best = self.best_vertices()
+        if not best:
+            return float("inf")
+        return len(self.vertices) / len(best)
+
+    # -- embeddings ---------------------------------------------------------
+
+    def flatten_embedding(self) -> Embedding:
+        """The flatten embedding ``f^0_X`` of Definition 3.3 (H_X into the root graph).
+
+        Composes ``f_X`` with every ancestor's embedding.  The root's flatten
+        embedding is the identity on its own virtual graph.
+        """
+        if self.parent is None:
+            return identity_embedding(self.virtual_graph, name="f0-root")
+        flattened = self.embedding_to_parent
+        ancestor = self.parent
+        while ancestor is not None and ancestor.parent is not None:
+            flattened = compose(ancestor.embedding_to_parent, flattened)
+            ancestor = ancestor.parent
+        return flattened
+
+    def flatten_quality(self) -> int:
+        """Quality upper bound of ``f^0_X`` (Corollary 3.4 accounting).
+
+        Computed as the product of the per-level embedding qualities along the
+        path to the root; cached because it is read on every routing query.
+        """
+        if self.flatten_quality_cache is not None:
+            return self.flatten_quality_cache
+        quality = 1
+        node: Optional[HierarchyNode] = self
+        while node is not None and node.parent is not None:
+            quality *= max(1, node.embedding_to_parent.quality)
+            node = node.parent
+        self.flatten_quality_cache = quality
+        return quality
+
+    def virtual_diameter(self) -> int:
+        """Diameter of the node's virtual graph (used in round accounting)."""
+        if self.virtual_graph.number_of_nodes() <= 1:
+            return 0
+        if not nx.is_connected(self.virtual_graph):
+            return self.virtual_graph.number_of_nodes()
+        return nx.diameter(self.virtual_graph)
+
+
+@dataclass
+class HierarchicalDecomposition:
+    """The full decomposition: the root node plus global metadata.
+
+    Attributes:
+        root: the root good node ``W`` (covers >= 2/3 of the graph's vertices).
+        graph: the original base graph ``G``.
+        uncovered: vertices of ``G`` outside the root (``V \\ W``).
+        root_matching: map from each uncovered vertex to its mate in ``W``
+            (Lemma 3.5), with its path embedding in ``root_matching_embedding``.
+        epsilon: the tradeoff parameter the decomposition was built with.
+        build_rounds: CONGEST rounds charged for the construction (Thm 3.2).
+    """
+
+    root: HierarchyNode
+    graph: nx.Graph
+    uncovered: frozenset = frozenset()
+    root_matching: dict[Hashable, Hashable] = field(default_factory=dict)
+    root_matching_embedding: Embedding = field(default_factory=Embedding)
+    epsilon: float = 0.5
+    build_rounds: int = 0
+
+    def all_nodes(self) -> list[HierarchyNode]:
+        """All good nodes of the hierarchy in pre-order."""
+        return list(self.root.iter_subtree())
+
+    def levels(self) -> int:
+        """Number of levels ``ell(T)`` (root is level 0)."""
+        return 1 + max(node.level for node in self.all_nodes())
+
+    def leaves(self) -> list[HierarchyNode]:
+        return [node for node in self.all_nodes() if node.is_leaf]
+
+    def best_vertices(self) -> list:
+        """``Vbest`` of the whole decomposition, sorted by ID."""
+        return self.root.best_vertices()
+
+    def rho_best(self) -> float:
+        """``rho_best = max_X |X| / |Xbest|`` (Definition 3.7)."""
+        return max(node.best_ratio() for node in self.all_nodes())
+
+    def node_of_vertex(self, vertex: Hashable, level: int) -> Optional[HierarchyNode]:
+        """The good node at ``level`` whose vertex set contains ``vertex`` (if any)."""
+        for node in self.all_nodes():
+            if node.level == level and vertex in node.vertices:
+                return node
+        return None

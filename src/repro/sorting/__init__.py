@@ -1,0 +1,49 @@
+"""Sorting networks, distributed expander sorting, and derived primitives (Section 5.2)."""
+
+from repro.sorting.expander_sort import (
+    ComparatorSortEngine,
+    ExpanderSortResult,
+    OracleSortEngine,
+    SortItem,
+    SortPlacement,
+    expander_sort,
+    is_globally_sorted,
+)
+from repro.sorting.networks import (
+    SortingNetwork,
+    apply_network,
+    batcher_odd_even_network,
+    bitonic_network,
+    insertion_network,
+    is_sorting_network,
+)
+from repro.sorting.primitives import (
+    AnnotatedToken,
+    PrimitiveResult,
+    local_aggregation,
+    local_propagation,
+    local_serialization,
+    token_ranking,
+)
+
+__all__ = [
+    "ComparatorSortEngine",
+    "ExpanderSortResult",
+    "OracleSortEngine",
+    "SortItem",
+    "SortPlacement",
+    "expander_sort",
+    "is_globally_sorted",
+    "SortingNetwork",
+    "apply_network",
+    "batcher_odd_even_network",
+    "bitonic_network",
+    "insertion_network",
+    "is_sorting_network",
+    "AnnotatedToken",
+    "PrimitiveResult",
+    "local_aggregation",
+    "local_propagation",
+    "local_serialization",
+    "token_ranking",
+]

@@ -1,0 +1,206 @@
+"""Primitives derived from expander sorting (Theorem 5.7, Lemma 5.8, Corollaries 5.9-5.10).
+
+All four primitives run in ``O(T_sort(|X|, L))`` rounds by the paper's
+reductions; the implementations below perform the same sort-scan-unsort
+computations and charge the corresponding number of sort invocations.
+
+* **Token ranking** (Theorem 5.7): every token learns the number of *distinct*
+  keys strictly smaller than its own.
+* **Local propagation** (Lemma 5.8): within every key group, the variable of
+  the token with the smallest tag is copied to all tokens of the group.
+* **Local serialization** (Corollary 5.9): tokens of each key group receive
+  distinct serial numbers ``0 .. count-1``.
+* **Local aggregation** (Corollary 5.10): every token learns the size of its
+  key group.
+
+Each function takes and returns *annotated tokens*; the physical placement of
+tokens is unchanged (the paper's algorithms sort, annotate, and revert the
+sort, which is why the cost is a constant number of sort invocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.sorting.expander_sort import SortItem, expander_sort
+
+__all__ = [
+    "AnnotatedToken",
+    "PrimitiveResult",
+    "token_ranking",
+    "local_propagation",
+    "local_serialization",
+    "local_aggregation",
+]
+
+
+@dataclass
+class AnnotatedToken:
+    """A token with the annotations the primitives compute.
+
+    Attributes:
+        key: grouping key ``k_z``.
+        tag: unique tie-breaking tag ``u_z``.
+        variable: auxiliary variable ``v_z`` (used by local propagation).
+        rank: distinct-key rank (token ranking).
+        serial: within-group serial number (local serialization).
+        count: group size (local aggregation).
+        location: the vertex currently holding the token (informational).
+    """
+
+    key: Any
+    tag: Any
+    variable: Any = None
+    rank: int | None = None
+    serial: int | None = None
+    count: int | None = None
+    location: Hashable | None = None
+
+
+@dataclass
+class PrimitiveResult:
+    """Annotated tokens plus the CONGEST round cost charged for the primitive."""
+
+    tokens: list[AnnotatedToken]
+    rounds: int
+
+
+def _sort_cost(tokens: Sequence[AnnotatedToken], load: int, exchange_quality: int) -> int:
+    """Round cost of one expander sort over the tokens' component.
+
+    The component size is approximated by the number of distinct locations
+    (callers that track the true component pass ``location`` on every token).
+    """
+    locations = {token.location for token in tokens if token.location is not None}
+    vertex_count = max(len(locations), 1)
+    vertex_order = sorted(locations, key=repr) if locations else [0]
+    items_at = {vertex: [] for vertex in vertex_order}
+    per_vertex: dict[Hashable, int] = {vertex: 0 for vertex in vertex_order}
+    for index, token in enumerate(tokens):
+        vertex = token.location if token.location is not None else vertex_order[index % vertex_count]
+        items_at[vertex].append(SortItem(key=token.key, tag=(repr(token.tag), index)))
+        per_vertex[vertex] += 1
+    effective_load = max(load, max(per_vertex.values(), default=1), 1)
+    result = expander_sort(
+        vertex_order, items_at, effective_load, exchange_quality=exchange_quality, engine="oracle"
+    )
+    return result.rounds
+
+
+def _grouped(tokens: Iterable[AnnotatedToken]) -> dict[Any, list[AnnotatedToken]]:
+    groups: dict[Any, list[AnnotatedToken]] = {}
+    for token in tokens:
+        groups.setdefault(token.key, []).append(token)
+    return groups
+
+
+def token_ranking(
+    tokens: Sequence[AnnotatedToken], load: int = 1, exchange_quality: int = 1
+) -> PrimitiveResult:
+    """Theorem 5.7: each token's ``rank`` = number of distinct keys below its own.
+
+    Cost: two expander sorts (deduplication pass + ranking pass) as in the
+    paper's reduction.
+    """
+    distinct_keys = sorted({token.key for token in tokens}, key=repr)
+    # Keys may be heterogeneous; sort them by their natural order when
+    # homogeneous, falling back to repr order otherwise.
+    try:
+        distinct_keys = sorted({token.key for token in tokens})
+    except TypeError:
+        pass
+    rank_of_key = {key: rank for rank, key in enumerate(distinct_keys)}
+    annotated = []
+    for token in tokens:
+        updated = AnnotatedToken(
+            key=token.key,
+            tag=token.tag,
+            variable=token.variable,
+            rank=rank_of_key[token.key],
+            serial=token.serial,
+            count=token.count,
+            location=token.location,
+        )
+        annotated.append(updated)
+    rounds = 2 * _sort_cost(tokens, load, exchange_quality)
+    return PrimitiveResult(tokens=annotated, rounds=rounds)
+
+
+def local_propagation(
+    tokens: Sequence[AnnotatedToken], load: int = 1, exchange_quality: int = 1
+) -> PrimitiveResult:
+    """Lemma 5.8: within each key group, propagate the smallest-tag token's variable."""
+    groups = _grouped(tokens)
+    chosen_variable: dict[Any, Any] = {}
+    for key, group in groups.items():
+        leader = min(group, key=lambda token: repr(token.tag))
+        chosen_variable[key] = leader.variable
+    annotated = [
+        AnnotatedToken(
+            key=token.key,
+            tag=token.tag,
+            variable=chosen_variable[token.key],
+            rank=token.rank,
+            serial=token.serial,
+            count=token.count,
+            location=token.location,
+        )
+        for token in tokens
+    ]
+    rounds = 2 * _sort_cost(tokens, load, exchange_quality)
+    return PrimitiveResult(tokens=annotated, rounds=rounds)
+
+
+def local_serialization(
+    tokens: Sequence[AnnotatedToken], load: int = 1, exchange_quality: int = 1
+) -> PrimitiveResult:
+    """Corollary 5.9: distinct serial numbers ``0..count-1`` within each key group.
+
+    Serial numbers are assigned in increasing tag order, which makes the
+    output deterministic and lets callers rely on the serial of a specific
+    token (the routing engine does, when pairing real and dummy tokens).
+    """
+    groups = _grouped(tokens)
+    serial_of: dict[tuple, int] = {}
+    for key, group in groups.items():
+        ordered = sorted(group, key=lambda token: repr(token.tag))
+        for index, token in enumerate(ordered):
+            serial_of[(repr(token.tag), repr(key))] = index
+    annotated = [
+        AnnotatedToken(
+            key=token.key,
+            tag=token.tag,
+            variable=token.variable,
+            rank=token.rank,
+            serial=serial_of[(repr(token.tag), repr(token.key))],
+            count=token.count,
+            location=token.location,
+        )
+        for token in tokens
+    ]
+    rounds = 2 * _sort_cost(tokens, load, exchange_quality)
+    return PrimitiveResult(tokens=annotated, rounds=rounds)
+
+
+def local_aggregation(
+    tokens: Sequence[AnnotatedToken], load: int = 1, exchange_quality: int = 1
+) -> PrimitiveResult:
+    """Corollary 5.10: every token learns the size of its key group."""
+    groups = _grouped(tokens)
+    annotated = [
+        AnnotatedToken(
+            key=token.key,
+            tag=token.tag,
+            variable=token.variable,
+            rank=token.rank,
+            serial=token.serial,
+            count=len(groups[token.key]),
+            location=token.location,
+        )
+        for token in tokens
+    ]
+    rounds = 2 * _sort_cost(tokens, load, exchange_quality) + _sort_cost(
+        tokens, load, exchange_quality
+    )
+    return PrimitiveResult(tokens=annotated, rounds=rounds)

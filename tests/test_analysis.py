@@ -1,0 +1,100 @@
+"""Tests for the complexity predictions, experiment drivers, and report formatting."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    deterministic_single_instance_bound,
+    fit_polylog,
+    fit_power_law,
+    preprocessing_bound,
+    query_bound,
+)
+from repro.analysis.experiments import (
+    permutation_requests,
+    run_single_instance_comparison,
+    run_tradeoff_point,
+    shifted_destination,
+)
+from repro.analysis.reporting import format_table
+from repro.graphs.generators import circulant_expander
+
+
+def test_bounds_are_monotone_in_n():
+    for bound in (deterministic_single_instance_bound,):
+        assert bound(4096) > bound(256)
+    assert preprocessing_bound(4096, 0.5) > preprocessing_bound(256, 0.5)
+    assert query_bound(4096, 0.5) > query_bound(256, 0.5)
+
+
+def test_tradeoff_direction_of_the_bounds():
+    # Larger epsilon: preprocessing up (the n^eps term dominates for large n),
+    # query down (log^{1/eps}).
+    large_n = 2 ** 40
+    assert preprocessing_bound(large_n, 0.8) > preprocessing_bound(large_n, 0.3)
+    assert query_bound(4096, 0.8) < query_bound(4096, 0.3)
+
+
+def test_fit_power_law_recovers_exponent():
+    xs = [2.0, 4.0, 8.0, 16.0]
+    ys = [3 * x ** 1.5 for x in xs]
+    fit = fit_power_law(xs, ys)
+    assert fit.exponent == pytest.approx(1.5, abs=1e-6)
+    assert fit.coefficient == pytest.approx(3.0, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+    assert fit.predict(32.0) == pytest.approx(3 * 32 ** 1.5, rel=1e-6)
+
+
+def test_fit_power_law_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_power_law([1.0], [1.0])
+
+
+def test_fit_polylog_distinguishes_polylog_from_polynomial():
+    xs = [2 ** i for i in range(4, 10)]
+    polylog_ys = [(len(bin(x)) - 2) ** 3 for x in xs]
+    polynomial_ys = [x ** 1.0 for x in xs]
+    assert fit_polylog(xs, polylog_ys).exponent < fit_polylog(xs, polynomial_ys).exponent
+
+
+def test_shifted_destination_is_a_permutation():
+    for n in (16, 17, 18):
+        images = {shifted_destination(v, n, shift=1) for v in range(n)}
+        assert images == set(range(n))
+
+
+def test_permutation_requests_respect_the_load_bound():
+    graph = circulant_expander(24)
+    requests = permutation_requests(graph, load=2)
+    assert len(requests) == 48
+    per_source = {}
+    per_destination = {}
+    for request in requests:
+        per_source[request.source] = per_source.get(request.source, 0) + 1
+        per_destination[request.destination] = per_destination.get(request.destination, 0) + 1
+    assert max(per_source.values()) == 2
+    assert max(per_destination.values()) == 2
+
+
+def test_run_tradeoff_point_returns_consistent_measurements():
+    row = run_tradeoff_point(n=48, epsilon=0.6, load=1, queries=2, degree=6, seed=2)
+    assert row["all_delivered"]
+    assert row["preprocess_rounds"] > 0
+    assert row["mean_query_rounds"] > 0
+    assert row["amortized_rounds_per_query"] > row["mean_query_rounds"] / 2
+
+
+def test_run_single_instance_comparison_row_has_all_baselines():
+    row = run_single_instance_comparison(n=48, epsilon=0.6, load=1, degree=6, seed=2)
+    assert row["ours_delivered"]
+    for key in ("naive_rounds", "randomized_rounds", "cs20_predicted", "gks_predicted"):
+        assert row[key] > 0
+
+
+def test_format_table_alignment_and_values():
+    rows = [{"n": 64, "rounds": 1234.5678, "ok": True}, {"n": 128, "rounds": 8, "ok": False}]
+    text = format_table(rows, ["n", "rounds", "ok"])
+    lines = text.splitlines()
+    assert lines[0].startswith("n")
+    assert "yes" in text and "no" in text
+    assert len(lines) == 4
+    assert format_table([]) == "(no data)"

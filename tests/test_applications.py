@@ -1,0 +1,205 @@
+"""Tests for the applications: MST, expander decomposition, clique listing, equivalence, summarization."""
+
+import networkx as nx
+import pytest
+
+from repro.applications.clique import brute_force_cliques, enumerate_cliques
+from repro.applications.expander_decomposition import decompose
+from repro.applications.mst import boruvka_mst
+from repro.applications.sorting_equivalence import routing_via_sorting, sorting_via_routing
+from repro.applications.summarization import global_aggregate, top_k_frequent
+from repro.graphs.conductance import sweep_cut
+from repro.graphs.generators import (
+    barbell_of_expanders,
+    erdos_renyi_graph,
+    planted_clique_graph,
+    two_expander_graph,
+    weighted_expander,
+)
+
+
+# -- MST (Corollary 1.3) ---------------------------------------------------------------
+
+
+def test_boruvka_mst_matches_kruskal(weighted_graph):
+    result = boruvka_mst(weighted_graph, epsilon=0.5)
+    reference = nx.minimum_spanning_tree(weighted_graph)
+    assert result.total_weight == pytest.approx(reference.size(weight="weight"))
+    assert len(result.edges) == weighted_graph.number_of_nodes() - 1
+
+
+def test_boruvka_mst_edges_form_a_spanning_tree(weighted_graph):
+    result = boruvka_mst(weighted_graph, epsilon=0.5)
+    tree = nx.Graph()
+    tree.add_nodes_from(weighted_graph.nodes())
+    tree.add_edges_from(result.edges)
+    assert nx.is_connected(tree)
+    assert tree.number_of_edges() == tree.number_of_nodes() - 1
+
+
+def test_boruvka_mst_uses_logarithmically_many_phases_and_routing_queries(weighted_graph):
+    result = boruvka_mst(weighted_graph, epsilon=0.5)
+    import math
+
+    bound = 2 * math.ceil(math.log2(weighted_graph.number_of_nodes())) + 4
+    assert result.phases <= bound
+    assert result.routing_queries <= result.phases
+    assert result.rounds > 0
+
+
+def test_boruvka_mst_reuses_a_provided_router(weighted_graph, preprocessed_router):
+    # A router for a different graph must not be silently accepted.
+    from repro.core.router import ExpanderRouter
+
+    router = ExpanderRouter(weighted_graph, epsilon=0.5)
+    router.preprocess()
+    result = boruvka_mst(weighted_graph, router=router)
+    assert result.preprocessing_rounds == router.preprocess_ledger.total("preprocess")
+
+
+# -- expander decomposition --------------------------------------------------------------
+
+
+def test_decompose_cuts_the_planted_sparse_cut():
+    graph = two_expander_graph(64, bridge_edges=2, degree=6, seed=1)
+    decomposition = decompose(graph, phi=0.05)
+    assert len(decomposition.components) == 2
+    assert len(decomposition.crossing_edges) == 2
+    assert decomposition.removed_edge_fraction(graph) < 0.05
+
+
+def test_decompose_certifies_components_as_expanders():
+    graph = barbell_of_expanders(parts=3, part_size=20, degree=6, seed=2)
+    decomposition = decompose(graph, phi=0.05)
+    for component in decomposition.components:
+        if len(component) <= 4:
+            continue
+        subgraph = graph.subgraph(component)
+        assert sweep_cut(subgraph).conductance >= 0.05 - 1e-9
+
+
+def test_decompose_keeps_a_single_expander_whole(small_expander):
+    decomposition = decompose(small_expander, phi=0.05)
+    assert len(decomposition.components) == 1
+    assert decomposition.crossing_edges == []
+
+
+def test_decompose_partitions_all_vertices():
+    graph = erdos_renyi_graph(80, 0.08, seed=3)
+    decomposition = decompose(graph, phi=0.1)
+    covered = set()
+    for component in decomposition.components:
+        assert not (covered & component)
+        covered |= component
+    assert covered == set(graph.nodes())
+
+
+# -- k-clique enumeration (Corollary 1.4) ----------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [3, 4])
+def test_enumerate_cliques_matches_brute_force_on_planted_graph(k):
+    graph = planted_clique_graph(48, clique_size=5, p=0.08, seed=4)
+    listed = enumerate_cliques(graph, k=k)
+    expected = set(brute_force_cliques(graph, k))
+    assert set(listed.cliques) == expected
+    assert listed.rounds > 0
+
+
+def test_enumerate_cliques_on_sparse_cut_graph_counts_cross_cliques():
+    graph = two_expander_graph(40, bridge_edges=4, degree=6, seed=6)
+    # Add a triangle straddling the cut to make sure cross-component cliques exist.
+    graph.add_edge(0, 20)
+    graph.add_edge(0, 21)
+    graph.add_edge(20, 21)
+    listed = enumerate_cliques(graph, k=3)
+    expected = set(brute_force_cliques(graph, 3))
+    assert set(listed.cliques) == expected
+    assert (0, 20, 21) in set(listed.cliques)
+
+
+def test_enumerate_cliques_rejects_k_below_three():
+    with pytest.raises(ValueError):
+        enumerate_cliques(nx.complete_graph(4), k=2)
+
+
+def test_enumerate_cliques_round_cost_grows_with_n():
+    small = enumerate_cliques(planted_clique_graph(32, 4, p=0.1, seed=1), k=3)
+    large = enumerate_cliques(planted_clique_graph(96, 4, p=0.1, seed=1), k=3)
+    assert large.rounds >= small.rounds
+
+
+# -- routing <-> sorting equivalence (Appendix F) ----------------------------------------------
+
+
+def _trivial_routing_oracle(demands):
+    delivered = {}
+    for origin, pairs in demands.items():
+        for destination, item in pairs:
+            delivered.setdefault(destination, []).append(item)
+    return delivered
+
+
+def _trivial_sorting_oracle(keyed):
+    vertices = sorted(keyed.keys())
+    everything = sorted((pair for pairs in keyed.values() for pair in pairs), key=lambda p: p[0])
+    per_vertex = max(1, -(-len(everything) // len(vertices)))
+    return {
+        vertex: everything[i * per_vertex: (i + 1) * per_vertex]
+        for i, vertex in enumerate(vertices)
+    }
+
+
+def test_sorting_via_routing_sorts_and_uses_one_call_per_layer():
+    vertices = list(range(8))
+    items_at = {v: [((v * 5) % 7, f"item-{v}-{s}") for s in range(2)] for v in vertices}
+    record = sorting_via_routing(items_at, _trivial_routing_oracle, load=2)
+    flat_keys = [key for v in vertices for key, _ in record.placement[v]]
+    assert flat_keys == sorted(flat_keys)
+    assert record.routing_calls == record.network_depth
+    total_items = sum(len(record.placement[v]) for v in vertices)
+    assert total_items == 16
+
+
+def test_routing_via_sorting_delivers_every_token_with_constant_calls():
+    vertices = list(range(8))
+    tokens_at = {v: [((v * 3) % 8, f"token-{v}")] for v in vertices}
+    record = routing_via_sorting(tokens_at, _trivial_sorting_oracle, load=1)
+    assert record.sorting_calls == 3
+    for v in vertices:
+        assert f"token-{v}" in record.delivered[(v * 3) % 8]
+
+
+def test_routing_via_sorting_handles_multiple_tokens_per_destination():
+    vertices = list(range(6))
+    tokens_at = {v: [(0, f"a-{v}"), (5, f"b-{v}")] for v in vertices}
+    record = routing_via_sorting(tokens_at, _trivial_sorting_oracle, load=2)
+    assert sorted(record.delivered[0]) == sorted(f"a-{v}" for v in vertices)
+    assert sorted(record.delivered[5]) == sorted(f"b-{v}" for v in vertices)
+
+
+# -- data summarization ------------------------------------------------------------------------
+
+
+def test_top_k_frequent_returns_true_top_items():
+    items_at = {v: [v % 4, v % 2] for v in range(32)}
+    result = top_k_frequent(items_at, k=2)
+    # Item 0 appears 8 (v%4) + 16 (v%2) = 24 times; item 1 appears 8 + 16 = 24.
+    top_items = dict(result.top_items)
+    assert top_items[0] == 24 and top_items[1] == 24
+    assert result.rounds > 0
+
+
+def test_top_k_frequent_scales_rounds_with_load():
+    light = top_k_frequent({v: [v % 3] for v in range(16)}, k=1)
+    heavy = top_k_frequent({v: [v % 3] * 4 for v in range(16)}, k=1)
+    assert heavy.rounds > light.rounds
+
+
+def test_global_aggregate_operations():
+    values = {v: v for v in range(10)}
+    assert global_aggregate(values, "sum").value == 45
+    assert global_aggregate(values, "max").value == 9
+    assert global_aggregate(values, "min").value == 0
+    with pytest.raises(ValueError):
+        global_aggregate(values, "median")

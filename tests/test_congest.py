@@ -1,0 +1,146 @@
+"""Tests for the CONGEST simulator: network, primitives, and the path scheduler."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import Mailbox, NodeAlgorithm, NodeState, Runner
+from repro.congest.network import BandwidthExceeded, Network
+from repro.congest.primitives import (
+    assign_ranks,
+    broadcast_value,
+    build_bfs_tree,
+    convergecast_sum,
+    elect_leader,
+)
+from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
+from repro.graphs.conductance import diameter_upper_bound, estimate_conductance
+
+
+# -- network ------------------------------------------------------------------
+
+
+def test_network_rejects_non_adjacent_send():
+    network = Network(nx.path_graph(3))
+    with pytest.raises(ValueError):
+        network.send(0, 2, "x")
+
+
+def test_network_enforces_one_message_per_edge_per_round():
+    network = Network(nx.path_graph(3))
+    network.send(0, 1, "first")
+    with pytest.raises(BandwidthExceeded):
+        network.send(0, 1, "second")
+    network.deliver()
+    network.send(0, 1, "next round is fine")
+
+
+def test_network_enforces_message_word_budget():
+    network = Network(nx.path_graph(2), words_per_message=2)
+    with pytest.raises(BandwidthExceeded):
+        network.send(0, 1, (1, 2, 3, 4, 5))
+
+
+def test_network_delivers_to_inbox_and_counts():
+    network = Network(nx.cycle_graph(4))
+    network.broadcast_to_neighbors(0, "hello")
+    network.deliver()
+    assert len(network.inbox(1)) == 1
+    assert network.inbox(1)[0].payload == "hello"
+    assert network.total_messages == 2
+    assert network.current_round == 1
+
+
+# -- node algorithms -------------------------------------------------------------
+
+
+class _EchoOnce(NodeAlgorithm):
+    """Every node sends its id once and halts after hearing from all neighbours."""
+
+    def initialize(self, state: NodeState, mailbox: Mailbox) -> None:
+        state.memory["heard"] = set()
+        mailbox.broadcast(("id", state.node))
+
+    def on_round(self, state, inbox, mailbox) -> None:
+        for message in inbox:
+            state.memory["heard"].add(message.payload[1])
+        if len(state.memory["heard"]) >= len(mailbox.neighbors()):
+            state.halt()
+
+
+def test_runner_completes_simple_algorithm():
+    network = Network(nx.cycle_graph(6))
+    result = Runner(network, _EchoOnce()).run()
+    assert result.completed
+    assert result.rounds <= 3
+    for node in range(6):
+        assert result.memory_of(node, "heard") == set(nx.cycle_graph(6).neighbors(node))
+
+
+# -- primitives -------------------------------------------------------------------
+
+
+def test_bfs_tree_depths_match_networkx(small_expander):
+    bfs = build_bfs_tree(small_expander, root=0)
+    reference = nx.single_source_shortest_path_length(small_expander, 0)
+    assert bfs.depth == reference
+    assert bfs.parent[0] is None
+
+
+def test_bfs_round_count_is_near_diameter(small_expander):
+    bfs = build_bfs_tree(small_expander, root=0)
+    diameter = nx.diameter(small_expander)
+    assert bfs.rounds <= 3 * diameter + 4
+
+
+def test_broadcast_reaches_everyone(small_expander):
+    received, rounds = broadcast_value(small_expander, 0, "payload")
+    assert set(received) == set(small_expander.nodes())
+    assert all(value == "payload" for value in received.values())
+    assert rounds >= nx.diameter(small_expander)
+
+
+def test_convergecast_sum(small_expander):
+    values = {v: 1.0 for v in small_expander.nodes()}
+    total, rounds = convergecast_sum(small_expander, 0, values)
+    assert total == small_expander.number_of_nodes()
+    assert rounds > 0
+
+
+def test_leader_election_picks_minimum_id(small_expander):
+    leader, _ = elect_leader(small_expander)
+    assert leader == min(small_expander.nodes())
+
+
+def test_assign_ranks_matches_sorted_order(small_expander):
+    ranks, _ = assign_ranks(small_expander)
+    ordered = sorted(small_expander.nodes())
+    assert all(ranks[v] == i for i, v in enumerate(ordered))
+
+
+# -- scheduler ---------------------------------------------------------------------
+
+
+def test_scheduler_delivers_all_tokens_and_respects_fact_2_2():
+    # Ten tokens all crossing the same middle edge of a path.
+    path = list(range(6))
+    tokens = [ScheduledToken(token_id=i, path=tuple(path)) for i in range(10)]
+    result = schedule_tokens_along_paths(tokens)
+    assert result.congestion == 10
+    assert result.dilation == 5
+    assert result.rounds <= result.quality_squared_bound
+    assert all(round_ >= 1 for round_ in result.arrival_round.values())
+
+
+def test_scheduler_handles_disjoint_paths_in_dilation_rounds():
+    tokens = [ScheduledToken(token_id=i, path=(i * 10, i * 10 + 1, i * 10 + 2)) for i in range(5)]
+    result = schedule_tokens_along_paths(tokens)
+    assert result.rounds == 2
+    assert result.congestion == 1
+
+
+def test_scheduler_empty_input():
+    result = schedule_tokens_along_paths([])
+    assert result.rounds == 0
+    assert result.quality == 0

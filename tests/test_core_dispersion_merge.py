@@ -1,0 +1,148 @@
+"""Tests for dispersion (Lemma 6.2 / Definition 6.1) and the Task 3 meet-in-the-middle merge."""
+
+import pytest
+
+from repro.core.cost import CostLedger
+from repro.core.dispersion import DispersionState, disperse
+from repro.core.merge import solve_task3
+from repro.core.tokens import Token
+from repro.cutmatching.game import build_shuffler
+from repro.graphs.generators import random_regular_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def prepared_root():
+    graph = random_regular_expander(96, degree=8, seed=7)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=0.5))
+    root = decomposition.root
+    parts = [sorted(part.vertices) for part in root.parts]
+    root.shuffler = build_shuffler(root.virtual_graph, parts, psi=0.1)
+    return decomposition, root
+
+
+# -- dispersion state ---------------------------------------------------------------
+
+
+def test_dispersion_state_queues_and_pops_in_fifo_order():
+    state = DispersionState(3)
+    state.add(0, "m", "a")
+    state.add(0, "m", "b")
+    assert state.count(0, "m") == 2
+    assert state.pop_front(0, "m", 1) == ["a"]
+    state.push_back(1, "m", ["a"])
+    assert state.count(1, "m") == 1
+    assert state.part_load(0) == 1
+
+
+def test_disperse_spreads_marks_near_uniformly(prepared_root):
+    _, root = prepared_root
+    shuffler = root.shuffler
+    t = len(root.parts)
+    part_sizes = [part.size for part in root.parts]
+    state = DispersionState(t)
+    # All tokens of every mark start concentrated on part 0: the worst case.
+    per_mark = 30
+    for mark in range(t):
+        for index in range(per_mark):
+            state.add(0, mark, f"tok-{mark}-{index}")
+    stats = disperse(state, shuffler, part_sizes, load=per_mark, flatten_quality=1)
+    assert stats.iterations == len(shuffler)
+    # Definition 6.1 window: the overwhelming majority of (part, mark) cells
+    # must hold close to per_mark / t tokens.
+    assert stats.window_fraction >= 0.9
+    for mark in range(t):
+        assert stats.mark_totals[mark] == per_mark  # conservation
+    assert stats.rounds > 0
+
+
+def test_disperse_preserves_every_item(prepared_root):
+    _, root = prepared_root
+    t = len(root.parts)
+    state = DispersionState(t)
+    items = [f"item-{i}" for i in range(50)]
+    for index, item in enumerate(items):
+        state.add(index % t, "mark", item)
+    disperse(state, root.shuffler, [part.size for part in root.parts], 4, 1)
+    recovered = [item for part in range(t) for item in state.items(part, "mark")]
+    assert sorted(recovered) == sorted(items)
+
+
+def test_disperse_without_matchings_is_a_no_op():
+    from repro.cutmatching.shuffler import Shuffler
+
+    state = DispersionState(2)
+    state.add(0, "m", "x")
+    empty = Shuffler(part_count=2, part_of={})
+    stats = disperse(state, empty, [1, 1], 1, 1)
+    assert state.count(0, "m") == 1
+    assert stats.rounds == 0
+
+
+# -- Task 3 (solve_task3) -------------------------------------------------------------
+
+
+def _task3_tokens(root, load):
+    """A legal Task 3 instance: every vertex sends `load` tokens to random-ish parts."""
+    part_of = root.part_of_vertex()
+    t = len(root.parts)
+    tokens = []
+    token_id = 0
+    for vertex in sorted(root.vertices):
+        for slot in range(load):
+            token = Token(token_id=token_id, source=vertex, destination=vertex)
+            token.part_mark = (hash((vertex, slot)) % t + t) % t
+            # Deterministic alternative to hash(): spread by id and slot.
+            token.part_mark = (vertex * 7 + slot * 13) % t
+            tokens.append(token)
+            token_id += 1
+    return tokens
+
+
+def test_solve_task3_places_every_token_in_its_marked_part(prepared_root):
+    _, root = prepared_root
+    ledger = CostLedger()
+    tokens = _task3_tokens(root, load=2)
+    result = solve_task3(root, tokens, load=2, ledger=ledger)
+    part_of = root.part_of_vertex()
+    for token in tokens:
+        assigned = result.assignments[token.token_id]
+        assert part_of[assigned] == token.part_mark
+    assert ledger.total() > 0
+    assert result.rounds > 0
+
+
+def test_solve_task3_respects_the_two_l_vertex_load_bound(prepared_root):
+    _, root = prepared_root
+    ledger = CostLedger()
+    load = 2
+    tokens = _task3_tokens(root, load=load)
+    result = solve_task3(root, tokens, load=load, ledger=ledger)
+    assert result.max_vertex_load <= 2 * load
+
+
+def test_solve_task3_dummy_tokens_dominate_real_tokens(prepared_root):
+    # Lemma 6.4: with 2L dummies per vertex, fallback placements are rare.
+    _, root = prepared_root
+    ledger = CostLedger()
+    tokens = _task3_tokens(root, load=2)
+    result = solve_task3(root, tokens, load=2, ledger=ledger)
+    assert result.fallback_assignments <= len(tokens) * 0.05
+
+
+def test_solve_task3_requires_a_shuffler(prepared_root):
+    decomposition, root = prepared_root
+    bare = build_hierarchy(decomposition.graph, HierarchyParameters(epsilon=0.5))
+    token = Token(token_id=0, source=min(bare.root.vertices), destination=0)
+    token.part_mark = 0
+    with pytest.raises(RuntimeError):
+        solve_task3(bare.root, [token], load=1, ledger=CostLedger())
+
+
+def test_solve_task3_rejects_tokens_outside_the_node(prepared_root):
+    _, root = prepared_root
+    token = Token(token_id=0, source=10**9, destination=0)
+    token.part_mark = 0
+    token.current_vertex = 10**9
+    with pytest.raises(ValueError):
+        solve_task3(root, [token], load=1, ledger=CostLedger())

@@ -1,0 +1,117 @@
+"""Tests for the general-graph reduction (Appendix E) and the routing baselines."""
+
+import pytest
+
+from repro.baselines.cs20_model import (
+    RebuildPerQueryRouter,
+    cs20_predicted_rounds,
+    gks_predicted_rounds,
+)
+from repro.baselines.direct_routing import route_directly
+from repro.baselines.randomized_gks import route_randomized
+from repro.core.general import GeneralGraphRouter
+from repro.core.tokens import RoutingRequest
+from repro.graphs.generators import circulant_expander, skewed_degree_expander
+
+
+# -- general-graph router (Appendix E) ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return skewed_degree_expander(48, hub_count=2, degree=6, seed=5)
+
+
+def test_general_router_delivers_degree_proportional_loads(skewed_graph):
+    router = GeneralGraphRouter(skewed_graph, epsilon=0.5)
+    router.preprocess()
+    n = skewed_graph.number_of_nodes()
+    # Hubs send several tokens (proportional to their degree), others send one.
+    requests = []
+    for vertex in sorted(skewed_graph.nodes()):
+        copies = 1 + skewed_graph.degree(vertex) // 12
+        for copy in range(copies):
+            requests.append(
+                RoutingRequest(source=vertex, destination=(vertex * 5 + copy + 1) % n)
+            )
+    outcome = router.route(requests)
+    assert outcome.delivered == outcome.total_tokens
+
+
+def test_general_router_split_graph_is_constant_degree(skewed_graph):
+    router = GeneralGraphRouter(skewed_graph)
+    max_split_degree = max(degree for _, degree in router.split.split.degree())
+    max_original_degree = max(degree for _, degree in skewed_graph.degree())
+    assert max_split_degree < max_original_degree
+    assert max_split_degree <= 10
+
+
+# -- naive baseline ------------------------------------------------------------------
+
+
+def test_direct_routing_delivers_everything(small_expander):
+    n = small_expander.number_of_nodes()
+    requests = [RoutingRequest(source=v, destination=(v + 7) % n) for v in small_expander.nodes()]
+    outcome = route_directly(small_expander, requests)
+    assert outcome.delivered == n
+    assert outcome.rounds >= 1
+    assert outcome.congestion >= 1
+    for index, request in enumerate(
+        sorted(requests, key=lambda r: (repr(r.source), repr(r.destination)))
+    ):
+        assert outcome.final_positions[index] == request.destination
+
+
+def test_direct_routing_congestion_grows_with_load(small_expander):
+    n = small_expander.number_of_nodes()
+    light = [RoutingRequest(source=v, destination=(v + 1) % n) for v in small_expander.nodes()]
+    heavy = light + [
+        RoutingRequest(source=v, destination=(v + n // 2) % n) for v in small_expander.nodes()
+    ]
+    assert route_directly(small_expander, heavy).rounds >= route_directly(small_expander, light).rounds
+
+
+# -- randomized baseline ----------------------------------------------------------------
+
+
+def test_randomized_routing_is_seed_reproducible(small_expander):
+    n = small_expander.number_of_nodes()
+    requests = [RoutingRequest(source=v, destination=(v + 9) % n) for v in small_expander.nodes()]
+    a = route_randomized(small_expander, requests, seed=3)
+    b = route_randomized(small_expander, requests, seed=3)
+    assert a.rounds == b.rounds
+    assert a.delivered == n
+    assert a.walk_steps >= 1
+
+
+def test_randomized_routing_different_seeds_may_differ(small_expander):
+    n = small_expander.number_of_nodes()
+    requests = [RoutingRequest(source=v, destination=(v + 9) % n) for v in small_expander.nodes()]
+    rounds = {route_randomized(small_expander, requests, seed=s).rounds for s in range(4)}
+    assert len(rounds) >= 1  # sanity; usually > 1, but never an error
+
+
+# -- CS20 / GKS comparators ------------------------------------------------------------
+
+
+def test_predicted_bounds_are_increasing_and_ordered():
+    for n in (256, 1024, 4096):
+        assert cs20_predicted_rounds(4 * n) > cs20_predicted_rounds(n)
+        assert gks_predicted_rounds(4 * n) > gks_predicted_rounds(n)
+    # Asymptotically CS20's exponent dominates GKS's.
+    assert cs20_predicted_rounds(2**20) > gks_predicted_rounds(2**20)
+
+
+def test_rebuild_per_query_router_is_correct_but_more_expensive():
+    graph = circulant_expander(48)
+    n = graph.number_of_nodes()
+    requests = [RoutingRequest(source=v, destination=(v + 5) % n) for v in graph.nodes()]
+    rebuild = RebuildPerQueryRouter(graph, epsilon=0.5)
+    outcome = rebuild.route(requests)
+    assert outcome.all_delivered
+    from repro.core.router import ExpanderRouter
+
+    ours = ExpanderRouter(graph, epsilon=0.5)
+    ours.preprocess()
+    reused = ours.route(requests)
+    assert outcome.query_rounds > reused.query_rounds

@@ -1,0 +1,200 @@
+"""End-to-end tests for the ExpanderRouter (Theorem 1.1, Corollary 1.2) and leaf routing."""
+
+import networkx as nx
+import pytest
+
+from repro.core.cost import CostLedger
+from repro.core.leaf import route_in_leaf
+from repro.core.router import ExpanderRouter
+from repro.core.tokens import RoutingRequest, Token
+from repro.graphs.generators import circulant_expander, random_regular_expander
+
+
+def _permutation_requests(graph, load):
+    n = graph.number_of_nodes()
+    requests = []
+    for shift in range(1, load + 1):
+        step = 3 if n % 3 else 1
+        for vertex in sorted(graph.nodes()):
+            requests.append(
+                RoutingRequest(source=vertex, destination=(step * vertex + 7 * shift) % n)
+            )
+    return requests
+
+
+# -- construction guards ---------------------------------------------------------
+
+
+def test_router_rejects_disconnected_graph():
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (2, 3)])
+    with pytest.raises(ValueError):
+        ExpanderRouter(graph)
+
+
+def test_router_rejects_high_degree_graph():
+    star = nx.star_graph(200)
+    with pytest.raises(ValueError):
+        ExpanderRouter(star)
+
+
+# -- preprocessing ------------------------------------------------------------------
+
+
+def test_preprocess_builds_shufflers_for_every_internal_node(preprocessed_router):
+    summary_nodes = preprocessed_router.decomposition.all_nodes()
+    for node in summary_nodes:
+        if not node.is_leaf and len(node.parts) > 1:
+            assert node.shuffler is not None
+            assert node.shuffler.verify_mixing(len(node.parts))
+
+
+def test_preprocess_reports_positive_round_cost(preprocessed_router):
+    assert preprocessed_router.preprocess_ledger.total("preprocess") > 0
+    breakdown = preprocessed_router.preprocess_ledger.breakdown()
+    assert any("shuffler" in key for key in breakdown)
+    assert any("hierarchy" in key for key in breakdown)
+
+
+# -- routing correctness ----------------------------------------------------------------
+
+
+def test_route_delivers_a_permutation(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=1)
+    outcome = preprocessed_router.route(requests)
+    assert outcome.all_delivered
+    assert outcome.total_tokens == graph.number_of_nodes()
+    assert outcome.query_rounds > 0
+
+
+def test_route_delivers_higher_load_instances(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=3)
+    outcome = preprocessed_router.route(requests)
+    assert outcome.all_delivered
+    assert outcome.load == 3
+
+
+def test_route_preserves_payloads(preprocessed_router):
+    graph = preprocessed_router.graph
+    n = graph.number_of_nodes()
+    requests = [
+        RoutingRequest(source=v, destination=(v + 1) % n, payload=f"payload-{v}")
+        for v in graph.nodes()
+    ]
+    outcome = preprocessed_router.route(requests)
+    assert outcome.all_delivered
+    for token in outcome.tokens:
+        assert token.payload == f"payload-{token.source}"
+        assert token.current_vertex == (token.source + 1) % n
+
+
+def test_route_is_deterministic(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=2)
+    first = preprocessed_router.route(requests)
+    second = preprocessed_router.route(requests)
+    assert first.query_rounds == second.query_rounds
+    assert [t.current_vertex for t in first.tokens] == [t.current_vertex for t in second.tokens]
+
+
+def test_route_rejects_overloaded_instance(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = [RoutingRequest(source=0, destination=1) for _ in range(3)]
+    with pytest.raises(ValueError):
+        preprocessed_router.route(requests, load=1)
+
+
+def test_route_handles_self_addressed_tokens(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = [RoutingRequest(source=v, destination=v) for v in graph.nodes()]
+    outcome = preprocessed_router.route(requests)
+    assert outcome.all_delivered
+
+
+def test_route_auto_preprocesses_when_needed():
+    graph = circulant_expander(48)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    requests = [RoutingRequest(source=v, destination=(v + 5) % 48) for v in graph.nodes()]
+    outcome = router.route(requests)
+    assert outcome.all_delivered
+    assert router.preprocessed
+    assert outcome.preprocessing_rounds > 0
+    assert outcome.total_rounds_including_preprocessing > outcome.query_rounds
+
+
+def test_query_rounds_exclude_preprocessing(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=1)
+    outcome = preprocessed_router.route(requests)
+    assert outcome.preprocessing_rounds == preprocessed_router.preprocess_ledger.total("preprocess")
+    assert outcome.query_rounds < outcome.total_rounds_including_preprocessing
+
+
+def test_query_round_breakdown_contains_expected_phases(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=1)
+    outcome = preprocessed_router.route(requests)
+    assert any("id-translation" in key for key in outcome.breakdown)
+    assert any("task3" in key for key in outcome.breakdown)
+
+
+# -- preprocessing/query tradeoff shape (Theorem 1.1) -------------------------------------
+
+
+def test_larger_epsilon_gives_cheaper_queries():
+    graph = random_regular_expander(96, degree=8, seed=7)
+    shallow = ExpanderRouter(graph, epsilon=0.8)
+    shallow.preprocess()
+    deep = ExpanderRouter(graph, epsilon=0.34)
+    deep.preprocess()
+    requests = _permutation_requests(graph, load=1)
+    shallow_outcome = shallow.route(requests)
+    deep_outcome = deep.route(requests)
+    assert shallow_outcome.all_delivered and deep_outcome.all_delivered
+    assert shallow_outcome.query_rounds <= deep_outcome.query_rounds
+
+
+def test_reusing_preprocessing_beats_rebuilding(preprocessed_router):
+    graph = preprocessed_router.graph
+    requests = _permutation_requests(graph, load=1)
+    queries = 4
+    reused_total = queries * preprocessed_router.route(requests).query_rounds
+    rebuilt_total = queries * (
+        preprocessed_router.route(requests).query_rounds
+        + preprocessed_router.preprocess_ledger.total("preprocess")
+    )
+    assert reused_total < rebuilt_total
+
+
+# -- leaf routing (Lemma 6.5) -----------------------------------------------------------
+
+
+def test_route_in_leaf_places_tokens_by_marker(preprocessed_router):
+    leaf = preprocessed_router.decomposition.leaves()[0]
+    best = sorted(leaf.vertices)
+    tokens = []
+    for index, vertex in enumerate(best):
+        token = Token(token_id=index, source=vertex, destination=vertex)
+        token.destination_marker = (index + 1) % len(best)
+        tokens.append(token)
+    ledger = CostLedger()
+    result = route_in_leaf(leaf, tokens, load=1, ledger=ledger)
+    for token in tokens:
+        assert result.placements[token.token_id] == best[token.destination_marker]
+    assert result.rounds > 0
+    assert ledger.total() == result.rounds
+
+
+def test_route_in_leaf_rejects_internal_nodes_and_bad_markers(preprocessed_router):
+    root = preprocessed_router.decomposition.root
+    token = Token(token_id=0, source=0, destination=0)
+    token.destination_marker = 0
+    with pytest.raises(ValueError):
+        route_in_leaf(root, [token], load=1, ledger=CostLedger())
+    leaf = preprocessed_router.decomposition.leaves()[0]
+    bad = Token(token_id=1, source=0, destination=0)
+    bad.destination_marker = 10**6
+    with pytest.raises(ValueError):
+        route_in_leaf(leaf, [bad], load=1, ledger=CostLedger())

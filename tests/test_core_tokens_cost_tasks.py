@@ -1,0 +1,138 @@
+"""Tests for tokens/configurations, the cost ledger, and the task validators."""
+
+import pytest
+
+from repro.core.cost import CostLedger, send_round_cost, sort_round_cost, sorting_network_depth
+from repro.core.tasks import Task1Instance, Task2Instance, Task3Instance
+from repro.core.tokens import RoutingRequest, Token, TokenConfiguration, tokens_from_requests
+
+
+# -- tokens ------------------------------------------------------------------------
+
+
+def test_tokens_from_requests_assigns_deterministic_ids():
+    requests = [RoutingRequest(source=2, destination=5), RoutingRequest(source=1, destination=3)]
+    tokens = tokens_from_requests(requests)
+    assert [token.source for token in tokens] == [1, 2]
+    assert [token.token_id for token in tokens] == [0, 1]
+    assert tokens == tokens_from_requests(list(reversed(requests)))
+
+
+def test_token_starts_at_source_and_tracks_delivery():
+    token = Token(token_id=0, source=3, destination=7)
+    assert token.current_vertex == 3
+    assert not token.delivered
+    token.move_to(7, phase="direct")
+    assert token.delivered
+    assert token.trace == ["direct"]
+
+
+def test_token_configuration_moves_and_loads():
+    tokens = [Token(token_id=i, source=0, destination=i) for i in range(3)]
+    config = TokenConfiguration(vertices=range(4), tokens=tokens)
+    assert config.load(0) == 3
+    config.move(tokens[0], 2)
+    assert config.load(0) == 2
+    assert config.load(2) == 1
+    assert config.max_load() == 2
+    assert len(config) == 3
+
+
+def test_token_configuration_destination_load_checks():
+    tokens = [Token(token_id=i, source=i, destination=0) for i in range(3)]
+    config = TokenConfiguration(vertices=range(3), tokens=tokens)
+    assert config.check_source_load(1)
+    assert not config.check_destination_load(2)
+    assert config.check_destination_load(3)
+    assert not config.all_delivered()
+
+
+# -- cost ledger --------------------------------------------------------------------
+
+
+def test_cost_ledger_accumulates_and_nests_phases():
+    ledger = CostLedger()
+    ledger.charge("setup", 10)
+    with ledger.phase("query"):
+        ledger.charge("sort", 5)
+        with ledger.phase("task3"):
+            ledger.charge("disperse", 7)
+    assert ledger.total() == 22
+    assert ledger.total("query") == 12
+    assert ledger.phases["query/task3/disperse"] == 7
+
+
+def test_cost_ledger_rejects_negative_charge_and_merges():
+    ledger = CostLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("x", -1)
+    other = CostLedger()
+    other.charge("a", 3)
+    ledger.merge(other, prefix="sub/")
+    assert ledger.phases["sub/a"] == 3
+
+
+def test_sorting_network_depth_is_monotone_polylog():
+    assert sorting_network_depth(1) == 1
+    assert sorting_network_depth(1024) == 55  # 10 * 11 / 2
+    assert sorting_network_depth(2048) > sorting_network_depth(1024)
+
+
+def test_round_cost_formulas_scale_as_documented():
+    assert sort_round_cost(64, 2, 3) == 2 * 2 * sorting_network_depth(64) * 9
+    assert send_round_cost(4, 5) == 4 * 25
+    assert send_round_cost(0, 0) == 1  # minimum one round
+
+
+# -- task validators -------------------------------------------------------------------
+
+
+def _tokens(pairs):
+    return [
+        Token(token_id=i, source=src, destination=dst) for i, (src, dst) in enumerate(pairs)
+    ]
+
+
+def test_task1_validator_accepts_legal_instance():
+    tokens = _tokens([(0, 1), (1, 2), (2, 0)])
+    instance = Task1Instance(vertices=[0, 1, 2], tokens=tokens, load=1)
+    assert instance.validate() == []
+
+
+def test_task1_validator_flags_overloaded_source_and_destination():
+    tokens = _tokens([(0, 1), (0, 2)])
+    instance = Task1Instance(vertices=[0, 1, 2], tokens=tokens, load=1)
+    assert any("holds" in problem for problem in instance.validate())
+    tokens = _tokens([(0, 2), (1, 2)])
+    instance = Task1Instance(vertices=[0, 1, 2], tokens=tokens, load=1)
+    assert any("destination" in problem for problem in instance.validate())
+
+
+def test_task1_validator_flags_foreign_destination():
+    tokens = _tokens([(0, 9)])
+    instance = Task1Instance(vertices=[0, 1], tokens=tokens, load=1)
+    assert any("outside" in problem for problem in instance.validate())
+
+
+def test_task2_validator_checks_marker_range_and_multiplicity():
+    tokens = _tokens([(0, 0), (1, 0)])
+    for token in tokens:
+        token.destination_marker = 0
+    instance = Task2Instance(
+        node_vertices=[0, 1], best_count=2, tokens=tokens, load=1, rho_best=2.0
+    )
+    assert instance.validate() == []
+    tokens[0].destination_marker = 5
+    assert any("out of range" in problem for problem in instance.validate())
+
+
+def test_task3_validator_and_final_configuration():
+    tokens = _tokens([(0, 0), (1, 0)])
+    tokens[0].part_mark = 0
+    tokens[1].part_mark = 1
+    instance = Task3Instance(part_sizes=[2, 2], tokens=tokens, load=1)
+    assert instance.validate() == []
+    part_of = {0: 0, 1: 1}
+    assert instance.is_final_configuration(part_of)
+    tokens[1].part_mark = 0
+    assert not instance.is_final_configuration(part_of)

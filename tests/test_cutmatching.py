@@ -1,0 +1,147 @@
+"""Tests for the cut-matching game: potentials, cut player, shuffler (Section 5.1, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.cutmatching.cut_player import (
+    ExhaustiveCutPlayer,
+    SpectralCutPlayer,
+    lemma_b4_split,
+)
+from repro.cutmatching.game import CutMatchingGame, build_shuffler
+from repro.cutmatching.potential import WalkState, mixing_threshold, walk_matrix
+from repro.graphs.generators import random_regular_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+
+
+# -- walk matrices and potential (Definitions 5.2, 5.3) ---------------------------
+
+
+def test_walk_matrix_rows_sum_to_one():
+    matrix = walk_matrix(4, {(0, 1): 1.0, (2, 3): 0.5})
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    assert matrix[0, 1] == pytest.approx(0.5)
+    assert matrix[2, 2] == pytest.approx(0.5 + 0.25)
+
+
+def test_walk_matrix_rejects_overloaded_fractional_degree():
+    with pytest.raises(ValueError):
+        walk_matrix(3, {(0, 1): 0.8, (0, 2): 0.5})
+
+
+def test_potential_starts_at_t_minus_one_and_decreases():
+    state = WalkState(4)
+    assert state.potential() == pytest.approx(3.0)
+    before = state.potential()
+    after = state.apply({(0, 1): 1.0, (2, 3): 1.0})
+    assert after < before
+
+
+def test_potential_reaches_mixing_threshold_with_enough_matchings():
+    state = WalkState(4)
+    # Alternating perfect matchings of the 4-cycle mix quickly.
+    for _ in range(40):
+        state.apply({(0, 1): 1.0, (2, 3): 1.0})
+        state.apply({(1, 2): 1.0, (0, 3): 1.0})
+    assert state.is_mixed(4)
+    assert mixing_threshold(4) == pytest.approx(1 / (9 * 64))
+
+
+# -- Lemma B.4 split -----------------------------------------------------------------
+
+
+def test_lemma_b4_split_sizes_and_variance():
+    values = [float(i) for i in range(16)]
+    a_l, a_r, _ = lemma_b4_split(values)
+    assert len(a_l) <= len(values) // 8 + 1
+    assert len(a_r) >= len(values) // 2 - 1
+    assert not set(a_l) & set(a_r)
+    mean = sum(values) / len(values)
+    total_variance = sum((v - mean) ** 2 for v in values)
+    captured = sum((values[i] - mean) ** 2 for i in a_l)
+    assert captured >= total_variance / 80 - 1e-9
+
+
+# -- cut players ------------------------------------------------------------------------
+
+
+def test_spectral_cut_player_returns_disjoint_sides_with_lighter_small_side():
+    state = WalkState(8)
+    state.apply({(0, 1): 1.0})
+    player = SpectralCutPlayer()
+    result = player.choose(state.matrix, part_sizes=[4] * 8)
+    small, large = result.as_sets()
+    assert small and large and not (small & large)
+    assert 4 * len(small) <= 4 * len(large)
+
+
+def test_spectral_cut_player_is_deterministic():
+    state = WalkState(6)
+    state.apply({(0, 1): 1.0, (2, 3): 0.5})
+    player = SpectralCutPlayer()
+    first = player.choose(state.matrix, [3] * 6)
+    second = player.choose(state.matrix, [3] * 6)
+    assert first == second
+
+
+def test_exhaustive_cut_player_agrees_on_separation_quality():
+    state = WalkState(5)
+    state.apply({(0, 1): 1.0})
+    spectral = SpectralCutPlayer(bisection=False).choose(state.matrix, [2] * 5)
+    exhaustive = ExhaustiveCutPlayer().choose(state.matrix, [2] * 5)
+    # The exhaustive player maximises the separation; the spectral player must
+    # reach at least a constant fraction of it.
+    assert spectral.separation >= exhaustive.separation / 10 - 1e-12
+
+
+# -- the full game / shufflers (Lemma 5.5, Definition 5.4) --------------------------------
+
+
+@pytest.fixture(scope="module")
+def root_shuffler_setup():
+    graph = random_regular_expander(96, degree=8, seed=7)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=0.5))
+    parts = [sorted(part.vertices) for part in decomposition.root.parts]
+    return decomposition.root.virtual_graph, parts
+
+
+def test_cut_matching_game_builds_mixing_shuffler(root_shuffler_setup):
+    base, parts = root_shuffler_setup
+    outcome = CutMatchingGame(base, parts, psi=0.1).play()
+    assert outcome.succeeded
+    shuffler = outcome.shuffler
+    assert shuffler.verify_mixing(len(parts))
+    assert len(shuffler) >= 1
+
+
+def test_shuffler_iteration_count_is_logarithmic(root_shuffler_setup):
+    base, parts = root_shuffler_setup
+    outcome = CutMatchingGame(base, parts, psi=0.1).play()
+    n = base.number_of_nodes()
+    # Lemma B.5 bound with the practical bisection player: well under 16 log2 n.
+    assert outcome.iterations <= 16 * np.log2(n) + 16
+
+
+def test_shuffler_potential_history_is_decreasing(root_shuffler_setup):
+    base, parts = root_shuffler_setup
+    outcome = CutMatchingGame(base, parts, psi=0.1).play()
+    history = outcome.potential_history
+    assert all(later <= earlier + 1e-9 for earlier, later in zip(history, history[1:]))
+
+
+def test_shuffler_matchings_have_valid_embeddings(root_shuffler_setup):
+    base, parts = root_shuffler_setup
+    shuffler = build_shuffler(base, parts, psi=0.1)
+    for matching in shuffler.matchings:
+        for a, b in matching.matching_edges:
+            path = matching.embedding.path_for(a, b)
+            for u, v in zip(path.vertices, path.vertices[1:]):
+                assert base.has_edge(u, v)
+    assert shuffler.quality >= 1
+
+
+def test_single_part_shuffler_is_trivially_mixed():
+    graph = random_regular_expander(32, degree=6, seed=1)
+    shuffler = build_shuffler(graph, [sorted(graph.nodes())])
+    assert len(shuffler) == 0
+    assert shuffler.part_count == 1

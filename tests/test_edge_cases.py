@@ -1,0 +1,113 @@
+"""Edge cases and degenerate instances across the public API."""
+
+import networkx as nx
+import pytest
+
+from repro.core.cost import CostLedger
+from repro.core.router import ExpanderRouter
+from repro.core.tokens import RoutingRequest
+from repro.graphs.cluster import build_cluster_graph
+from repro.graphs.conductance import estimate_conductance
+from repro.graphs.generators import circulant_expander
+from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
+from repro.sorting.expander_sort import SortItem, expander_sort, is_globally_sorted
+from repro.sorting.networks import batcher_odd_even_network, is_sorting_network
+
+
+def test_router_on_a_complete_graph():
+    graph = nx.complete_graph(12)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    outcome = router.route(
+        [RoutingRequest(source=v, destination=(v + 5) % 12) for v in graph.nodes()]
+    )
+    assert outcome.all_delivered
+
+
+def test_router_with_empty_request_list(preprocessed_router):
+    outcome = preprocessed_router.route([])
+    assert outcome.total_tokens == 0
+    assert outcome.all_delivered
+    assert outcome.query_rounds >= 0
+
+
+def test_router_with_a_single_request(preprocessed_router):
+    graph = preprocessed_router.graph
+    nodes = sorted(graph.nodes())
+    outcome = preprocessed_router.route(
+        [RoutingRequest(source=nodes[0], destination=nodes[-1], payload="only one")]
+    )
+    assert outcome.all_delivered
+    assert outcome.tokens[0].payload == "only one"
+
+
+def test_router_on_a_tiny_cycle():
+    graph = nx.cycle_graph(6)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    outcome = router.route(
+        [RoutingRequest(source=v, destination=(v + 3) % 6) for v in graph.nodes()]
+    )
+    assert outcome.all_delivered
+
+
+def test_hierarchy_of_a_tiny_graph_is_a_single_leaf():
+    graph = nx.complete_graph(5)
+    decomposition = build_hierarchy(graph, HierarchyParameters(epsilon=0.5))
+    assert decomposition.root.is_leaf
+    assert decomposition.levels() == 1
+    assert decomposition.best_vertices() == sorted(graph.nodes())
+
+
+def test_hierarchy_parameters_never_request_undersized_parts():
+    params = HierarchyParameters(epsilon=0.9, min_part_size=4)
+    assert params.parts_for(total_vertices=1000, node_size=7) <= 1
+    assert params.parts_for(total_vertices=1000, node_size=40) <= 10
+
+
+def test_cluster_graph_with_singleton_parts():
+    graph = nx.path_graph(4)
+    cluster = build_cluster_graph(graph, [[0], [1], [2], [3]])
+    assert cluster.size == 4
+    assert cluster.crossing_edges(0, 1) == 1
+    assert cluster.crossing_edges(0, 3) == 0
+
+
+def test_expander_sort_single_vertex_and_single_token():
+    result = expander_sort([7], {7: [SortItem(key=3, tag="only")]}, load=1)
+    assert [item.key for item in result.placement.items_at[7]] == [3]
+    assert is_globally_sorted(result.placement, [7])
+
+
+def test_sorting_network_of_size_one_and_two():
+    assert batcher_odd_even_network(1).depth == 0 or is_sorting_network(batcher_odd_even_network(1))
+    assert is_sorting_network(batcher_odd_even_network(2))
+
+
+def test_estimate_conductance_on_degenerate_graphs():
+    single = nx.Graph()
+    single.add_node(0)
+    assert estimate_conductance(single) == float("inf")
+    pair = nx.Graph()
+    pair.add_edge(0, 1)
+    assert estimate_conductance(pair) == pytest.approx(1.0)
+
+
+def test_cost_ledger_empty_prefix_totals():
+    ledger = CostLedger()
+    assert ledger.total() == 0
+    assert ledger.total("anything") == 0
+    assert ledger.breakdown() == {}
+
+
+def test_repeated_preprocessing_is_idempotent_in_structure():
+    graph = circulant_expander(48)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    first = router.preprocess()
+    second = router.preprocess()
+    assert second.hierarchy_levels == first.hierarchy_levels
+    assert second.node_count == first.node_count
+    outcome = router.route(
+        [RoutingRequest(source=v, destination=(v + 1) % 48) for v in graph.nodes()]
+    )
+    assert outcome.all_delivered

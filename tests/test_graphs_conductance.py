@@ -1,0 +1,104 @@
+"""Tests for cut measures, spectral estimators, and expander checks (Section 2)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.conductance import (
+    cheeger_bounds,
+    cut_conductance,
+    cut_edges,
+    cut_sparsity,
+    diameter_upper_bound,
+    estimate_conductance,
+    exact_conductance,
+    exact_sparsity,
+    is_expander,
+    spectral_gap,
+    sweep_cut,
+    volume,
+)
+
+
+def test_volume_counts_degrees():
+    graph = nx.path_graph(4)
+    assert volume(graph, [0, 1]) == 1 + 2
+    assert volume(graph, graph.nodes()) == 2 * graph.number_of_edges()
+
+
+def test_cut_edges_on_path():
+    graph = nx.path_graph(4)
+    assert cut_edges(graph, [0, 1]) == 1
+    assert cut_edges(graph, [0, 2]) == 3
+
+
+def test_cut_conductance_of_balanced_cut():
+    graph = nx.complete_graph(6)
+    side = {0, 1, 2}
+    # 9 crossing edges; each side has volume 15.
+    assert cut_conductance(graph, side) == pytest.approx(9 / 15)
+
+
+def test_cut_conductance_trivial_cut_is_infinite():
+    graph = nx.complete_graph(4)
+    assert cut_conductance(graph, []) == math.inf
+    assert cut_conductance(graph, graph.nodes()) == math.inf
+
+
+def test_cut_sparsity_of_single_vertex():
+    graph = nx.cycle_graph(6)
+    assert cut_sparsity(graph, [0]) == 2.0
+
+
+def test_exact_conductance_of_cycle():
+    # A 6-cycle's worst cut is a contiguous half: 2 crossing edges / volume 6.
+    graph = nx.cycle_graph(6)
+    assert exact_conductance(graph) == pytest.approx(2 / 6)
+
+
+def test_exact_sparsity_of_complete_graph():
+    graph = nx.complete_graph(6)
+    # Any balanced cut has 9 edges over 3 vertices.
+    assert exact_sparsity(graph) == pytest.approx(3.0)
+
+
+def test_cheeger_inequality_sandwiches_exact_conductance():
+    graph = nx.random_regular_graph(4, 10, seed=1)
+    lower, upper = cheeger_bounds(graph)
+    exact = exact_conductance(graph)
+    assert lower <= exact + 1e-9
+    assert exact <= upper + 1e-9
+
+
+def test_sweep_cut_is_an_upper_bound():
+    graph = nx.random_regular_graph(4, 12, seed=2)
+    exact = exact_conductance(graph)
+    assert sweep_cut(graph).conductance >= exact - 1e-9
+
+
+def test_spectral_gap_positive_for_connected_graph(small_expander):
+    assert spectral_gap(small_expander) > 0.02
+
+
+def test_estimate_conductance_uses_brute_force_for_tiny_graphs():
+    graph = nx.cycle_graph(6)
+    assert estimate_conductance(graph) == pytest.approx(exact_conductance(graph))
+
+
+def test_is_expander_accepts_good_and_rejects_disconnected(small_expander):
+    assert is_expander(small_expander, 0.05)
+    disconnected = nx.Graph()
+    disconnected.add_edges_from([(0, 1), (2, 3)])
+    assert not is_expander(disconnected, 0.01)
+
+
+def test_is_expander_rejects_barbell():
+    barbell = nx.barbell_graph(8, 0)
+    assert not is_expander(barbell, 0.3)
+
+
+def test_diameter_upper_bound_fact_2_1(small_expander):
+    phi = estimate_conductance(small_expander)
+    bound = diameter_upper_bound(small_expander.number_of_nodes(), phi)
+    assert nx.diameter(small_expander) <= bound

@@ -1,0 +1,102 @@
+"""Tests for the graph generators used by the experiments."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.conductance import estimate_conductance, spectral_gap
+from repro.graphs.generators import (
+    barbell_of_expanders,
+    circulant_expander,
+    erdos_renyi_graph,
+    hypercube_graph,
+    margulis_expander,
+    planted_clique_graph,
+    random_regular_expander,
+    skewed_degree_expander,
+    two_expander_graph,
+    weighted_expander,
+)
+
+
+def test_circulant_expander_is_connected_constant_degree():
+    graph = circulant_expander(100)
+    assert nx.is_connected(graph)
+    degrees = {degree for _, degree in graph.degree()}
+    assert max(degrees) <= 8
+    assert spectral_gap(graph) > 0.01
+
+
+def test_circulant_expander_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        circulant_expander(2)
+
+
+def test_hypercube_graph_size_and_degree():
+    graph = hypercube_graph(5)
+    assert graph.number_of_nodes() == 32
+    assert all(degree == 5 for _, degree in graph.degree())
+    assert nx.is_connected(graph)
+
+
+def test_margulis_expander_has_spectral_gap():
+    graph = margulis_expander(8)
+    assert graph.number_of_nodes() == 64
+    assert nx.is_connected(graph)
+    assert spectral_gap(graph) > 0.05
+
+
+def test_random_regular_expander_is_regular_and_reproducible():
+    a = random_regular_expander(64, degree=6, seed=5)
+    b = random_regular_expander(64, degree=6, seed=5)
+    assert set(a.edges()) == set(b.edges())
+    assert all(degree == 6 for _, degree in a.degree())
+    assert nx.is_connected(a)
+
+
+def test_random_regular_expander_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        random_regular_expander(5, degree=8)
+    with pytest.raises(ValueError):
+        random_regular_expander(9, degree=3)  # odd product
+
+
+def test_weighted_expander_weights_are_deterministic():
+    a = weighted_expander(32, degree=6, seed=1)
+    b = weighted_expander(32, degree=6, seed=1)
+    for u, v in a.edges():
+        assert a[u][v]["weight"] == b[u][v]["weight"]
+        assert a[u][v]["weight"] >= 1
+
+
+def test_erdos_renyi_graph_is_connected_component():
+    graph = erdos_renyi_graph(80, 0.05, seed=2)
+    assert nx.is_connected(graph)
+
+
+def test_planted_clique_graph_contains_the_clique():
+    graph = planted_clique_graph(50, clique_size=6, p=0.05, seed=3)
+    for i in range(6):
+        for j in range(i + 1, 6):
+            assert graph.has_edge(i, j)
+    assert nx.is_connected(graph)
+
+
+def test_two_expander_graph_has_a_sparse_middle_cut():
+    graph = two_expander_graph(64, bridge_edges=2, degree=6, seed=1)
+    left = set(range(32))
+    crossing = sum(1 for u, v in graph.edges() if (u in left) != (v in left))
+    assert crossing == 2
+    assert nx.is_connected(graph)
+
+
+def test_barbell_of_expanders_structure():
+    graph = barbell_of_expanders(parts=3, part_size=16, degree=4, seed=1)
+    assert graph.number_of_nodes() == 48
+    assert nx.is_connected(graph)
+
+
+def test_skewed_degree_expander_has_hubs():
+    graph = skewed_degree_expander(64, hub_count=2, degree=6, seed=1)
+    degrees = sorted((degree for _, degree in graph.degree()), reverse=True)
+    assert degrees[0] > 2 * degrees[-1]
+    assert nx.is_connected(graph)

@@ -1,0 +1,103 @@
+"""Tests for the expander split (Appendix E) and cluster graphs (Definition 5.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.cluster import build_cluster_graph, natural_fractional_matching
+from repro.graphs.conductance import estimate_conductance, exact_sparsity
+from repro.graphs.expander_split import expander_split
+from repro.graphs.generators import circulant_expander, skewed_degree_expander
+
+
+# -- expander split ----------------------------------------------------------
+
+
+def test_split_has_one_copy_per_incident_edge():
+    graph = circulant_expander(16, offsets=(1, 2))
+    split = expander_split(graph)
+    for vertex in graph.nodes():
+        assert len(split.copies_of[vertex]) == graph.degree(vertex)
+    assert split.split_size() == sum(graph.degree(v) for v in graph.nodes())
+
+
+def test_split_is_connected_and_bounded_degree():
+    graph = skewed_degree_expander(48, hub_count=2, degree=6, seed=1)
+    split = expander_split(graph)
+    assert nx.is_connected(split.split)
+    max_original = max(degree for _, degree in graph.degree())
+    max_split = max(degree for _, degree in split.split.degree())
+    assert max_split < max_original  # hubs were exploded into gadgets
+    assert max_split <= 8
+
+
+def test_split_vertex_lifting_roundtrip():
+    graph = circulant_expander(12, offsets=(1, 2))
+    split = expander_split(graph)
+    for vertex in graph.nodes():
+        for copy in split.copies_of[vertex]:
+            assert split.lift_token_position(copy) == vertex
+
+
+def test_split_destination_assignment_is_load_balanced():
+    graph = circulant_expander(12, offsets=(1, 2, 3))
+    split = expander_split(graph)
+    vertex = 0
+    copies = split.copies_of[vertex]
+    assigned = [split.assign_destination(vertex, serial) for serial in range(2 * len(copies))]
+    # Round-robin: every copy receives exactly two of the 2*deg assignments.
+    assert all(assigned.count(copy) == 2 for copy in copies)
+
+
+def test_split_preserves_expansion_order_of_magnitude():
+    graph = circulant_expander(16, offsets=(1, 2))
+    split = expander_split(graph)
+    original = estimate_conductance(graph)
+    split_sparsity = estimate_conductance(split.split)
+    # Psi(G_diamond) = Theta(Phi(G)); allow a generous constant.
+    assert split_sparsity >= original / 8
+
+
+# -- cluster graphs ------------------------------------------------------------
+
+
+def test_cluster_graph_contraction_counts_crossing_edges():
+    graph = nx.cycle_graph(8)
+    cluster = build_cluster_graph(graph, [[0, 1, 2, 3], [4, 5, 6, 7]])
+    assert cluster.size == 2
+    assert cluster.crossing_edges(0, 1) == 2  # edges (3,4) and (7,0)
+
+
+def test_cluster_graph_rejects_overlapping_parts():
+    graph = nx.path_graph(4)
+    with pytest.raises(ValueError):
+        build_cluster_graph(graph, [[0, 1], [1, 2]])
+
+
+def test_cluster_expand_returns_base_vertices():
+    graph = nx.cycle_graph(6)
+    cluster = build_cluster_graph(graph, [[0, 1], [2, 3], [4, 5]])
+    assert cluster.expand([0, 2]) == {0, 1, 4, 5}
+
+
+def test_natural_fractional_matching_normalisation():
+    graph = nx.cycle_graph(8)
+    cluster = build_cluster_graph(graph, [[0, 1, 2, 3], [4, 5, 6, 7]])
+    matching = [(0, 4), (1, 5), (2, 6)]
+    fractional = natural_fractional_matching(cluster, matching, normalizer=4.0)
+    assert fractional[(0, 1)] == pytest.approx(3 / 4)
+
+
+def test_natural_fractional_matching_clamps_degree_to_one():
+    graph = nx.complete_graph(6)
+    cluster = build_cluster_graph(graph, [[0, 1], [2, 3], [4, 5]])
+    matching = [(0, 2), (1, 3), (0, 4), (1, 5)]
+    fractional = natural_fractional_matching(cluster, matching, normalizer=1.0)
+    degree0 = sum(value for (a, b), value in fractional.items() if 0 in (a, b))
+    assert degree0 <= 1.0 + 1e-9
+
+
+def test_natural_fractional_matching_ignores_intra_part_edges():
+    graph = nx.complete_graph(4)
+    cluster = build_cluster_graph(graph, [[0, 1], [2, 3]])
+    fractional = natural_fractional_matching(cluster, [(0, 1)], normalizer=2.0)
+    assert fractional == {}

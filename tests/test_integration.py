@@ -1,0 +1,96 @@
+"""Integration tests: the whole pipeline on several graph families and workloads."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.experiments import permutation_requests
+from repro.applications.mst import boruvka_mst
+from repro.baselines.direct_routing import route_directly
+from repro.core.router import ExpanderRouter
+from repro.core.tokens import RoutingRequest
+from repro.graphs.generators import (
+    circulant_expander,
+    hypercube_graph,
+    margulis_expander,
+    random_regular_expander,
+)
+
+
+@pytest.mark.parametrize(
+    "graph_factory",
+    [
+        lambda: circulant_expander(64),
+        lambda: margulis_expander(8),
+        lambda: random_regular_expander(64, degree=6, seed=11),
+        lambda: hypercube_graph(6),
+    ],
+    ids=["circulant", "margulis", "random-regular", "hypercube"],
+)
+def test_router_delivers_permutations_on_multiple_expander_families(graph_factory):
+    graph = graph_factory()
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    requests = permutation_requests(graph, load=2)
+    outcome = router.route(requests)
+    assert outcome.all_delivered
+    assert outcome.query_rounds > 0
+
+
+def test_many_queries_reuse_the_same_preprocessing():
+    graph = random_regular_expander(64, degree=6, seed=11)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    summary = router.preprocess()
+    rounds = []
+    for shift in range(1, 5):
+        n = graph.number_of_nodes()
+        requests = [
+            RoutingRequest(source=v, destination=(v + shift * 3) % n) for v in graph.nodes()
+        ]
+        outcome = router.route(requests)
+        assert outcome.all_delivered
+        rounds.append(outcome.query_rounds)
+    # Preprocessing happened once; its cost did not change across queries.
+    assert router.preprocess_ledger.total("preprocess") == summary.rounds
+    # Per-query cost is stable (same load, same structure).
+    assert max(rounds) <= 2 * min(rounds)
+
+
+def test_router_and_naive_baseline_agree_on_final_positions():
+    graph = circulant_expander(48)
+    n = graph.number_of_nodes()
+    requests = [RoutingRequest(source=v, destination=(v * 5 + 3) % n) for v in graph.nodes()]
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    ours = router.route(requests)
+    naive = route_directly(graph, requests)
+    assert ours.all_delivered
+    assert naive.delivered == len(requests)
+    ours_final = sorted((token.source, token.current_vertex) for token in ours.tokens)
+    expected = sorted((request.source, request.destination) for request in requests)
+    assert ours_final == expected
+
+
+def test_mst_pipeline_on_a_fresh_weighted_expander():
+    from repro.graphs.generators import weighted_expander
+
+    graph = weighted_expander(64, degree=6, seed=9)
+    result = boruvka_mst(graph, epsilon=0.6)
+    reference = nx.minimum_spanning_tree(graph).size(weight="weight")
+    assert result.total_weight == pytest.approx(reference)
+    assert result.rounds > 0
+    assert result.preprocessing_rounds > 0
+
+
+def test_full_pipeline_statistics_are_internally_consistent():
+    graph = random_regular_expander(96, degree=8, seed=3)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    summary = router.preprocess()
+    assert summary.node_count >= summary.shuffler_count
+    assert summary.best_vertex_count <= graph.number_of_nodes()
+    assert summary.rho_best >= 1.0
+    requests = permutation_requests(graph, load=2)
+    outcome = router.route(requests)
+    assert outcome.all_delivered
+    assert 0.0 <= outcome.dispersion_window_fraction <= 1.0
+    assert outcome.fallback_assignments <= outcome.total_tokens
+    assert sum(outcome.breakdown.values()) == outcome.query_rounds

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
+from repro.core.cost import CostLedger
+from repro.core.dispersion import DispersionState
+from repro.cutmatching.potential import WalkState, walk_matrix
+from repro.embedding.paths import Path, PathCollection
+from repro.graphs.cluster import build_cluster_graph, natural_fractional_matching
+from repro.sorting.expander_sort import SortItem, expander_sort, is_globally_sorted
+from repro.sorting.networks import apply_network, batcher_odd_even_network
+
+settings.register_profile(
+    "repro", deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+
+
+# -- sorting networks: the 0-1 principle extended to arbitrary integers ------------------
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=24))
+def test_batcher_network_sorts_arbitrary_integer_lists(values):
+    network = batcher_odd_even_network(len(values))
+    assert apply_network(network, values) == sorted(values)
+
+
+# -- expander sort: sortedness, conservation, load bound ----------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_expander_sort_invariants(vertex_count, load, data):
+    vertices = list(range(vertex_count))
+    items_at = {}
+    for vertex in vertices:
+        count = data.draw(st.integers(min_value=0, max_value=load))
+        items_at[vertex] = [
+            SortItem(
+                key=data.draw(st.integers(min_value=0, max_value=20)),
+                tag=f"{vertex}-{slot}",
+                value=(vertex, slot),
+            )
+            for slot in range(count)
+        ]
+    total_before = sum(len(items) for items in items_at.values())
+    result = expander_sort(vertices, items_at, load, engine="comparator")
+    total_after = sum(len(items) for items in result.placement.items_at.values())
+    assert total_after == total_before                      # conservation
+    assert is_globally_sorted(result.placement, vertices)   # sortedness
+    assert result.max_load <= max(load, 1)                  # load bound
+
+
+# -- scheduler: Fact 2.2's bound holds for arbitrary path collections ------------------------
+
+
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6), min_size=1, max_size=12))
+def test_scheduler_round_bound(paths):
+    tokens = []
+    for index, raw in enumerate(paths):
+        deduplicated = [raw[0]]
+        for vertex in raw[1:]:
+            if vertex != deduplicated[-1]:
+                deduplicated.append(vertex)
+        tokens.append(ScheduledToken(token_id=index, path=tuple(deduplicated)))
+    result = schedule_tokens_along_paths(tokens)
+    assert result.rounds <= max(1, result.congestion * result.dilation)
+    assert result.rounds <= result.quality_squared_bound or result.quality == 0
+
+
+# -- path collections: quality is congestion + dilation and union is monotone ----------------
+
+
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=5), min_size=1, max_size=8))
+def test_path_collection_union_quality_monotone(raw_paths):
+    paths = []
+    for raw in raw_paths:
+        cleaned = [raw[0]]
+        for vertex in raw[1:]:
+            if vertex != cleaned[-1]:
+                cleaned.append(vertex)
+        if len(cleaned) >= 2:
+            paths.append(Path(tuple(cleaned)))
+    if not paths:
+        return
+    half = len(paths) // 2 or 1
+    a = PathCollection(paths[:half])
+    b = PathCollection(paths[half:])
+    union = PathCollection.union([a, b])
+    assert union.quality >= max(a.quality, b.quality)
+    assert union.congestion <= a.congestion + b.congestion
+    assert union.quality == union.congestion + union.dilation
+
+
+# -- walk matrices: stochasticity and potential decay ------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=6),
+)
+def test_walk_matrix_is_row_stochastic_and_potential_never_increases(size, raw_pairs):
+    state = WalkState(size)
+    previous = state.potential()
+    matching = {}
+    degree = {}
+    for a, b in raw_pairs:
+        a, b = a % size, b % size
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if degree.get(a, 0) + 0.5 > 1 or degree.get(b, 0) + 0.5 > 1 or key in matching:
+            continue
+        matching[key] = 0.5
+        degree[a] = degree.get(a, 0) + 0.5
+        degree[b] = degree.get(b, 0) + 0.5
+    matrix = walk_matrix(size, matching)
+    assert abs(matrix.sum() - size) < 1e-9
+    current = state.apply(matching)
+    assert current <= previous + 1e-9
+
+
+# -- dispersion state: conservation under arbitrary pop/push sequences ---------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 3)), max_size=20),
+)
+def test_dispersion_state_conserves_items(parts, moves):
+    state = DispersionState(parts)
+    total = 0
+    for index in range(parts * 3):
+        state.add(index % parts, "m", f"item-{index}")
+        total += 1
+    for origin, target, amount in moves:
+        origin, target = origin % parts, target % parts
+        taken = state.pop_front(origin, "m", amount)
+        state.push_back(target, "m", taken)
+    assert sum(state.count(part, "m") for part in range(parts)) == total
+
+
+# -- cluster graphs: fractional matchings always have degree <= 1 -------------------------------
+
+
+@given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=15))
+def test_natural_fractional_matching_degree_bound(pairs):
+    graph = nx.cycle_graph(12)
+    cluster = build_cluster_graph(graph, [range(0, 4), range(4, 8), range(8, 12)])
+    fractional = natural_fractional_matching(cluster, pairs, normalizer=2.0)
+    degree = {}
+    for (a, b), value in fractional.items():
+        assert value >= 0
+        degree[a] = degree.get(a, 0) + value
+        degree[b] = degree.get(b, 0) + value
+    assert all(value <= 1 + 1e-9 for value in degree.values())
+
+
+# -- cost ledger: totals equal the sum of phases ------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)), max_size=20))
+def test_cost_ledger_total_is_sum_of_charges(charges):
+    ledger = CostLedger()
+    for phase, rounds in charges:
+        ledger.charge(phase, rounds)
+    assert ledger.total() == sum(rounds for _, rounds in charges)

@@ -1,0 +1,173 @@
+"""Tests for sorting networks, expander sorting (Theorem 5.6), and the derived primitives."""
+
+import pytest
+
+from repro.core.cost import sorting_network_depth
+from repro.sorting.expander_sort import (
+    ComparatorSortEngine,
+    OracleSortEngine,
+    SortItem,
+    expander_sort,
+    is_globally_sorted,
+)
+from repro.sorting.networks import (
+    apply_network,
+    batcher_odd_even_network,
+    bitonic_network,
+    insertion_network,
+    is_sorting_network,
+)
+from repro.sorting.primitives import (
+    AnnotatedToken,
+    local_aggregation,
+    local_propagation,
+    local_serialization,
+    token_ranking,
+)
+
+
+# -- sorting networks --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 9])
+def test_batcher_network_sorts_all_binary_inputs(size):
+    assert is_sorting_network(batcher_odd_even_network(size), exhaustive_limit=10)
+
+
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_bitonic_network_sorts_all_binary_inputs(size):
+    assert is_sorting_network(bitonic_network(size), exhaustive_limit=10)
+
+
+@pytest.mark.parametrize("size", [2, 5, 8])
+def test_insertion_network_sorts(size):
+    assert is_sorting_network(insertion_network(size), exhaustive_limit=10)
+
+
+def test_batcher_depth_is_polylog_and_below_insertion_depth():
+    batcher = batcher_odd_even_network(64)
+    brick = insertion_network(64)
+    assert batcher.depth < brick.depth
+    assert batcher.depth <= 2 * sorting_network_depth(64)
+
+
+def test_apply_network_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        apply_network(batcher_odd_even_network(4), [1, 2, 3])
+
+
+def test_network_layers_have_disjoint_comparators():
+    network = batcher_odd_even_network(16)
+    for layer in network.layers:
+        touched = [position for comparator in layer for position in comparator]
+        assert len(touched) == len(set(touched))
+
+
+# -- expander sorting -----------------------------------------------------------------
+
+
+def _make_items(vertices, load, key_of):
+    return {
+        vertex: [
+            SortItem(key=key_of(vertex, slot), value=(vertex, slot), tag=f"{vertex}-{slot}")
+            for slot in range(load)
+        ]
+        for vertex in vertices
+    }
+
+
+def test_comparator_engine_sorts_globally():
+    vertices = list(range(10))
+    items = _make_items(vertices, 3, lambda v, s: (v * 7 + s * 3) % 11)
+    result = ComparatorSortEngine().sort(vertices, items, load=3)
+    assert is_globally_sorted(result.placement, vertices)
+    assert result.max_load <= 3
+    total = sum(len(result.placement.items_at[v]) for v in vertices)
+    assert total == 30
+
+
+def test_oracle_engine_matches_comparator_engine():
+    vertices = list(range(8))
+    items = _make_items(vertices, 2, lambda v, s: (v * 5 + s) % 7)
+    comparator = ComparatorSortEngine().sort(vertices, items, load=2)
+    oracle = OracleSortEngine().sort(vertices, items, load=2)
+    def flatten(result):
+        return [
+            (item.key, item.tag)
+            for v in vertices
+            for item in result.placement.items_at[v]
+        ]
+    assert flatten(comparator) == flatten(oracle)
+    assert comparator.rounds == oracle.rounds
+
+
+def test_expander_sort_charges_rounds_proportional_to_load_and_quality():
+    vertices = list(range(16))
+    items_small = _make_items(vertices, 1, lambda v, s: v % 5)
+    items_large = _make_items(vertices, 4, lambda v, s: v % 5)
+    small = expander_sort(vertices, items_small, load=1, exchange_quality=2, engine="oracle")
+    large = expander_sort(vertices, items_large, load=4, exchange_quality=2, engine="oracle")
+    assert large.rounds == 4 * small.rounds
+    doubled_quality = expander_sort(
+        vertices, items_small, load=1, exchange_quality=4, engine="oracle"
+    )
+    assert doubled_quality.rounds == 4 * small.rounds
+
+
+def test_expander_sort_handles_uneven_loads_and_empty_vertices():
+    vertices = list(range(6))
+    items = {0: [SortItem(key=5, tag="a")], 3: [SortItem(key=1, tag="b"), SortItem(key=9, tag="c")]}
+    result = expander_sort(vertices, items, load=2, engine="comparator")
+    assert is_globally_sorted(result.placement, vertices)
+    flattened = [item.key for v in vertices for item in result.placement.items_at[v]]
+    assert flattened == [1, 5, 9]
+
+
+def test_expander_sort_empty_instance():
+    result = expander_sort([], {}, load=1)
+    assert result.rounds == 0
+    assert result.network_depth == 0
+
+
+# -- primitives (Theorem 5.7, Lemma 5.8, Corollaries 5.9/5.10) ----------------------------
+
+
+def _annotated(keys):
+    return [
+        AnnotatedToken(key=key, tag=index, variable=f"var-{index}", location=index % 4)
+        for index, key in enumerate(keys)
+    ]
+
+
+def test_token_ranking_counts_distinct_smaller_keys():
+    tokens = _annotated([5, 1, 5, 3, 1])
+    result = token_ranking(tokens)
+    ranks = {token.tag: token.rank for token in result.tokens}
+    assert ranks[1] == 0 and ranks[4] == 0      # key 1
+    assert ranks[3] == 1                        # key 3
+    assert ranks[0] == 2 and ranks[2] == 2      # key 5
+    assert result.rounds > 0
+
+
+def test_local_propagation_copies_smallest_tag_variable():
+    tokens = _annotated(["a", "b", "a", "b"])
+    result = local_propagation(tokens)
+    variables = {token.tag: token.variable for token in result.tokens}
+    assert variables[2] == "var-0"   # group "a": smallest tag is 0
+    assert variables[3] == "var-1"   # group "b": smallest tag is 1
+
+
+def test_local_serialization_assigns_distinct_serials_per_group():
+    tokens = _annotated(["x", "x", "x", "y"])
+    result = local_serialization(tokens)
+    serials_x = sorted(token.serial for token in result.tokens if token.key == "x")
+    assert serials_x == [0, 1, 2]
+    serial_y = [token.serial for token in result.tokens if token.key == "y"]
+    assert serial_y == [0]
+
+
+def test_local_aggregation_reports_group_sizes():
+    tokens = _annotated(["p", "q", "p", "p"])
+    result = local_aggregation(tokens)
+    for token in result.tokens:
+        assert token.count == (3 if token.key == "p" else 1)
