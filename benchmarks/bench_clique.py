@@ -13,7 +13,9 @@ from repro.analysis.reporting import format_table
 from repro.applications.clique import brute_force_cliques, enumerate_cliques
 from repro.graphs.generators import planted_clique_graph
 
-SIZES = [48, 96, 192]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([48, 96, 192])
 
 
 def _measure(n: int, k: int, verify: bool) -> dict:

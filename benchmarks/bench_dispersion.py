@@ -16,7 +16,9 @@ from repro.cutmatching.game import build_shuffler
 from repro.graphs.generators import random_regular_expander
 from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
 
-SIZES = [128, 256]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([128, 256])
 LOADS = [1, 2, 4]
 
 

@@ -10,12 +10,13 @@ Regenerates the two overhead measurements:
 
 import math
 
-import pytest
 
 from repro.analysis.reporting import format_table
 from repro.applications.sorting_equivalence import routing_via_sorting, sorting_via_routing
 
-SIZES = [32, 64, 128]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([32, 64, 128])
 
 
 def _routing_oracle(demands):

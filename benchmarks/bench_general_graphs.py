@@ -14,7 +14,9 @@ from repro.graphs.conductance import estimate_conductance
 from repro.graphs.expander_split import expander_split
 from repro.graphs.generators import skewed_degree_expander
 
-SIZES = [48, 96]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([48, 96])
 
 
 def _measure(n: int) -> dict:

@@ -11,7 +11,9 @@ from repro.analysis.reporting import format_table
 from repro.graphs.generators import random_regular_expander
 from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
 
-POINTS = [(128, 0.34), (128, 0.5), (128, 0.7), (256, 0.5)]
+from conftest import quick_points
+
+POINTS = quick_points([(128, 0.34), (128, 0.5), (128, 0.7), (256, 0.5)])
 
 
 def _measure(n: int, epsilon: float) -> dict:

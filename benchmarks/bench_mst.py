@@ -14,7 +14,9 @@ from repro.analysis.reporting import format_table
 from repro.applications.mst import boruvka_mst
 from repro.graphs.generators import weighted_expander
 
-SIZES = [64, 128, 256]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([64, 128, 256])
 
 
 def _measure(n: int) -> dict:

@@ -14,7 +14,9 @@ from repro.cutmatching.game import CutMatchingGame
 from repro.graphs.generators import random_regular_expander
 from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
 
-SIZES = [64, 128, 256]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([64, 128, 256])
 
 
 def _measure(n: int) -> dict:

@@ -8,13 +8,14 @@ deterministic cost now matches the randomized 2^{O(sqrt(log n log log n))}
 shape and improves on CS20's 2^{O(log^{2/3} n ...)}.
 """
 
-import pytest
 
 from repro.analysis.complexity import fit_power_law
 from repro.analysis.experiments import run_single_instance_comparison
 from repro.analysis.reporting import format_table
 
-SIZES = [64, 128, 256]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([64, 128, 256])
 
 
 def test_single_instance_comparison(benchmark):

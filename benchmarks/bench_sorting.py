@@ -11,7 +11,9 @@ from repro.analysis.complexity import fit_polylog
 from repro.analysis.reporting import format_table
 from repro.sorting.expander_sort import SortItem, expander_sort, is_globally_sorted
 
-SIZES = [64, 128, 256, 512]
+from conftest import quick_sizes
+
+SIZES = quick_sizes([64, 128, 256, 512])
 LOADS = [1, 2, 4, 8]
 
 

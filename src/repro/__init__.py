@@ -23,15 +23,20 @@ Quickstart::
     print(outcome.query_rounds)
 """
 
-from repro.core.router import ExpanderRouter, RoutingOutcome
+from repro.core.router import ExpanderRouter, PreprocessArtifact, RoutingOutcome
 from repro.core.tokens import RoutingRequest, Token
+from repro.service import ArtifactCache, BatchReport, RoutingService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExpanderRouter",
+    "PreprocessArtifact",
     "RoutingOutcome",
     "RoutingRequest",
     "Token",
+    "ArtifactCache",
+    "BatchReport",
+    "RoutingService",
     "__version__",
 ]

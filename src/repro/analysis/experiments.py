@@ -8,13 +8,10 @@ code path feeds pytest-benchmark, the examples, and the results tables.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
 
 import networkx as nx
 
 from repro.baselines import (
-    RebuildPerQueryRouter,
     cs20_predicted_rounds,
     gks_predicted_rounds,
     route_directly,
@@ -22,7 +19,7 @@ from repro.baselines import (
 )
 from repro.core.router import ExpanderRouter
 from repro.core.tokens import RoutingRequest
-from repro.graphs.generators import random_regular_expander, weighted_expander
+from repro.graphs.generators import random_regular_expander
 
 __all__ = [
     "permutation_requests",

@@ -7,9 +7,9 @@ to paste into EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_row", "print_table"]
+__all__ = ["format_table", "format_row", "format_kv", "print_table"]
 
 
 def _stringify(value: Any) -> str:
@@ -47,6 +47,21 @@ def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | Non
     ]
     for line in body:
         lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_kv(values: Mapping[str, Any], title: str | None = None) -> str:
+    """Render a flat mapping as an aligned ``key  value`` block.
+
+    Used by the serving layer's batch reports, where a single measurement dict
+    (cache hit rate, rounds, wall clock) reads better as a column than as a
+    one-row table.
+    """
+    if not values:
+        return "(no data)"
+    width = max(len(str(key)) for key in values)
+    lines = [f"[{title}]"] if title else []
+    lines.extend(f"{str(key).ljust(width)}  {_stringify(value)}" for key, value in values.items())
     return "\n".join(lines)
 
 

@@ -26,12 +26,11 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 import networkx as nx
 
 from repro.applications.expander_decomposition import ExpanderDecomposition, decompose
-from repro.core.cost import sort_round_cost
 
 __all__ = ["CliqueListingResult", "enumerate_cliques", "brute_force_cliques"]
 

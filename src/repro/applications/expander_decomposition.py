@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Hashable
 
 import networkx as nx
 
-from repro.graphs.conductance import cut_conductance, estimate_conductance, sweep_cut
+from repro.graphs.conductance import sweep_cut
 
 __all__ = ["ExpanderDecomposition", "decompose"]
 

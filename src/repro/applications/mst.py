@@ -24,11 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Hashable
 
 import networkx as nx
 
-from repro.core.cost import CostLedger
 from repro.core.router import ExpanderRouter
 from repro.core.tokens import RoutingRequest
 from repro.graphs.conductance import estimate_conductance

@@ -25,7 +25,7 @@ that count is the measured content of experiment E7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable
 
 from repro.sorting.networks import SortingNetwork, batcher_odd_even_network
 

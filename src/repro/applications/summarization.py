@@ -22,9 +22,8 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import Any, Hashable
 
-from repro.core.cost import sort_round_cost
 from repro.sorting.expander_sort import SortItem, expander_sort
 
 __all__ = ["TopKResult", "top_k_frequent", "AggregateResult", "global_aggregate"]

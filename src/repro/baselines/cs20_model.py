@@ -28,7 +28,6 @@ import networkx as nx
 
 from repro.core.router import ExpanderRouter, RoutingOutcome
 from repro.core.tokens import RoutingRequest
-from repro.hierarchy.builder import HierarchyParameters
 
 __all__ = ["cs20_predicted_rounds", "gks_predicted_rounds", "RebuildPerQueryRouter"]
 

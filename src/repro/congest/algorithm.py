@@ -18,7 +18,7 @@ DESIGN.md, substitution 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable
 
 from repro.congest.network import Message, Network
 

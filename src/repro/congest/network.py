@@ -21,8 +21,8 @@ subclasses and executed with :class:`repro.congest.algorithm.Runner`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any, Hashable
 
 import networkx as nx
 

@@ -21,7 +21,7 @@ from typing import Any, Callable, Hashable
 
 import networkx as nx
 
-from repro.congest.algorithm import Mailbox, NodeAlgorithm, NodeState, Runner, RunResult
+from repro.congest.algorithm import Mailbox, NodeAlgorithm, NodeState, Runner
 from repro.congest.network import Message, Network
 
 __all__ = [

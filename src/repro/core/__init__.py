@@ -5,7 +5,12 @@ from repro.core.dispersion import DispersionState, DispersionStats, disperse
 from repro.core.general import GeneralGraphRouter
 from repro.core.leaf import LeafRoutingResult, route_in_leaf
 from repro.core.merge import Task3Result, solve_task3
-from repro.core.router import ExpanderRouter, PreprocessSummary, RoutingOutcome
+from repro.core.router import (
+    ExpanderRouter,
+    PreprocessArtifact,
+    PreprocessSummary,
+    RoutingOutcome,
+)
 from repro.core.tasks import Task1Instance, Task2Instance, Task3Instance
 from repro.core.tokens import RoutingRequest, Token, TokenConfiguration, tokens_from_requests
 
@@ -23,6 +28,7 @@ __all__ = [
     "Task3Result",
     "solve_task3",
     "ExpanderRouter",
+    "PreprocessArtifact",
     "PreprocessSummary",
     "RoutingOutcome",
     "Task1Instance",

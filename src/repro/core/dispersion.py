@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import Any, Sequence
 
 from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
 from repro.cutmatching.shuffler import Shuffler

@@ -16,7 +16,6 @@ built on the split graph and translates requests/results both ways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import networkx as nx

@@ -21,9 +21,8 @@ components are finished with the precomputed sorting network (Lemma 6.5).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import ClassVar, Hashable, Sequence
 
 import networkx as nx
 
@@ -31,15 +30,15 @@ from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
 from repro.core.leaf import route_in_leaf
 from repro.core.merge import solve_task3
 from repro.core.tasks import Task1Instance
-from repro.core.tokens import RoutingRequest, Token, TokenConfiguration, tokens_from_requests
+from repro.core.tokens import RoutingRequest, Token, tokens_from_requests
 from repro.cutmatching.game import CutMatchingGame
-from repro.graphs.conductance import estimate_conductance, sweep_cut
+from repro.graphs.conductance import estimate_conductance
 from repro.graphs.validation import max_degree, require_connected
 from repro.hierarchy.best import BestVertexIndex, build_best_index, locate_best_rank
 from repro.hierarchy.builder import HierarchyParameters, build_hierarchy
 from repro.hierarchy.node import HierarchicalDecomposition, HierarchyNode
 
-__all__ = ["PreprocessSummary", "RoutingOutcome", "ExpanderRouter"]
+__all__ = ["PreprocessArtifact", "PreprocessSummary", "RoutingOutcome", "ExpanderRouter"]
 
 
 @dataclass
@@ -106,6 +105,55 @@ class RoutingOutcome:
         return self.query_rounds + self.preprocessing_rounds
 
 
+@dataclass
+class PreprocessArtifact:
+    """Everything :meth:`ExpanderRouter.preprocess` builds, as one picklable value.
+
+    The paper's tradeoff only pays off when the expensive preprocessing is
+    reused across many queries.  The artifact is the unit of that reuse: it can
+    be pickled to disk, shipped between processes, cached by fingerprint
+    (:mod:`repro.service`), and re-attached to a fresh router with
+    :meth:`ExpanderRouter.from_artifact` — which skips preprocessing entirely.
+
+    Attributes:
+        decomposition: the hierarchical decomposition (Theorem 3.2), including
+            every node's shuffler (Lemma 5.5).
+        best_index: the best-vertex delegation structure (Appendix D).
+        summary: the :class:`PreprocessSummary` reported when it was built.
+        preprocess_phases: the preprocessing ledger's per-phase round counts,
+            so a router restored from the artifact reports the same
+            ``preprocessing_rounds`` as the one that built it.
+        epsilon: tradeoff parameter the hierarchy was built with.
+        psi: sparsity parameter the shufflers were built with.
+        hierarchy_params: the full :class:`HierarchyParameters` used.
+        fingerprint: canonical graph+parameter hash (set by the service layer;
+            ``None`` for artifacts exported outside the cache).
+        format_version: bumped on incompatible layout changes so stale on-disk
+            pickles can be rejected instead of mis-read.
+    """
+
+    FORMAT_VERSION: ClassVar[int] = 1
+
+    decomposition: HierarchicalDecomposition
+    best_index: BestVertexIndex
+    summary: PreprocessSummary
+    preprocess_phases: dict[str, int]
+    epsilon: float
+    psi: float
+    hierarchy_params: HierarchyParameters
+    fingerprint: str | None = None
+    format_version: int = FORMAT_VERSION
+
+    @property
+    def preprocessing_rounds(self) -> int:
+        """Total preprocessing rounds recorded in the artifact."""
+        return sum(self.preprocess_phases.values())
+
+    def vertex_set(self) -> frozenset:
+        """The vertex set the artifact was preprocessed for."""
+        return frozenset(self.decomposition.graph.nodes())
+
+
 class ExpanderRouter:
     """Deterministic expander routing with a preprocessing/query tradeoff."""
 
@@ -149,6 +197,7 @@ class ExpanderRouter:
         self.best_index: BestVertexIndex | None = None
         self.preprocess_ledger = CostLedger()
         self.preprocessed = False
+        self.artifact: PreprocessArtifact | None = None
 
     # -- preprocessing -------------------------------------------------------
 
@@ -223,7 +272,7 @@ class ExpanderRouter:
         self.decomposition = decomposition
         self.best_index = best_index
         self.preprocessed = True
-        return PreprocessSummary(
+        summary = PreprocessSummary(
             rounds=ledger.total("preprocess"),
             hierarchy_levels=decomposition.levels(),
             node_count=len(decomposition.all_nodes()),
@@ -232,6 +281,65 @@ class ExpanderRouter:
             rho_best=decomposition.rho_best(),
             breakdown=ledger.breakdown(),
         )
+        self.artifact = PreprocessArtifact(
+            decomposition=decomposition,
+            best_index=best_index,
+            summary=summary,
+            preprocess_phases=ledger.breakdown(),
+            epsilon=self.epsilon,
+            psi=self.psi,
+            hierarchy_params=self.hierarchy_params,
+        )
+        return summary
+
+    def export_artifact(self, fingerprint: str | None = None) -> PreprocessArtifact:
+        """The preprocessed state as a picklable artifact (preprocessing first if needed).
+
+        Args:
+            fingerprint: optional canonical graph hash to stamp onto the
+                artifact (the service layer keys its cache with it).
+        """
+        if not self.preprocessed:
+            self.preprocess()
+        assert self.artifact is not None
+        if fingerprint is not None:
+            self.artifact.fingerprint = fingerprint
+        return self.artifact
+
+    @classmethod
+    def from_artifact(cls, graph: nx.Graph, artifact: PreprocessArtifact) -> "ExpanderRouter":
+        """A query-ready router that reuses ``artifact`` instead of preprocessing.
+
+        This is the lightweight query path: no connectivity check, no
+        conductance estimation, no hierarchy build — the router is ready to
+        :meth:`route` immediately, and reports the artifact's preprocessing
+        rounds in every outcome.  The caller is responsible for ``graph``
+        actually being the graph the artifact was preprocessed for (the
+        service layer guarantees this via fingerprinting); only the vertex set
+        is cross-checked here because that check is cheap.
+
+        Raises:
+            ValueError: if the artifact has an incompatible format version or
+                was built for a different vertex set.
+        """
+        if artifact.format_version != PreprocessArtifact.FORMAT_VERSION:
+            raise ValueError(
+                f"artifact format version {artifact.format_version} is not supported "
+                f"(expected {PreprocessArtifact.FORMAT_VERSION})"
+            )
+        if frozenset(graph.nodes()) != artifact.vertex_set():
+            raise ValueError("artifact was preprocessed for a different vertex set")
+        router = cls.__new__(cls)
+        router.graph = graph
+        router.epsilon = artifact.epsilon
+        router.psi = artifact.psi
+        router.hierarchy_params = artifact.hierarchy_params
+        router.decomposition = artifact.decomposition
+        router.best_index = artifact.best_index
+        router.preprocess_ledger = CostLedger(phases=dict(artifact.preprocess_phases))
+        router.preprocessed = True
+        router.artifact = artifact
+        return router
 
     # -- queries ---------------------------------------------------------------
 

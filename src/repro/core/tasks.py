@@ -9,8 +9,7 @@ legal instance, and by the tests to generate/validate instances directly.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from dataclasses import dataclass
 
 from repro.core.tokens import Token
 

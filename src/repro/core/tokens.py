@@ -15,7 +15,7 @@ phrased in terms of.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 __all__ = ["RoutingRequest", "Token", "TokenConfiguration"]
 

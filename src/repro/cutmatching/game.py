@@ -30,9 +30,9 @@ from typing import Sequence
 
 import networkx as nx
 
-from repro.cutmatching.cut_player import CutPlayerResult, SpectralCutPlayer
+from repro.cutmatching.cut_player import SpectralCutPlayer
 from repro.cutmatching.matching_player import MatchingPlayer
-from repro.cutmatching.potential import WalkState, mixing_threshold
+from repro.cutmatching.potential import WalkState
 from repro.cutmatching.shuffler import Shuffler, ShufflerMatching
 from repro.graphs.cluster import ClusterGraph, build_cluster_graph
 

@@ -19,7 +19,7 @@ by a ``(1 - 1/(36*720))`` factor per round, hence ``O(log n)`` rounds suffice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -17,9 +17,9 @@ embedded matching paths whose endpoints (the *portals*) live in the two parts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator, Sequence
+from typing import Hashable, Iterator
 
-from repro.cutmatching.potential import FractionalMatching, WalkState
+from repro.cutmatching.potential import WalkState
 from repro.embedding.embedding import Embedding
 from repro.embedding.paths import PathCollection
 

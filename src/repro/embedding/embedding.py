@@ -16,7 +16,7 @@ edge's endpoints in the base graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import Hashable, Iterable, Iterator
 
 import networkx as nx
 

@@ -33,12 +33,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 import networkx as nx
 
 from repro.embedding.embedding import Embedding
-from repro.embedding.paths import Path, PathCollection
+from repro.embedding.paths import Path
 
 __all__ = ["MatchingEmbedResult", "embed_matching"]
 

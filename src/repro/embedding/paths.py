@@ -15,8 +15,8 @@ therefore round cost — is always available.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
 
 __all__ = ["Path", "PathCollection"]
 

@@ -13,7 +13,7 @@ natural-fractional-matching translation used by the shuffler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import networkx as nx
 

@@ -21,8 +21,7 @@ integer labelling keeps everything simple and reproducible.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import networkx as nx
 

@@ -31,7 +31,7 @@ ultimately certifies).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 import networkx as nx

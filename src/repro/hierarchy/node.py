@@ -24,7 +24,7 @@ vertex.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, Optional
+from typing import Hashable, Iterator, Optional
 
 import networkx as nx
 

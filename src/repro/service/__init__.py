@@ -1,0 +1,24 @@
+"""The serving layer: fingerprinted artifact cache + batched parallel routing.
+
+``repro.service`` operationalises the paper's preprocessing/query tradeoff:
+preprocess each expander once, cache the resulting
+:class:`~repro.core.router.PreprocessArtifact` by canonical graph fingerprint
+(in memory and optionally on disk), and serve batches of routing queries in
+parallel off the shared artifacts.  See :class:`RoutingService` for the entry
+point and ``examples/serving_demo.py`` for a tour.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.fingerprint import canonical_graph_payload, graph_fingerprint
+from repro.service.service import BatchReport, QueryResult, RoutingQuery, RoutingService
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "canonical_graph_payload",
+    "graph_fingerprint",
+    "BatchReport",
+    "QueryResult",
+    "RoutingQuery",
+    "RoutingService",
+]

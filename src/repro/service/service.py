@@ -1,0 +1,355 @@
+"""The batched routing service: fingerprint, cache, fan out, report.
+
+:class:`RoutingService` is the serving layer the ROADMAP's production north
+star asks for.  It turns the paper's preprocessing/query tradeoff into an
+operational win:
+
+1. **Fingerprint** — every submitted query hashes its graph + parameters
+   (:func:`repro.service.fingerprint.graph_fingerprint`); queries on the same
+   expander share a key.
+2. **Cache** — per key, the expensive :meth:`ExpanderRouter.preprocess` runs
+   at most once; artifacts come from the :class:`ArtifactCache` (memory LRU +
+   optional disk pickles) whenever possible.
+3. **Fan out** — a batch is grouped per fingerprint; missing artifacts are
+   built concurrently (distinct graphs are independent), then every query of
+   the batch routes concurrently through a ``concurrent.futures`` pool, each
+   on a lightweight :meth:`ExpanderRouter.from_artifact` router.
+4. **Report** — each batch returns a :class:`BatchReport` (cache hit rate,
+   preprocessing rounds actually incurred vs. reused, query rounds, wall
+   clock) whose tables render through :mod:`repro.analysis.reporting`.
+
+Queries are pure with respect to the shared artifact — routing mutates only
+its own tokens and per-query ledgers — so concurrent queries on one artifact
+are safe.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import networkx as nx
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.core.router import ExpanderRouter, PreprocessArtifact, RoutingOutcome
+from repro.core.tokens import RoutingRequest
+from repro.hierarchy.builder import HierarchyParameters
+from repro.service.cache import ArtifactCache
+from repro.service.fingerprint import graph_fingerprint
+
+__all__ = ["RoutingQuery", "QueryResult", "BatchReport", "RoutingService"]
+
+
+@dataclass(frozen=True)
+class RoutingQuery:
+    """One submitted routing instance, normalised and fingerprinted.
+
+    Attributes:
+        query_id: service-assigned id, unique per service instance.
+        fingerprint: canonical hash of (graph, preprocessing parameters).
+        graph: the expander to route on.
+        requests: the Task 1 requests of this query.
+        load: explicit load parameter ``L`` (``None`` = infer per query).
+    """
+
+    query_id: int
+    fingerprint: str
+    graph: nx.Graph
+    requests: tuple[RoutingRequest, ...]
+    load: int | None = None
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query of a batch, plus serving metadata.
+
+    Attributes:
+        query_id: id assigned at :meth:`RoutingService.submit` time.
+        fingerprint: the cache key the query was served under.
+        outcome: the :class:`RoutingOutcome` (identical to a direct
+            :meth:`ExpanderRouter.route` call on the same instance).
+        cache_hit: True when the artifact existed before this batch.
+        seconds: wall-clock spent routing this query (excludes preprocessing).
+    """
+
+    query_id: int
+    fingerprint: str
+    outcome: RoutingOutcome
+    cache_hit: bool
+    seconds: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "query": self.query_id,
+            "graph": self.fingerprint[:10],
+            "tokens": self.outcome.total_tokens,
+            "delivered": self.outcome.delivered,
+            "load": self.outcome.load,
+            "query_rounds": self.outcome.query_rounds,
+            "cache_hit": self.cache_hit,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated serving stats for one :meth:`RoutingService.route_batch` call.
+
+    Attributes:
+        results: per-query results, in submission order.
+        distinct_graphs: number of distinct fingerprints in the batch.
+        cache_hits: queries whose artifact predated the batch.
+        cache_misses: queries that had to wait for a fresh preprocess.
+        preprocess_rounds_incurred: CONGEST rounds of *new* preprocessing this
+            batch paid for (0 on a fully warm cache).
+        preprocess_rounds_reused: rounds of preprocessing served from cache —
+            the amortization the paper's tradeoff buys.
+        preprocess_seconds: wall-clock spent building missing artifacts.
+        wall_seconds: wall-clock of the whole batch.
+    """
+
+    results: list[QueryResult] = field(default_factory=list)
+    distinct_graphs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    preprocess_rounds_incurred: int = 0
+    preprocess_rounds_reused: int = 0
+    preprocess_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def query_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.cache_hits / len(self.results)
+
+    @property
+    def total_query_rounds(self) -> int:
+        return sum(result.outcome.query_rounds for result in self.results)
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(result.outcome.all_delivered for result in self.results)
+
+    def summary(self) -> dict[str, object]:
+        """The batch headline numbers as a plain dict."""
+        return {
+            "queries": self.query_count,
+            "distinct_graphs": self.distinct_graphs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
+            "preprocess_rounds_reused": self.preprocess_rounds_reused,
+            "total_query_rounds": self.total_query_rounds,
+            "all_delivered": self.all_delivered,
+            "preprocess_seconds": self.preprocess_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def render(self, per_query: bool = True) -> str:
+        """Human-readable report (summary block plus optional per-query table)."""
+        parts = [format_kv(self.summary(), title="batch")]
+        if per_query and self.results:
+            parts.append(format_table([result.as_row() for result in self.results]))
+        return "\n\n".join(parts)
+
+
+class RoutingService:
+    """Batched, cached, parallel front end over :class:`ExpanderRouter`.
+
+    Args:
+        epsilon: tradeoff parameter used for every preprocess (part of the
+            cache key, so services with different epsilons never share
+            artifacts even over a shared disk tier).
+        psi: optional explicit sparsity parameter (part of the cache key).
+        hierarchy_params: optional full hierarchy parameter override; when
+            given, its fields join the cache key.
+        cache: the artifact cache to use (fresh default-sized
+            :class:`ArtifactCache` when omitted).
+        max_workers: worker pool size for one batch (``None`` = executor
+            default).
+        executor_factory: alternative ``concurrent.futures`` executor factory
+            taking ``max_workers``; defaults to :class:`ThreadPoolExecutor`.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.5,
+        psi: float | None = None,
+        hierarchy_params: HierarchyParameters | None = None,
+        cache: ArtifactCache | None = None,
+        max_workers: int | None = None,
+        executor_factory: Callable[[int | None], Executor] | None = None,
+    ) -> None:
+        self.epsilon = epsilon
+        self.psi = psi
+        self.hierarchy_params = hierarchy_params
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.max_workers = max_workers
+        self._executor_factory = executor_factory or (
+            lambda workers: ThreadPoolExecutor(max_workers=workers)
+        )
+        self._pending: list[RoutingQuery] = []
+        self._next_query_id = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def fingerprint(self, graph: nx.Graph) -> str:
+        """The cache key this service uses for ``graph``."""
+        parameters: dict[str, Hashable] = {"epsilon": self.epsilon}
+        if self.psi is not None:
+            parameters["psi"] = self.psi
+        if self.hierarchy_params is not None:
+            parameters.update(
+                (f"hierarchy.{key}", value)
+                for key, value in sorted(vars(self.hierarchy_params).items())
+            )
+        return graph_fingerprint(graph, parameters)
+
+    def submit(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest],
+        load: int | None = None,
+    ) -> int:
+        """Queue one routing query for the next batch; returns its query id."""
+        query = RoutingQuery(
+            query_id=self._next_query_id,
+            fingerprint=self.fingerprint(graph),
+            graph=graph,
+            requests=tuple(requests),
+            load=load,
+        )
+        self._next_query_id += 1
+        self._pending.append(query)
+        return query.query_id
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- execution -----------------------------------------------------------
+
+    def route_batch(self, queries: Sequence[RoutingQuery] | None = None) -> BatchReport:
+        """Route a batch (the pending queue when ``queries`` is omitted).
+
+        Grouping, artifact resolution, and query execution are all per
+        fingerprint: one preprocess per distinct cold graph (built
+        concurrently), then every query routed concurrently on shared
+        read-only artifacts.
+        """
+        if queries is None:
+            queries, self._pending = self._pending, []
+        else:
+            queries = list(queries)
+        report = BatchReport()
+        if not queries:
+            return report
+        batch_start = time.perf_counter()
+
+        by_fingerprint: dict[str, list[RoutingQuery]] = {}
+        for query in queries:
+            by_fingerprint.setdefault(query.fingerprint, []).append(query)
+        report.distinct_graphs = len(by_fingerprint)
+
+        with self._executor_factory(self.max_workers) as pool:
+            # Phase 1: resolve an artifact per distinct fingerprint (cache
+            # lookups first, cold preprocesses concurrently in the pool).
+            artifacts: dict[str, PreprocessArtifact] = {}
+            warm: dict[str, bool] = {}
+            cold: dict[str, RoutingQuery] = {}
+            for fingerprint, group in by_fingerprint.items():
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    artifacts[fingerprint] = cached
+                    warm[fingerprint] = True
+                    report.preprocess_rounds_reused += cached.preprocessing_rounds
+                else:
+                    cold[fingerprint] = group[0]
+                    warm[fingerprint] = False
+            if cold:
+                preprocess_start = time.perf_counter()
+                futures = {
+                    fingerprint: pool.submit(self._build_artifact, query)
+                    for fingerprint, query in cold.items()
+                }
+                for fingerprint, future in futures.items():
+                    artifact = future.result()
+                    artifacts[fingerprint] = artifact
+                    self.cache.put(fingerprint, artifact)
+                    report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                report.preprocess_seconds = time.perf_counter() - preprocess_start
+
+            # Phase 2: route every query of the batch concurrently.
+            routers = {
+                fingerprint: ExpanderRouter.from_artifact(
+                    by_fingerprint[fingerprint][0].graph, artifact
+                )
+                for fingerprint, artifact in artifacts.items()
+            }
+            result_futures = [
+                (query, pool.submit(self._route_one, routers[query.fingerprint], query))
+                for query in queries
+            ]
+            for query, future in result_futures:
+                outcome, seconds = future.result()
+                report.results.append(
+                    QueryResult(
+                        query_id=query.query_id,
+                        fingerprint=query.fingerprint,
+                        outcome=outcome,
+                        cache_hit=warm[query.fingerprint],
+                        seconds=seconds,
+                    )
+                )
+
+        report.cache_hits = sum(1 for result in report.results if result.cache_hit)
+        report.cache_misses = len(report.results) - report.cache_hits
+        report.wall_seconds = time.perf_counter() - batch_start
+        return report
+
+    def route(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest],
+        load: int | None = None,
+    ) -> RoutingOutcome:
+        """Route one instance immediately (a batch of one), returning its outcome.
+
+        Queries queued via :meth:`submit` are left pending — this routes only
+        the instance passed here.
+        """
+        query = RoutingQuery(
+            query_id=self._next_query_id,
+            fingerprint=self.fingerprint(graph),
+            graph=graph,
+            requests=tuple(requests),
+            load=load,
+        )
+        self._next_query_id += 1
+        report = self.route_batch([query])
+        return report.results[0].outcome
+
+    # -- internals -----------------------------------------------------------
+
+    def _build_artifact(self, query: RoutingQuery) -> PreprocessArtifact:
+        router = ExpanderRouter(
+            query.graph,
+            epsilon=self.epsilon,
+            psi=self.psi,
+            hierarchy_params=self.hierarchy_params,
+        )
+        return router.export_artifact(fingerprint=query.fingerprint)
+
+    @staticmethod
+    def _route_one(router: ExpanderRouter, query: RoutingQuery) -> tuple[RoutingOutcome, float]:
+        start = time.perf_counter()
+        outcome = router.route(list(query.requests), load=query.load)
+        return outcome, time.perf_counter() - start

@@ -23,8 +23,8 @@ precomputed ``I_AKS`` embedding; higher up, the flattened hierarchy quality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
 
 from repro.sorting.networks import SortingNetwork, batcher_odd_even_network
 

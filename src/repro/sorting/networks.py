@@ -23,7 +23,7 @@ discarding comparators that touch positions ``>= n`` (the standard
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, MutableSequence, Sequence
+from typing import Iterable, Sequence
 
 __all__ = [
     "SortingNetwork",

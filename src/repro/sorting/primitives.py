@@ -20,8 +20,8 @@ sort, which is why the cost is a constant number of sort invocations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.sorting.expander_sort import SortItem, expander_sort
 

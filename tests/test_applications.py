@@ -14,7 +14,6 @@ from repro.graphs.generators import (
     erdos_renyi_graph,
     planted_clique_graph,
     two_expander_graph,
-    weighted_expander,
 )
 
 

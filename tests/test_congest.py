@@ -1,6 +1,5 @@
 """Tests for the CONGEST simulator: network, primitives, and the path scheduler."""
 
-import math
 
 import networkx as nx
 import pytest
@@ -15,7 +14,6 @@ from repro.congest.primitives import (
     elect_leader,
 )
 from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
-from repro.graphs.conductance import diameter_upper_bound, estimate_conductance
 
 
 # -- network ------------------------------------------------------------------

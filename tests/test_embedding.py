@@ -6,7 +6,7 @@ import pytest
 from repro.embedding.embedding import Embedding, compose, identity_embedding, union
 from repro.embedding.matching_embed import embed_matching
 from repro.embedding.paths import Path, PathCollection
-from repro.graphs.generators import circulant_expander, two_expander_graph
+from repro.graphs.generators import two_expander_graph
 
 
 # -- paths ---------------------------------------------------------------------

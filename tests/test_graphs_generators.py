@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.graphs.conductance import estimate_conductance, spectral_gap
+from repro.graphs.conductance import spectral_gap
 from repro.graphs.generators import (
     barbell_of_expanders,
     circulant_expander,

@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.graphs.cluster import build_cluster_graph, natural_fractional_matching
-from repro.graphs.conductance import estimate_conductance, exact_sparsity
+from repro.graphs.conductance import estimate_conductance
 from repro.graphs.expander_split import expander_split
 from repro.graphs.generators import circulant_expander, skewed_degree_expander
 

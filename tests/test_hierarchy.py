@@ -4,7 +4,6 @@ import networkx as nx
 import pytest
 
 from repro.graphs.conductance import spectral_gap
-from repro.graphs.generators import random_regular_expander
 from repro.hierarchy.best import best_counts_per_part, build_best_index, locate_best_rank
 from repro.hierarchy.builder import (
     HierarchyParameters,

@@ -1,0 +1,245 @@
+"""Tests for the serving layer: fingerprints, artifact cache, batched routing."""
+
+import pickle
+
+import pytest
+
+from repro.core.router import ExpanderRouter, PreprocessArtifact
+from repro.core.tokens import RoutingRequest
+from repro.graphs.generators import circulant_expander, weighted_expander
+from repro.service import (
+    ArtifactCache,
+    BatchReport,
+    RoutingService,
+    graph_fingerprint,
+)
+
+
+def _permutation(graph, shift=5):
+    n = graph.number_of_nodes()
+    return [RoutingRequest(source=v, destination=(v + shift) % n) for v in graph.nodes()]
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return circulant_expander(48)
+
+
+@pytest.fixture(scope="module")
+def small_artifact(small_graph):
+    return ExpanderRouter(small_graph, epsilon=0.5).export_artifact(fingerprint="small")
+
+
+# -- fingerprints -----------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_across_edge_order(small_graph):
+    import networkx as nx
+
+    shuffled = nx.Graph()
+    shuffled.add_nodes_from(reversed(sorted(small_graph.nodes())))
+    shuffled.add_edges_from(reversed(list(small_graph.edges())))
+    assert graph_fingerprint(shuffled) == graph_fingerprint(small_graph)
+
+
+def test_fingerprint_changes_with_topology_weights_and_parameters(small_graph):
+    base = graph_fingerprint(small_graph, {"epsilon": 0.5})
+
+    mutated = small_graph.copy()
+    mutated.add_edge(0, small_graph.number_of_nodes() // 2 + 1)
+    assert graph_fingerprint(mutated, {"epsilon": 0.5}) != base
+
+    weighted = weighted_expander(48, degree=6, seed=2)
+    reweighted = weighted.copy()
+    u, v = next(iter(reweighted.edges()))
+    reweighted[u][v]["weight"] = reweighted[u][v].get("weight", 1.0) + 1.0
+    assert graph_fingerprint(reweighted) != graph_fingerprint(weighted)
+
+    assert graph_fingerprint(small_graph, {"epsilon": 0.7}) != base
+    assert graph_fingerprint(small_graph) != base
+
+
+# -- artifact cache ---------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(small_artifact):
+    cache = ArtifactCache(capacity=2)
+    assert cache.get("small") is None
+    cache.put("small", small_artifact)
+    assert cache.get("small") is small_artifact
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_cache_lru_evicts_least_recently_used(small_artifact):
+    cache = ArtifactCache(capacity=2)
+    cache.put("a", small_artifact)
+    cache.put("b", small_artifact)
+    assert cache.get("a") is not None  # refresh "a"; "b" is now the LRU entry
+    cache.put("c", small_artifact)
+    assert cache.stats.evictions == 1
+    assert "b" not in cache
+    assert cache.get("a") is not None and cache.get("c") is not None
+
+
+def test_cache_disk_tier_survives_a_new_cache(tmp_path, small_artifact):
+    first = ArtifactCache(capacity=2, disk_dir=tmp_path / "store")
+    first.put("small", small_artifact)
+    assert (tmp_path / "store" / "small.pkl").exists()
+
+    second = ArtifactCache(capacity=2, disk_dir=tmp_path / "store")
+    restored = second.get("small")
+    assert restored is not None
+    assert second.stats.disk_hits == 1
+    assert restored.preprocessing_rounds == small_artifact.preprocessing_rounds
+    # Promoted into memory: the next lookup is a plain hit.
+    assert second.get("small") is restored
+    assert second.stats.hits == 1
+
+
+def test_cache_rejects_corrupt_and_mismatched_disk_entries(tmp_path, small_artifact):
+    cache = ArtifactCache(capacity=2, disk_dir=tmp_path)
+    (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+    assert cache.get("bad") is None
+    assert not (tmp_path / "bad.pkl").exists()
+
+    # A valid pickle stored under the wrong fingerprint must not be served.
+    with open(tmp_path / "other.pkl", "wb") as handle:
+        pickle.dump(small_artifact, handle)
+    assert cache.get("other") is None
+    assert cache.stats.disk_rejects == 2
+
+
+# -- artifact export / restore ----------------------------------------------------
+
+
+def test_artifact_pickle_round_trip_routes_identically(small_graph, small_artifact):
+    clone = pickle.loads(pickle.dumps(small_artifact))
+    assert isinstance(clone, PreprocessArtifact)
+    assert clone.fingerprint == "small"
+    assert clone.preprocessing_rounds == small_artifact.preprocessing_rounds
+
+    original = ExpanderRouter.from_artifact(small_graph, small_artifact)
+    restored = ExpanderRouter.from_artifact(small_graph, clone)
+    requests = _permutation(small_graph)
+    first = original.route(requests)
+    second = restored.route(requests)
+    assert second.all_delivered
+    assert second.query_rounds == first.query_rounds
+    assert second.preprocessing_rounds == first.preprocessing_rounds
+    assert [t.current_vertex for t in second.tokens] == [t.current_vertex for t in first.tokens]
+
+
+def test_from_artifact_rejects_wrong_graph_and_version(small_graph, small_artifact):
+    other = circulant_expander(32)
+    with pytest.raises(ValueError, match="vertex set"):
+        ExpanderRouter.from_artifact(other, small_artifact)
+
+    stale = pickle.loads(pickle.dumps(small_artifact))
+    stale.format_version = 999
+    with pytest.raises(ValueError, match="format version"):
+        ExpanderRouter.from_artifact(small_graph, stale)
+
+
+# -- routing service --------------------------------------------------------------
+
+
+def test_batch_results_match_sequential_route(small_graph):
+    service = RoutingService(epsilon=0.5, max_workers=4)
+    workloads = [_permutation(small_graph, shift) for shift in (1, 5, 9, 13)]
+    for requests in workloads:
+        service.submit(small_graph, requests)
+    report = service.route_batch()
+    assert isinstance(report, BatchReport)
+    assert report.query_count == 4
+    assert report.all_delivered
+
+    router = ExpanderRouter(small_graph, epsilon=0.5)
+    router.preprocess()
+    for result, requests in zip(sorted(report.results, key=lambda r: r.query_id), workloads):
+        sequential = router.route(requests)
+        assert result.outcome.query_rounds == sequential.query_rounds
+        assert result.outcome.delivered == sequential.delivered
+        assert [t.current_vertex for t in result.outcome.tokens] == [
+            t.current_vertex for t in sequential.tokens
+        ]
+
+
+def test_batch_preprocesses_each_distinct_graph_once(small_graph):
+    service = RoutingService(epsilon=0.5)
+    other = circulant_expander(32)
+    for _ in range(3):
+        service.submit(small_graph, _permutation(small_graph))
+    service.submit(other, _permutation(other))
+    report = service.route_batch()
+    assert report.distinct_graphs == 2
+    assert report.cache_misses == 4  # every query of a cold batch waits on a build
+    assert service.cache.stats.stores == 2  # but each graph is preprocessed once
+    assert report.preprocess_rounds_incurred > 0
+
+    warm = service.route_batch([])  # empty batch is a no-op
+    assert warm.query_count == 0
+
+
+def test_warm_batch_skips_preprocessing_entirely(small_graph):
+    service = RoutingService(epsilon=0.5)
+    service.route(small_graph, _permutation(small_graph))
+    for shift in (2, 4, 6):
+        service.submit(small_graph, _permutation(small_graph, shift))
+    report = service.route_batch()
+    assert report.cache_hits == 3
+    assert report.cache_hit_rate == 1.0
+    assert report.preprocess_rounds_incurred == 0
+    assert report.preprocess_rounds_reused > 0
+    assert report.all_delivered
+
+
+def test_route_returns_its_own_outcome_not_a_pending_query(small_graph):
+    service = RoutingService(epsilon=0.5)
+    pending = _permutation(small_graph)
+    service.submit(small_graph, pending)
+    single = [RoutingRequest(source=0, destination=1)]
+    outcome = service.route(small_graph, single)
+    assert outcome.total_tokens == 1  # not the 48-token pending query
+    assert service.pending_count == 1  # submit()ed work is still queued
+    report = service.route_batch()
+    assert report.query_count == 1
+    assert report.results[0].outcome.total_tokens == len(pending)
+
+
+def test_graph_change_invalidates_the_cache_entry(small_graph):
+    service = RoutingService(epsilon=0.5)
+    service.route(small_graph, _permutation(small_graph))
+
+    mutated = small_graph.copy()
+    mutated.add_edge(0, 17)
+    assert service.fingerprint(mutated) != service.fingerprint(small_graph)
+    service.submit(mutated, _permutation(mutated))
+    report = service.route_batch()
+    # The mutated graph is a different key: preprocessed fresh, not served stale.
+    assert report.cache_hits == 0
+    assert report.preprocess_rounds_incurred > 0
+    assert report.all_delivered
+
+
+def test_services_with_different_parameters_do_not_share_artifacts(small_graph, tmp_path):
+    store = tmp_path / "artifacts"
+    coarse = RoutingService(epsilon=0.7, cache=ArtifactCache(disk_dir=store))
+    fine = RoutingService(epsilon=0.34, cache=ArtifactCache(disk_dir=store))
+    coarse.route(small_graph, _permutation(small_graph))
+    fine.route(small_graph, _permutation(small_graph))
+    assert coarse.fingerprint(small_graph) != fine.fingerprint(small_graph)
+    assert fine.cache.stats.disk_hits == 0  # the shared disk tier never cross-serves
+
+
+def test_batch_report_renders_through_reporting_helpers(small_graph):
+    service = RoutingService(epsilon=0.5)
+    service.submit(small_graph, _permutation(small_graph))
+    report = service.route_batch()
+    rendered = report.render()
+    assert "cache_hit_rate" in rendered
+    assert "query_rounds" in rendered
+    summary = report.summary()
+    assert summary["queries"] == 1
+    assert summary["all_delivered"] is True
