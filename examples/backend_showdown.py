@@ -1,0 +1,58 @@
+"""Backend showdown: the paper's comparison, end to end through the service.
+
+Routes the same workload shapes through every registered routing backend —
+the paper's deterministic router (Theorem 1.1), the CS20-style
+rebuild-per-query comparator, the randomized GKS baseline, and naive direct
+routing — via :meth:`RoutingService.compare_batch`, then repeats the
+comparison warm to show the deterministic backend's preprocessing amortizing
+to zero while the rebuild comparator pays full price in every query.
+
+Run with:  PYTHONPATH=src python examples/backend_showdown.py
+"""
+
+from repro.backends import available_backends
+from repro.graphs import random_regular_expander
+from repro.service import RoutingService
+from repro.workloads import make_workload
+
+WORKLOAD_SPECS = [
+    ("permutation", {"shift": 3}),
+    ("hotspot", {"load": 2, "seed": 1}),
+    ("adversarial-bipartite", {"seed": 2}),
+    ("multi-token", {"load": 2}),
+]
+
+
+def main() -> None:
+    n = 96
+    graph = random_regular_expander(n, degree=8, seed=7)
+    workloads = [make_workload(name, graph, **params) for name, params in WORKLOAD_SPECS]
+    service = RoutingService(epsilon=0.5, max_workers=4)
+
+    print(f"== cold comparison: {', '.join(available_backends())} on n={n} ==")
+    cold = service.compare_batch(graph, workloads)
+    print(cold.render())
+
+    print("\n== warm repeat: the deterministic artifact comes from the cache ==")
+    warm = service.compare_batch(graph, workloads)
+    det = warm.batch_reports["deterministic"]
+    print(
+        f"deterministic: preprocess_rounds_incurred={det.preprocess_rounds_incurred} "
+        f"(reused {det.preprocess_rounds_reused}); "
+        "rebuild-per-query still pays its rebuild inside every query's rounds."
+    )
+    assert det.preprocess_rounds_incurred == 0
+    assert warm.all_delivered
+
+    print(
+        "\nReading the tables: 'direct' reports raw congestion+dilation rounds, "
+        "which stay small on a benign expander but carry no worst-case guarantee; "
+        "'rebuild-per-query' delivers everything but re-pays the full preprocessing "
+        "(plus the sequential pair-iteration factor) inside every query; the "
+        "deterministic backend matches the randomized baseline's guarantee with no "
+        "randomness and amortizes its preprocessing across the batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,41 +2,52 @@
 
 Sweeps the tradeoff parameter epsilon, measuring preprocessing rounds,
 per-query rounds, and the amortized cost over a batch of queries (with reuse)
-against a CS20-style rebuild-per-query strategy.
+against the CS20-style rebuild-per-query backend — both sides now measured
+through the pluggable backend layer (see ``examples/backend_showdown.py`` for
+the full multi-backend comparison across workload shapes).
 
-Run with:  python examples/preprocess_query_tradeoff.py
+Run with:  PYTHONPATH=src python examples/preprocess_query_tradeoff.py
 """
 
-from repro.analysis import permutation_requests, print_table
-from repro.core import ExpanderRouter
+from repro.analysis import print_table
+from repro.backends import get_backend
 from repro.graphs import random_regular_expander
+from repro.workloads import multi_token_workload
 
 
 def main() -> None:
     n, load, queries = 128, 2, 4
     graph = random_regular_expander(n, degree=8, seed=1)
+    workload = multi_token_workload(graph, load=load)
+    rebuild = get_backend("rebuild-per-query", graph, epsilon=0.5)
+    rebuild_rounds = rebuild.route(list(workload.requests), load=load).query_rounds
     rows = []
     for epsilon in (0.34, 0.5, 0.7):
-        router = ExpanderRouter(graph, epsilon=epsilon)
-        summary = router.preprocess()
-        requests = permutation_requests(graph, load)
-        per_query = [router.route(requests).query_rounds for _ in range(queries)]
+        backend = get_backend("deterministic", graph, epsilon=epsilon)
+        info = backend.preprocess()
+        per_query = [
+            backend.route(list(workload.requests), load=load).query_rounds
+            for _ in range(queries)
+        ]
         mean_query = sum(per_query) / len(per_query)
         rows.append(
             {
                 "epsilon": epsilon,
-                "hierarchy_levels": summary.hierarchy_levels,
-                "preprocess_rounds": summary.rounds,
+                "hierarchy_levels": info.details["hierarchy_levels"],
+                "preprocess_rounds": info.rounds,
                 "query_rounds": mean_query,
-                "amortized_with_reuse": summary.rounds / queries + mean_query,
-                "rebuild_per_query": summary.rounds + mean_query,
+                "amortized_with_reuse": info.rounds / queries + mean_query,
+                "rebuild_per_query": rebuild_rounds,
             }
         )
     print(f"Preprocessing/query tradeoff on n={n}, L={load}, {queries} queries (Theorem 1.1)")
     print_table(rows)
     print(
         "\nReading the table: larger epsilon -> shallower hierarchy -> cheaper queries; "
-        "reusing the preprocessing across queries always beats rebuilding it per query."
+        "from the default epsilon up, amortizing the preprocessing over the batch is "
+        "an order of magnitude below the rebuild-per-query backend, whose measured "
+        "rounds re-pay the full preprocessing (plus the sequential pair-iteration "
+        "factor) on every query."
     )
 
 

@@ -23,11 +23,18 @@ Quickstart::
     print(outcome.query_rounds)
 """
 
+from repro.backends import (
+    RouteResult,
+    RoutingBackend,
+    available_backends,
+    get_backend,
+)
 from repro.core.router import ExpanderRouter, PreprocessArtifact, RoutingOutcome
 from repro.core.tokens import RoutingRequest, Token
-from repro.service import ArtifactCache, BatchReport, RoutingService
+from repro.service import ArtifactCache, BatchReport, ComparisonReport, RoutingService
+from repro.workloads import Workload, available_workloads, make_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExpanderRouter",
@@ -37,6 +44,14 @@ __all__ = [
     "Token",
     "ArtifactCache",
     "BatchReport",
+    "ComparisonReport",
     "RoutingService",
+    "RouteResult",
+    "RoutingBackend",
+    "available_backends",
+    "get_backend",
+    "Workload",
+    "available_workloads",
+    "make_workload",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from repro.baselines import (
 from repro.core.router import ExpanderRouter
 from repro.core.tokens import RoutingRequest
 from repro.graphs.generators import random_regular_expander
+from repro.workloads import multi_token_workload, shifted_destination
 
 __all__ = [
     "permutation_requests",
@@ -29,27 +30,13 @@ __all__ = [
 ]
 
 
-def shifted_destination(vertex: int, n: int, shift: int) -> int:
-    """A fixed-point-free-ish permutation used by the routing workloads.
-
-    ``v -> (3v + 7*shift) mod n`` is a bijection whenever ``gcd(3, n) = 1``;
-    for multiples of 3 we fall back to a plain rotation.
-    """
-    if n % 3 == 0:
-        return (vertex + 7 * shift + 1) % n
-    return (3 * vertex + 7 * shift) % n
-
-
 def permutation_requests(graph: nx.Graph, load: int) -> list[RoutingRequest]:
-    """A load-``L`` routing instance: ``L`` disjoint permutations of the vertices."""
-    n = graph.number_of_nodes()
-    requests: list[RoutingRequest] = []
-    for shift in range(1, load + 1):
-        for vertex in sorted(graph.nodes()):
-            requests.append(
-                RoutingRequest(source=vertex, destination=shifted_destination(vertex, n, shift))
-            )
-    return requests
+    """A load-``L`` routing instance: ``L`` disjoint permutations of the vertices.
+
+    Thin wrapper over :func:`repro.workloads.multi_token_workload`, kept for
+    the experiment drivers' historical API.
+    """
+    return list(multi_token_workload(graph, load=load).requests)
 
 
 def run_tradeoff_point(

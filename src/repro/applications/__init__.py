@@ -1,11 +1,17 @@
 """Applications built on deterministic expander routing (Corollaries 1.3, 1.4, Appendix F)."""
 
-from repro.applications.clique import CliqueListingResult, brute_force_cliques, enumerate_cliques
+from repro.applications.clique import (
+    CliqueListingResult,
+    brute_force_cliques,
+    enumerate_cliques,
+    measured_query_round_cost,
+)
 from repro.applications.expander_decomposition import ExpanderDecomposition, decompose
 from repro.applications.mst import MSTResult, boruvka_mst
 from repro.applications.sorting_equivalence import (
     RouteRecord,
     SortRecord,
+    routing_oracle_from_backend,
     routing_via_sorting,
     sorting_via_routing,
 )
@@ -20,6 +26,8 @@ __all__ = [
     "CliqueListingResult",
     "brute_force_cliques",
     "enumerate_cliques",
+    "measured_query_round_cost",
+    "routing_oracle_from_backend",
     "ExpanderDecomposition",
     "decompose",
     "MSTResult",

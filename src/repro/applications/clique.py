@@ -31,8 +31,15 @@ from typing import Hashable, Iterable
 import networkx as nx
 
 from repro.applications.expander_decomposition import ExpanderDecomposition, decompose
+from repro.backends.base import RoutingBackend
+from repro.core.tokens import RoutingRequest
 
-__all__ = ["CliqueListingResult", "enumerate_cliques", "brute_force_cliques"]
+__all__ = [
+    "CliqueListingResult",
+    "enumerate_cliques",
+    "brute_force_cliques",
+    "measured_query_round_cost",
+]
 
 
 @dataclass
@@ -96,11 +103,32 @@ def _list_cliques_with_edges(edges: set[tuple], candidate_vertices: Iterable, k:
     return found
 
 
+def measured_query_round_cost(backend: RoutingBackend) -> int:
+    """Measure one permutation routing query on ``backend``'s own graph.
+
+    The clique listing charges a fixed per-batch routing cost; instead of the
+    polylog estimate, this measures what one load-1 permutation query actually
+    costs through the given backend (preprocessing it first if needed), so
+    the listing's round accounting is end to end for any registered backend.
+    """
+    vertices = sorted(backend.graph.nodes())
+    n = len(vertices)
+    if n < 2:
+        return 1
+    backend.preprocess()
+    requests = [
+        RoutingRequest(source=vertex, destination=vertices[(index + 1) % n])
+        for index, vertex in enumerate(vertices)
+    ]
+    return max(1, backend.route(requests).query_rounds)
+
+
 def enumerate_cliques(
     graph: nx.Graph,
     k: int = 3,
     phi: float | None = None,
     query_round_cost: int | None = None,
+    backend: RoutingBackend | None = None,
 ) -> CliqueListingResult:
     """List every k-clique of ``graph`` deterministically (Corollary 1.4).
 
@@ -110,8 +138,11 @@ def enumerate_cliques(
         phi: conductance parameter of the expander decomposition; defaults to
             ``1 / log2(n)`` (the ``1/polylog n`` choice of the corollary).
         query_round_cost: rounds charged per expander-routing query batch;
-            defaults to a polylog estimate — pass a measured value from an
-            :class:`~repro.core.router.ExpanderRouter` for end-to-end accounting.
+            defaults to a polylog estimate.
+        backend: a :class:`~repro.backends.RoutingBackend` (built on a
+            representative expander) whose measured per-query cost replaces
+            the polylog estimate when ``query_round_cost`` is omitted — this
+            is how the listing's accounting plugs into any routing strategy.
     """
     if k < 3:
         raise ValueError("k must be at least 3")
@@ -121,7 +152,10 @@ def enumerate_cliques(
     if phi is None:
         phi = 1.0 / max(math.log2(max(n, 4)), 2.0)
     if query_round_cost is None:
-        query_round_cost = int(math.log2(max(n, 4)) ** 3)
+        if backend is not None:
+            query_round_cost = measured_query_round_cost(backend)
+        else:
+            query_round_cost = int(math.log2(max(n, 4)) ** 3)
 
     decomposition: ExpanderDecomposition = decompose(graph, phi=phi)
     result = CliqueListingResult(

@@ -28,6 +28,7 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.backends.base import RoutingBackend, get_backend
 from repro.core.router import ExpanderRouter
 from repro.core.tokens import RoutingRequest
 from repro.graphs.conductance import estimate_conductance
@@ -78,21 +79,44 @@ def boruvka_mst(
     graph: nx.Graph,
     router: ExpanderRouter | None = None,
     epsilon: float = 0.5,
+    backend: RoutingBackend | str | None = None,
 ) -> MSTResult:
-    """Compute the MST of a weighted expander with Boruvka over expander routing."""
+    """Compute the MST of a weighted expander with Boruvka over expander routing.
+
+    Args:
+        graph: the weighted expander.
+        router: an (optionally preprocessed) :class:`ExpanderRouter` to reuse;
+            shorthand for passing a deterministic backend wrapping it.
+        epsilon: tradeoff parameter when the deterministic backend is built
+            here.
+        backend: the routing backend the merge-proposal exchanges go through —
+            a :class:`~repro.backends.RoutingBackend` instance, a registry
+            name, or ``None`` for the paper's deterministic router.  Every
+            backend yields the same MST; what changes is the round cost of the
+            routing invocations (the comparison of Corollary 1.3).
+    """
     if graph.number_of_nodes() == 0:
         return MSTResult()
-    if router is None:
-        router = ExpanderRouter(graph, epsilon=epsilon)
-    if not router.preprocessed:
-        router.preprocess()
+    if backend is None:
+        backend = "deterministic"
+    if isinstance(backend, str):
+        # Thread the explicit tradeoff arguments through to backends that take
+        # them, so `boruvka_mst(graph, epsilon=..., backend="deterministic")`
+        # and the router-reuse shorthand behave the same as the default path.
+        params = {}
+        if backend in ("deterministic", "rebuild-per-query"):
+            params["epsilon"] = epsilon
+        if backend == "deterministic" and router is not None:
+            params["router"] = router
+        backend = get_backend(backend, graph, **params)
+    info = backend.preprocess()
 
     n = graph.number_of_nodes()
     phi = max(estimate_conductance(graph, exact_threshold=10), 0.05)
     fragment_diameter_bound = int(math.ceil(2.0 * math.log(max(n, 2)) / phi))
 
     component_of = {v: index for index, v in enumerate(sorted(graph.nodes()))}
-    result = MSTResult(preprocessing_rounds=router.preprocess_ledger.total("preprocess"))
+    result = MSTResult(preprocessing_rounds=info.rounds)
     mst_edges: set[tuple] = set()
 
     while len(set(component_of.values())) > 1:
@@ -124,7 +148,7 @@ def boruvka_mst(
             # Several fragments may target the same leader; the per-vertex load
             # is the number of incoming merge proposals, which Boruvka bounds
             # by the fragment's degree in the fragment graph.
-            outcome = router.route(requests)
+            outcome = backend.route(requests)
             result.routing_queries += 1
             result.rounds += outcome.query_rounds
         # Fragment-internal sweep: broadcast the chosen edge + collect merges.

@@ -17,8 +17,10 @@ small overhead.
   ``O(1)`` sorting calls.
 
 Both reductions are implemented against *oracle interfaces* so they can be run
-either with the paper's own machinery (our router / expander sorter) or with
-idealised oracles in tests, and both report how many oracle calls they made —
+either with the paper's own machinery (our router / expander sorter), with any
+registered routing backend (:func:`routing_oracle_from_backend` turns a
+:class:`~repro.backends.RoutingBackend` into a Lemma F.1 oracle), or with
+idealised oracles in tests; both report how many oracle calls they made —
 that count is the measured content of experiment E7.
 """
 
@@ -27,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+from repro.backends.base import RoutingBackend
+from repro.core.tokens import RoutingRequest
 from repro.sorting.networks import SortingNetwork, batcher_odd_even_network
 
 __all__ = [
@@ -34,6 +38,7 @@ __all__ = [
     "RouteRecord",
     "sorting_via_routing",
     "routing_via_sorting",
+    "routing_oracle_from_backend",
 ]
 
 #: A routing oracle: given {vertex: [(destination, item), ...]}, deliver every
@@ -60,6 +65,44 @@ class RouteRecord:
 
     delivered: dict[Hashable, list[Any]] = field(default_factory=dict)
     sorting_calls: int = 0
+
+
+def routing_oracle_from_backend(backend: RoutingBackend) -> "RoutingOracle":
+    """A Lemma F.1 routing oracle backed by any registered routing backend.
+
+    Each oracle call turns the addressed demands into one Task 1 instance and
+    routes it through ``backend``; the oracle raises if the backend fails to
+    deliver (no current backend does).  ``oracle.query_rounds`` accumulates
+    the measured CONGEST rounds across calls, so the F.1 reduction can report
+    end-to-end cost per backend, not just call counts.
+    """
+    backend.preprocess()
+
+    def oracle(
+        demands: dict[Hashable, list[tuple[Hashable, Any]]],
+    ) -> dict[Hashable, list[Any]]:
+        delivered: dict[Hashable, list[Any]] = {vertex: [] for vertex in demands}
+        requests = [
+            RoutingRequest(source=vertex, destination=destination, payload=index)
+            for vertex in sorted(demands, key=repr)
+            for index, (destination, _item) in enumerate(demands[vertex])
+        ]
+        if not requests:
+            return delivered
+        result = backend.route(requests)
+        oracle.query_rounds += result.query_rounds
+        if not result.all_delivered:
+            raise RuntimeError(
+                f"backend {backend.name!r} delivered only "
+                f"{result.delivered}/{result.total_tokens} oracle tokens"
+            )
+        for vertex in demands:
+            for destination, item in demands[vertex]:
+                delivered.setdefault(destination, []).append(item)
+        return delivered
+
+    oracle.query_rounds = 0
+    return oracle
 
 
 def sorting_via_routing(

@@ -1,0 +1,45 @@
+"""Pluggable routing backends: one protocol over all four routing strategies.
+
+``repro.backends`` turns the repo's routing implementations — the paper's
+deterministic :class:`~repro.core.router.ExpanderRouter`, the CS20-style
+rebuild-per-query comparator, the randomized GKS baseline, and naive direct
+routing — into interchangeable :class:`RoutingBackend` instances with one
+shared result schema, constructed by name through :func:`get_backend`.  The
+serving layer (:class:`repro.service.RoutingService`), the applications, and
+the benchmarks all speak this protocol, which is what makes the paper's
+headline comparison runnable end to end.
+"""
+
+from repro.backends.adapters import (
+    DeterministicBackend,
+    DirectBackend,
+    RandomizedGKSBackend,
+    RebuildPerQueryBackend,
+)
+from repro.backends.base import (
+    PreprocessInfo,
+    RouteResult,
+    RoutingBackend,
+    available_backends,
+    backend_factory,
+    canonical_backend_params,
+    get_backend,
+    register_backend,
+    supports_artifacts,
+)
+
+__all__ = [
+    "PreprocessInfo",
+    "RouteResult",
+    "RoutingBackend",
+    "available_backends",
+    "backend_factory",
+    "canonical_backend_params",
+    "get_backend",
+    "register_backend",
+    "supports_artifacts",
+    "DeterministicBackend",
+    "DirectBackend",
+    "RandomizedGKSBackend",
+    "RebuildPerQueryBackend",
+]

@@ -1,0 +1,207 @@
+"""The pluggable routing-backend layer: one protocol, one result schema, a registry.
+
+The paper's headline claim is a *comparison* — deterministic expander routing
+(Theorem 1.1) against the CS20-style rebuild-per-query approach and the
+randomized GKS baseline — but the reference implementations of those
+strategies each grew their own ad-hoc API (:class:`ExpanderRouter`,
+:class:`RebuildPerQueryRouter`, :func:`route_randomized`,
+:func:`route_directly`).  This module defines the neutral layer they all plug
+into:
+
+* :class:`RoutingBackend` — the protocol: ``name``, ``preprocess()`` and
+  ``route(requests, load)``, plus the optional artifact hooks
+  (``export_artifact`` / ``from_artifact``) that let the serving layer cache
+  a backend's preprocessed state;
+* :class:`PreprocessInfo` / :class:`RouteResult` — the shared result schema
+  every backend normalizes into (delivered / total / query rounds /
+  preprocess rounds), so results are comparable row by row;
+* the registry — :func:`register_backend`, :func:`get_backend`,
+  :func:`available_backends` — through which the serving layer, the
+  applications, and the benchmarks construct backends by name.
+
+The concrete adapters live in :mod:`repro.backends.adapters` and register
+themselves on import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Hashable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import networkx as nx
+
+from repro.core.tokens import RoutingRequest, Token
+
+__all__ = [
+    "PreprocessInfo",
+    "RouteResult",
+    "RoutingBackend",
+    "register_backend",
+    "get_backend",
+    "backend_factory",
+    "available_backends",
+    "supports_artifacts",
+    "canonical_backend_params",
+]
+
+
+@dataclass
+class PreprocessInfo:
+    """What a backend's preprocessing phase built and what it cost.
+
+    Attributes:
+        backend: the backend's registry name.
+        rounds: CONGEST rounds charged to preprocessing (0 for backends that
+            keep no reusable state).
+        details: backend-specific diagnostics (hierarchy levels, shuffler
+            counts, ...), for reporting only.
+    """
+
+    backend: str
+    rounds: int
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RouteResult:
+    """One routing query's outcome, normalized across every backend.
+
+    Attributes:
+        backend: the registry name of the backend that produced it.
+        delivered: tokens that reached their requested destination.
+        total_tokens: tokens routed.
+        query_rounds: CONGEST rounds charged to this query (for the
+            rebuild-per-query comparator this *includes* its per-query
+            rebuild, which is the point of that comparator).
+        preprocess_rounds: rounds of reusable preprocessing in effect (0 for
+            backends without a preprocessing phase).
+        load: the load bound ``L`` of the instance.
+        extra: backend-specific measurements (congestion, dilation, walk
+            steps, dispersion diagnostics, ...).
+        raw: the backend's native outcome object, for callers that need more
+            than the shared schema.
+    """
+
+    backend: str
+    delivered: int
+    total_tokens: int
+    query_rounds: int
+    preprocess_rounds: int
+    load: int = 1
+    extra: dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+
+    @property
+    def total(self) -> int:
+        """Alias for :attr:`total_tokens` (the schema's short name)."""
+        return self.total_tokens
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered == self.total_tokens
+
+    @property
+    def total_rounds_including_preprocessing(self) -> int:
+        return self.query_rounds + self.preprocess_rounds
+
+    @property
+    def tokens(self) -> list[Token]:
+        """The routed tokens when the backend materializes them (else empty)."""
+        return getattr(self.raw, "tokens", [])
+
+    def as_row(self) -> dict[str, object]:
+        """The shared schema as a flat reporting row."""
+        return {
+            "backend": self.backend,
+            "delivered": self.delivered,
+            "total": self.total_tokens,
+            "query_rounds": self.query_rounds,
+            "preprocess_rounds": self.preprocess_rounds,
+            "load": self.load,
+        }
+
+
+@runtime_checkable
+class RoutingBackend(Protocol):
+    """What every routing backend exposes (structural; adapters just conform).
+
+    Optional capability: backends whose preprocessing produces reusable,
+    picklable state additionally provide ``export_artifact(fingerprint)`` and
+    a class-level ``from_artifact(graph, artifact)`` constructor; the serving
+    layer detects those with :func:`supports_artifacts` and caches the
+    artifacts by fingerprint.
+    """
+
+    name: str
+    graph: nx.Graph
+
+    def preprocess(self) -> PreprocessInfo: ...
+
+    def route(
+        self, requests: Sequence[RoutingRequest], load: int | None = None
+    ) -> RouteResult: ...
+
+
+_REGISTRY: dict[str, Callable[..., RoutingBackend]] = {}
+
+
+def _ensure_adapters_loaded() -> None:
+    # The bundled adapters register themselves on import; importing the repro
+    # package pulls them in, but a bare `from repro.backends.base import ...`
+    # must not see an empty registry.
+    if not _REGISTRY:
+        from repro.backends import adapters  # noqa: F401
+
+
+def register_backend(name: str, factory: Callable[..., RoutingBackend]) -> None:
+    """Register ``factory`` (``factory(graph, **params) -> backend``) under ``name``."""
+    if name in _REGISTRY and _REGISTRY[name] is not factory:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """The registered backend names, sorted."""
+    _ensure_adapters_loaded()
+    return sorted(_REGISTRY)
+
+
+def backend_factory(name: str) -> Callable[..., RoutingBackend]:
+    """The registered factory for ``name`` (``factory(graph, **params) -> backend``)."""
+    _ensure_adapters_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def get_backend(name: str, graph: nx.Graph, **params) -> RoutingBackend:
+    """Construct the named backend on ``graph`` with backend-specific ``params``."""
+    return backend_factory(name)(graph, **params)
+
+
+def supports_artifacts(backend: RoutingBackend | Callable[..., RoutingBackend]) -> bool:
+    """True when the backend (instance or factory class) has *both* artifact hooks.
+
+    The serving layer needs the pair: ``export_artifact`` to fill the cache
+    and ``from_artifact`` to serve from it.  Function-style factories carry
+    neither, so their backends bypass the artifact cache entirely.
+    """
+    return hasattr(backend, "export_artifact") and hasattr(backend, "from_artifact")
+
+
+def canonical_backend_params(params: Mapping[str, Any] | None) -> tuple[tuple[str, str], ...]:
+    """Backend parameters as a deterministic, hashable tuple (for cache keys)."""
+    if not params:
+        return ()
+    return tuple((str(key), repr(params[key])) for key in sorted(params))

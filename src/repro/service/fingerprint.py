@@ -21,7 +21,7 @@ from typing import Any, Mapping
 
 import networkx as nx
 
-__all__ = ["canonical_graph_payload", "graph_fingerprint"]
+__all__ = ["canonical_graph_payload", "graph_payload", "graph_fingerprint"]
 
 
 def _canonical_value(value: Any) -> str:
@@ -37,8 +37,15 @@ def _canonical_value(value: Any) -> str:
     return f"{type(value).__name__}:{value!r}"
 
 
-def canonical_graph_payload(graph: nx.Graph, parameters: Mapping[str, Any] | None = None) -> str:
-    """The canonical text the fingerprint hashes (exposed for tests/debugging)."""
+def graph_payload(graph: nx.Graph) -> str:
+    """The graph-only part of the canonical payload (no parameter lines).
+
+    This is the expensive part of fingerprinting — every node and edge is
+    canonicalized — and it depends on nothing but the graph, so callers that
+    fingerprint the same graph under many parameter sets (the serving layer
+    keys one graph per backend and parameter combination) can compute it once
+    and pass it to :func:`graph_fingerprint`.
+    """
     nodes = sorted(graph.nodes(), key=repr)
     lines = ["v1", f"n={len(nodes)}"]
     lines.extend(f"node {node!r}" for node in nodes)
@@ -48,19 +55,40 @@ def canonical_graph_payload(graph: nx.Graph, parameters: Mapping[str, Any] | Non
         edges.append((repr(a), repr(b), _canonical_value(dict(data))))
     edges.sort()
     lines.extend(f"edge {a} {b} {data}" for a, b, data in edges)
-    for key in sorted(parameters or {}):
-        lines.append(f"param {key}={_canonical_value((parameters or {})[key])}")
     return "\n".join(lines)
 
 
-def graph_fingerprint(graph: nx.Graph, parameters: Mapping[str, Any] | None = None) -> str:
+def _parameter_lines(parameters: Mapping[str, Any] | None) -> list[str]:
+    return [
+        f"param {key}={_canonical_value((parameters or {})[key])}"
+        for key in sorted(parameters or {})
+    ]
+
+
+def canonical_graph_payload(graph: nx.Graph, parameters: Mapping[str, Any] | None = None) -> str:
+    """The canonical text the fingerprint hashes (exposed for tests/debugging)."""
+    return "\n".join([graph_payload(graph), *_parameter_lines(parameters)])
+
+
+def graph_fingerprint(
+    graph: nx.Graph,
+    parameters: Mapping[str, Any] | None = None,
+    *,
+    precomputed_graph_payload: str | None = None,
+) -> str:
     """SHA-256 fingerprint of a graph plus preprocessing parameters.
 
     Args:
         graph: the expander the artifact is (or would be) preprocessed for.
         parameters: everything that influences preprocessing besides the graph
-            (epsilon, psi, hierarchy parameters); differing parameters must
-            yield different cache keys because they yield different hierarchies.
+            (epsilon, psi, hierarchy parameters, backend name and parameters);
+            differing parameters must yield different cache keys because they
+            yield different preprocessed structures.
+        precomputed_graph_payload: the value of :func:`graph_payload` for
+            ``graph``, when the caller has it memoized; the caller guarantees
+            it matches ``graph``.
     """
-    payload = canonical_graph_payload(graph, parameters)
+    if precomputed_graph_payload is None:
+        precomputed_graph_payload = graph_payload(graph)
+    payload = "\n".join([precomputed_graph_payload, *_parameter_lines(parameters)])
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

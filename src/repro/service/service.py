@@ -1,45 +1,77 @@
-"""The batched routing service: fingerprint, cache, fan out, report.
+"""The batched routing service: fingerprint, cache, fan out, compare, report.
 
 :class:`RoutingService` is the serving layer the ROADMAP's production north
 star asks for.  It turns the paper's preprocessing/query tradeoff into an
-operational win:
+operational win, and — since PR 2 — is *backend-agnostic*: every query names
+a routing backend from the :mod:`repro.backends` registry, so the same
+service front end drives the paper's deterministic router, the CS20-style
+rebuild-per-query comparator, the randomized GKS baseline, and naive direct
+routing.
 
-1. **Fingerprint** — every submitted query hashes its graph + parameters
+1. **Fingerprint** — every submitted query hashes its graph + preprocessing
+   parameters + backend name + backend parameters
    (:func:`repro.service.fingerprint.graph_fingerprint`); queries on the same
-   expander share a key.
-2. **Cache** — per key, the expensive :meth:`ExpanderRouter.preprocess` runs
-   at most once; artifacts come from the :class:`ArtifactCache` (memory LRU +
-   optional disk pickles) whenever possible.
-3. **Fan out** — a batch is grouped per fingerprint; missing artifacts are
+   expander under the same backend share a key.  The expensive graph
+   canonicalization is memoized per ``Graph`` *object*, so resubmitting the
+   same graph never re-canonicalizes it.
+2. **Cache** — per key, backends with reusable preprocessed state (the
+   artifact hooks of :class:`repro.backends.RoutingBackend`) preprocess at
+   most once; artifacts come from the :class:`ArtifactCache` (memory LRU +
+   optional disk pickles) whenever possible.  Backends without reusable state
+   simply preprocess per batch (a no-op for all current ones).
+3. **Fan out** — a batch is grouped per fingerprint; missing backends are
    built concurrently (distinct graphs are independent), then every query of
-   the batch routes concurrently through a ``concurrent.futures`` pool, each
-   on a lightweight :meth:`ExpanderRouter.from_artifact` router.
-4. **Report** — each batch returns a :class:`BatchReport` (cache hit rate,
-   preprocessing rounds actually incurred vs. reused, query rounds, wall
-   clock) whose tables render through :mod:`repro.analysis.reporting`.
+   the batch routes concurrently through a ``concurrent.futures`` pool.
+4. **Report** — each batch returns a :class:`BatchReport`; the multi-backend
+   entry point :meth:`RoutingService.compare_batch` routes the same workloads
+   through several backends and returns a side-by-side
+   :class:`ComparisonReport`, both rendered through
+   :mod:`repro.analysis.reporting`.
 
-Queries are pure with respect to the shared artifact — routing mutates only
-its own tokens and per-query ledgers — so concurrent queries on one artifact
-are safe.
+Queries are pure with respect to the shared backend state — routing mutates
+only its own tokens and per-query ledgers — so concurrent queries on one
+backend are safe.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
+import weakref
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 import networkx as nx
 
 from repro.analysis.reporting import format_kv, format_table
-from repro.core.router import ExpanderRouter, PreprocessArtifact, RoutingOutcome
+from repro.backends.base import (
+    PreprocessInfo,
+    RouteResult,
+    RoutingBackend,
+    available_backends,
+    backend_factory,
+    canonical_backend_params,
+    supports_artifacts,
+)
+from repro.core.router import PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
 from repro.service.cache import ArtifactCache
-from repro.service.fingerprint import graph_fingerprint
+from repro.service.fingerprint import graph_fingerprint, graph_payload
+from repro.workloads import Workload
 
-__all__ = ["RoutingQuery", "QueryResult", "BatchReport", "RoutingService"]
+__all__ = [
+    "RoutingQuery",
+    "QueryResult",
+    "BatchReport",
+    "ComparisonEntry",
+    "ComparisonReport",
+    "RoutingService",
+]
+
+#: The default backend a query routes through when none is named.
+DEFAULT_BACKEND = "deterministic"
 
 
 @dataclass(frozen=True)
@@ -48,10 +80,15 @@ class RoutingQuery:
 
     Attributes:
         query_id: service-assigned id, unique per service instance.
-        fingerprint: canonical hash of (graph, preprocessing parameters).
-        graph: the expander to route on.
+        fingerprint: canonical hash of (graph, preprocessing parameters,
+            backend, backend parameters).
+        graph: the graph to route on.
         requests: the Task 1 requests of this query.
         load: explicit load parameter ``L`` (``None`` = infer per query).
+        backend: registry name of the routing backend to use.
+        backend_params: extra parameters for the backend factory.
+        workload: name of the workload shape the requests came from (reporting
+            only; ``""`` for ad-hoc request lists).
     """
 
     query_id: int
@@ -59,6 +96,9 @@ class RoutingQuery:
     graph: nx.Graph
     requests: tuple[RoutingRequest, ...]
     load: int | None = None
+    backend: str = DEFAULT_BACKEND
+    backend_params: Mapping[str, Any] = field(default_factory=dict)
+    workload: str = ""
 
 
 @dataclass
@@ -68,22 +108,28 @@ class QueryResult:
     Attributes:
         query_id: id assigned at :meth:`RoutingService.submit` time.
         fingerprint: the cache key the query was served under.
-        outcome: the :class:`RoutingOutcome` (identical to a direct
+        backend: the backend that served the query.
+        outcome: the normalized :class:`RouteResult` (for the deterministic
+            backend, identical counts to a direct
             :meth:`ExpanderRouter.route` call on the same instance).
-        cache_hit: True when the artifact existed before this batch.
+        cache_hit: True when the backend's artifact existed before this batch.
         seconds: wall-clock spent routing this query (excludes preprocessing).
+        workload: workload-shape label carried over from the query.
     """
 
     query_id: int
     fingerprint: str
-    outcome: RoutingOutcome
+    backend: str
+    outcome: RouteResult
     cache_hit: bool
     seconds: float
+    workload: str = ""
 
     def as_row(self) -> dict[str, object]:
         return {
             "query": self.query_id,
             "graph": self.fingerprint[:10],
+            "backend": self.backend,
             "tokens": self.outcome.total_tokens,
             "delivered": self.outcome.delivered,
             "load": self.outcome.load,
@@ -106,7 +152,7 @@ class BatchReport:
             batch paid for (0 on a fully warm cache).
         preprocess_rounds_reused: rounds of preprocessing served from cache —
             the amortization the paper's tradeoff buys.
-        preprocess_seconds: wall-clock spent building missing artifacts.
+        preprocess_seconds: wall-clock spent building missing backends.
         wall_seconds: wall-clock of the whole batch.
     """
 
@@ -161,13 +207,114 @@ class BatchReport:
         return "\n\n".join(parts)
 
 
+@dataclass
+class ComparisonEntry:
+    """One (backend, workload) cell of a :class:`ComparisonReport`."""
+
+    backend: str
+    workload: str
+    workload_index: int
+    result: RouteResult
+    cache_hit: bool
+    seconds: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workload": self.workload,
+            "delivered": self.result.delivered,
+            "total": self.result.total_tokens,
+            "query_rounds": self.result.query_rounds,
+            "preprocess_rounds": self.result.preprocess_rounds,
+            "load": self.result.load,
+            "cache_hit": self.cache_hit,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """Side-by-side results of routing the same workloads through several backends.
+
+    Attributes:
+        entries: one entry per (backend, workload), grouped by backend in the
+            order the backends were compared.
+        batch_reports: the underlying per-backend :class:`BatchReport` (one
+            batch per backend, so caching and fan-out behave exactly as in
+            :meth:`RoutingService.route_batch`).
+    """
+
+    entries: list[ComparisonEntry] = field(default_factory=list)
+    batch_reports: dict[str, BatchReport] = field(default_factory=dict)
+
+    @property
+    def backends(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.backend, None)
+        return list(seen)
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(entry.result.all_delivered for entry in self.entries)
+
+    def rows(self) -> list[dict[str, object]]:
+        """One flat schema row per (backend, workload)."""
+        return [entry.as_row() for entry in self.entries]
+
+    def pivot(self, value: str = "query_rounds") -> list[dict[str, object]]:
+        """One row per workload, one column per backend (default: query rounds)."""
+        by_workload: dict[tuple[int, str], dict[str, object]] = {}
+        for entry in self.entries:
+            key = (entry.workload_index, entry.workload)
+            row = by_workload.setdefault(key, {"workload": entry.workload})
+            row[entry.backend] = entry.as_row()[value]
+        return [by_workload[key] for key in sorted(by_workload)]
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Per-backend totals across every workload of the comparison."""
+        rows = []
+        for backend in self.backends:
+            mine = [entry for entry in self.entries if entry.backend == backend]
+            report = self.batch_reports.get(backend)
+            rows.append(
+                {
+                    "backend": backend,
+                    "workloads": len(mine),
+                    "delivered": sum(entry.result.delivered for entry in mine),
+                    "total": sum(entry.result.total_tokens for entry in mine),
+                    "total_query_rounds": sum(entry.result.query_rounds for entry in mine),
+                    "preprocess_rounds_incurred": (
+                        report.preprocess_rounds_incurred if report else 0
+                    ),
+                    "preprocess_rounds_reused": (
+                        report.preprocess_rounds_reused if report else 0
+                    ),
+                    "seconds": sum(entry.seconds for entry in mine),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """The comparison as aligned plain-text tables (per-cell, pivot, totals)."""
+        parts = []
+        if self.entries:
+            parts.append(format_table(self.rows()))
+            parts.append("query_rounds per workload, side by side:")
+            parts.append(format_table(self.pivot("query_rounds")))
+            parts.append(format_table(self.summary_rows()))
+        else:
+            parts.append("(no data)")
+        return "\n\n".join(parts)
+
+
 class RoutingService:
-    """Batched, cached, parallel front end over :class:`ExpanderRouter`.
+    """Batched, cached, parallel front end over the pluggable routing backends.
 
     Args:
-        epsilon: tradeoff parameter used for every preprocess (part of the
-            cache key, so services with different epsilons never share
-            artifacts even over a shared disk tier).
+        epsilon: tradeoff parameter used for every deterministic preprocess
+            (part of the cache key, so services with different epsilons never
+            share artifacts even over a shared disk tier).
         psi: optional explicit sparsity parameter (part of the cache key).
         hierarchy_params: optional full hierarchy parameter override; when
             given, its fields join the cache key.
@@ -198,11 +345,35 @@ class RoutingService:
         )
         self._pending: list[RoutingQuery] = []
         self._next_query_id = 0
+        # Graph canonicalization dominates fingerprint cost; memoize it per
+        # Graph *object* (weakly, so dropped graphs free their payloads).  The
+        # caller must not mutate a graph between submits — a mutated graph
+        # should be a new object (``graph.copy()``), which re-canonicalizes.
+        self._payload_memo: "weakref.WeakKeyDictionary[nx.Graph, str]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- submission ----------------------------------------------------------
 
-    def fingerprint(self, graph: nx.Graph) -> str:
-        """The cache key this service uses for ``graph``."""
+    def _graph_payload(self, graph: nx.Graph) -> str:
+        payload = self._payload_memo.get(graph)
+        if payload is None:
+            payload = graph_payload(graph)
+            self._payload_memo[graph] = payload
+        return payload
+
+    @property
+    def fingerprint_memo_size(self) -> int:
+        """How many live graphs have a memoized canonical payload."""
+        return len(self._payload_memo)
+
+    def fingerprint(
+        self,
+        graph: nx.Graph,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+    ) -> str:
+        """The cache key this service uses for ``graph`` under ``backend``."""
         parameters: dict[str, Hashable] = {"epsilon": self.epsilon}
         if self.psi is not None:
             parameters["psi"] = self.psi
@@ -211,23 +382,55 @@ class RoutingService:
                 (f"hierarchy.{key}", value)
                 for key, value in sorted(vars(self.hierarchy_params).items())
             )
-        return graph_fingerprint(graph, parameters)
+        parameters["backend"] = backend
+        for key, value in canonical_backend_params(backend_params):
+            parameters[f"backend.{key}"] = value
+        return graph_fingerprint(
+            graph, parameters, precomputed_graph_payload=self._graph_payload(graph)
+        )
+
+    def _make_query(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest] | Workload,
+        load: int | None,
+        backend: str,
+        backend_params: Mapping[str, Any] | None,
+    ) -> RoutingQuery:
+        workload_name = ""
+        if isinstance(requests, Workload):
+            workload_name = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        query = RoutingQuery(
+            query_id=self._next_query_id,
+            fingerprint=self.fingerprint(graph, backend=backend, backend_params=backend_params),
+            graph=graph,
+            requests=tuple(requests),
+            load=load,
+            backend=backend,
+            backend_params=dict(backend_params or {}),
+            workload=workload_name,
+        )
+        self._next_query_id += 1
+        return query
 
     def submit(
         self,
         graph: nx.Graph,
-        requests: Sequence[RoutingRequest],
+        requests: Sequence[RoutingRequest] | Workload,
         load: int | None = None,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
     ) -> int:
-        """Queue one routing query for the next batch; returns its query id."""
-        query = RoutingQuery(
-            query_id=self._next_query_id,
-            fingerprint=self.fingerprint(graph),
-            graph=graph,
-            requests=tuple(requests),
-            load=load,
-        )
-        self._next_query_id += 1
+        """Queue one routing query for the next batch; returns its query id.
+
+        ``requests`` may be a plain request sequence or a
+        :class:`~repro.workloads.Workload` (whose declared load bound is used
+        when ``load`` is omitted).
+        """
+        query = self._make_query(graph, requests, load, backend, backend_params)
         self._pending.append(query)
         return query.query_id
 
@@ -240,10 +443,10 @@ class RoutingService:
     def route_batch(self, queries: Sequence[RoutingQuery] | None = None) -> BatchReport:
         """Route a batch (the pending queue when ``queries`` is omitted).
 
-        Grouping, artifact resolution, and query execution are all per
-        fingerprint: one preprocess per distinct cold graph (built
-        concurrently), then every query routed concurrently on shared
-        read-only artifacts.
+        Grouping, backend resolution, and query execution are all per
+        fingerprint: one preprocess per distinct cold (graph, backend) pair
+        (built concurrently), then every query routed concurrently on shared
+        read-only backends.
         """
         if queries is None:
             queries, self._pending = self._pending, []
@@ -260,42 +463,44 @@ class RoutingService:
         report.distinct_graphs = len(by_fingerprint)
 
         with self._executor_factory(self.max_workers) as pool:
-            # Phase 1: resolve an artifact per distinct fingerprint (cache
-            # lookups first, cold preprocesses concurrently in the pool).
-            artifacts: dict[str, PreprocessArtifact] = {}
+            # Phase 1: resolve a query-ready backend per distinct fingerprint
+            # (artifact-cache lookups first, cold builds concurrently in the
+            # pool).
+            runners: dict[str, RoutingBackend] = {}
             warm: dict[str, bool] = {}
             cold: dict[str, RoutingQuery] = {}
             for fingerprint, group in by_fingerprint.items():
-                cached = self.cache.get(fingerprint)
+                query = group[0]
+                factory = backend_factory(query.backend)
+                cached = (
+                    self.cache.get(fingerprint) if supports_artifacts(factory) else None
+                )
                 if cached is not None:
-                    artifacts[fingerprint] = cached
+                    runners[fingerprint] = factory.from_artifact(query.graph, cached)
                     warm[fingerprint] = True
                     report.preprocess_rounds_reused += cached.preprocessing_rounds
                 else:
-                    cold[fingerprint] = group[0]
+                    cold[fingerprint] = query
                     warm[fingerprint] = False
             if cold:
                 preprocess_start = time.perf_counter()
                 futures = {
-                    fingerprint: pool.submit(self._build_artifact, query)
+                    fingerprint: pool.submit(self._build_runner, query)
                     for fingerprint, query in cold.items()
                 }
                 for fingerprint, future in futures.items():
-                    artifact = future.result()
-                    artifacts[fingerprint] = artifact
-                    self.cache.put(fingerprint, artifact)
-                    report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                    runner, info, artifact = future.result()
+                    runners[fingerprint] = runner
+                    if artifact is not None:
+                        self.cache.put(fingerprint, artifact)
+                        report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                    else:
+                        report.preprocess_rounds_incurred += info.rounds
                 report.preprocess_seconds = time.perf_counter() - preprocess_start
 
             # Phase 2: route every query of the batch concurrently.
-            routers = {
-                fingerprint: ExpanderRouter.from_artifact(
-                    by_fingerprint[fingerprint][0].graph, artifact
-                )
-                for fingerprint, artifact in artifacts.items()
-            }
             result_futures = [
-                (query, pool.submit(self._route_one, routers[query.fingerprint], query))
+                (query, pool.submit(self._route_one, runners[query.fingerprint], query))
                 for query in queries
             ]
             for query, future in result_futures:
@@ -304,9 +509,11 @@ class RoutingService:
                     QueryResult(
                         query_id=query.query_id,
                         fingerprint=query.fingerprint,
+                        backend=query.backend,
                         outcome=outcome,
                         cache_hit=warm[query.fingerprint],
                         seconds=seconds,
+                        workload=query.workload,
                     )
                 )
 
@@ -318,38 +525,112 @@ class RoutingService:
     def route(
         self,
         graph: nx.Graph,
-        requests: Sequence[RoutingRequest],
+        requests: Sequence[RoutingRequest] | Workload,
         load: int | None = None,
-    ) -> RoutingOutcome:
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+    ) -> RouteResult:
         """Route one instance immediately (a batch of one), returning its outcome.
 
         Queries queued via :meth:`submit` are left pending — this routes only
         the instance passed here.
         """
-        query = RoutingQuery(
-            query_id=self._next_query_id,
-            fingerprint=self.fingerprint(graph),
-            graph=graph,
-            requests=tuple(requests),
-            load=load,
-        )
-        self._next_query_id += 1
+        query = self._make_query(graph, requests, load, backend, backend_params)
         report = self.route_batch([query])
         return report.results[0].outcome
 
+    def compare_batch(
+        self,
+        graph: nx.Graph,
+        workloads: Sequence[Workload | Sequence[RoutingRequest]],
+        backends: Sequence[str] | None = None,
+        backend_params: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> ComparisonReport:
+        """Route the same workloads through several backends, side by side.
+
+        Args:
+            graph: the graph every workload routes on.
+            workloads: the request patterns to replay against every backend
+                (:class:`~repro.workloads.Workload` objects or plain request
+                sequences).
+            backends: registry names to compare (default: every registered
+                backend).
+            backend_params: optional per-backend factory parameters, keyed by
+                backend name.
+
+        One :meth:`route_batch` runs per backend, so artifact caching and
+        parallel fan-out apply exactly as in normal serving — routing a
+        workload through the comparison yields the same rounds as routing it
+        through the backend directly.
+        """
+        if backends is None:
+            backends = available_backends()
+        comparison = ComparisonReport()
+        for backend in backends:
+            params = (backend_params or {}).get(backend)
+            batch = [
+                self._make_query(graph, workload, None, backend, params)
+                for workload in workloads
+            ]
+            batch_report = self.route_batch(batch)
+            comparison.batch_reports[backend] = batch_report
+            ordered = sorted(batch_report.results, key=lambda result: result.query_id)
+            for index, result in enumerate(ordered):
+                comparison.entries.append(
+                    ComparisonEntry(
+                        backend=backend,
+                        workload=result.workload or f"workload-{index}",
+                        workload_index=index,
+                        result=result.outcome,
+                        cache_hit=result.cache_hit,
+                        seconds=result.seconds,
+                    )
+                )
+        return comparison
+
     # -- internals -----------------------------------------------------------
 
-    def _build_artifact(self, query: RoutingQuery) -> PreprocessArtifact:
-        router = ExpanderRouter(
-            query.graph,
-            epsilon=self.epsilon,
-            psi=self.psi,
-            hierarchy_params=self.hierarchy_params,
-        )
-        return router.export_artifact(fingerprint=query.fingerprint)
+    def _make_backend(self, query: RoutingQuery) -> RoutingBackend:
+        factory = backend_factory(query.backend)
+        params = dict(query.backend_params)
+        # The service-level tradeoff parameters apply to every backend whose
+        # factory accepts them by name (epsilon reaches both the deterministic
+        # router and the rebuild-per-query comparator, so comparisons are
+        # apples to apples); explicit per-query params still win.
+        service_defaults: dict[str, Any] = {"epsilon": self.epsilon}
+        if self.psi is not None:
+            service_defaults["psi"] = self.psi
+        if self.hierarchy_params is not None:
+            service_defaults["hierarchy_params"] = self.hierarchy_params
+        try:
+            accepted = {
+                name
+                for name, parameter in inspect.signature(factory).parameters.items()
+                if parameter.kind
+                in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+            }
+        except (TypeError, ValueError):
+            accepted = set()
+        for key, value in service_defaults.items():
+            if key in accepted:
+                params.setdefault(key, value)
+        return factory(query.graph, **params)
+
+    def _build_runner(
+        self, query: RoutingQuery
+    ) -> tuple[RoutingBackend, PreprocessInfo, PreprocessArtifact | None]:
+        backend = self._make_backend(query)
+        info = backend.preprocess()
+        artifact = None
+        # Capability is judged on the *factory* (exactly like the warm-lookup
+        # path), so a function-style factory never fills a cache that the
+        # lookup path would not read.
+        if supports_artifacts(backend_factory(query.backend)) and supports_artifacts(backend):
+            artifact = backend.export_artifact(fingerprint=query.fingerprint)
+        return backend, info, artifact
 
     @staticmethod
-    def _route_one(router: ExpanderRouter, query: RoutingQuery) -> tuple[RoutingOutcome, float]:
+    def _route_one(runner: RoutingBackend, query: RoutingQuery) -> tuple[RouteResult, float]:
         start = time.perf_counter()
-        outcome = router.route(list(query.requests), load=query.load)
+        outcome = runner.route(list(query.requests), load=query.load)
         return outcome, time.perf_counter() - start

@@ -1,0 +1,311 @@
+"""Workload generators: diverse routing request patterns as reusable objects.
+
+The paper's guarantees are workload-oblivious — Theorem 1.1 bounds the query
+cost for *every* load-``L`` instance — but the comparison against baselines
+(experiments E1/E2, and the multi-backend comparison the serving layer runs)
+only means something across heterogeneous request shapes: a random-walk
+baseline that looks fine on a uniform permutation can collapse on a hot-spot
+pattern, and naive shortest-path routing is exactly as good as the workload is
+kind to it.
+
+A :class:`Workload` bundles a named request pattern with the load bound it was
+generated under, so the same instance can be replayed against every backend
+(:mod:`repro.backends`), submitted to the serving layer, or validated in
+isolation.  The catalog:
+
+* ``permutation`` — one fixed-point-free permutation (load 1), the classic
+  Task 1 instance;
+* ``multi-token`` — ``L`` disjoint permutations (bounded load ``L > 1``);
+* ``hotspot`` — skewed destinations: a small set of hot vertices receives
+  ``L`` tokens each, the overflow spills round-robin over the cold vertices;
+* ``broadcast`` — one root sends to ``fanout`` distinct destinations
+  (source load ``fanout``);
+* ``gather`` — ``fanout`` sources send to one root (destination load
+  ``fanout``);
+* ``adversarial-bipartite`` — every token crosses between the low-ID and
+  high-ID halves of the vertex set, concentrating all traffic on the cut
+  (worst case for shortest-path congestion, Fact 2.2's gap).
+
+Every generator is deterministic given its parameters (seeded where
+randomness is involved) and returns requests whose sources and destinations
+lie in the graph's vertex set with per-vertex counts within the declared load
+bound — :meth:`Workload.validate` checks exactly that and the property-based
+tests enforce it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.tokens import RoutingRequest
+
+__all__ = [
+    "Workload",
+    "infer_load",
+    "shifted_destination",
+    "permutation_workload",
+    "multi_token_workload",
+    "hotspot_workload",
+    "broadcast_workload",
+    "gather_workload",
+    "adversarial_bipartite_workload",
+    "make_workload",
+    "available_workloads",
+    "WORKLOAD_GENERATORS",
+]
+
+
+def infer_load(requests: Sequence[RoutingRequest]) -> int:
+    """The smallest load bound ``L`` the requests satisfy (>= 1)."""
+    source_counts = Counter(request.source for request in requests)
+    destination_counts = Counter(request.destination for request in requests)
+    return max(
+        max(source_counts.values(), default=1),
+        max(destination_counts.values(), default=1),
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, replayable routing instance.
+
+    Attributes:
+        name: the generator that produced it (a key of
+            :data:`WORKLOAD_GENERATORS`).
+        requests: the routing requests, in a deterministic order.
+        load: the load bound ``L`` the requests were generated under.
+        params: the generator parameters, for provenance and reporting.
+    """
+
+    name: str
+    requests: tuple[RoutingRequest, ...]
+    load: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def validate(self, graph: nx.Graph) -> list[str]:
+        """Return the violated workload invariants (empty = valid for ``graph``)."""
+        problems: list[str] = []
+        vertices = set(graph.nodes())
+        for request in self.requests:
+            if request.source not in vertices:
+                problems.append(f"source {request.source!r} outside the vertex set")
+                break
+        for request in self.requests:
+            if request.destination not in vertices:
+                problems.append(f"destination {request.destination!r} outside the vertex set")
+                break
+        actual = infer_load(self.requests)
+        if actual > self.load:
+            problems.append(f"observed load {actual} exceeds declared load {self.load}")
+        return problems
+
+    def as_row(self) -> dict[str, object]:
+        return {"workload": self.name, "requests": len(self.requests), "load": self.load}
+
+
+def shifted_destination(vertex: int, n: int, shift: int) -> int:
+    """A fixed-point-free-ish permutation used by the routing workloads.
+
+    ``v -> (3v + 7*shift) mod n`` is a bijection whenever ``gcd(3, n) = 1``;
+    for multiples of 3 we fall back to a plain rotation.
+    """
+    if n % 3 == 0:
+        return (vertex + 7 * shift + 1) % n
+    return (3 * vertex + 7 * shift) % n
+
+
+def _sorted_vertices(graph: nx.Graph) -> list:
+    return sorted(graph.nodes())
+
+
+def permutation_workload(graph: nx.Graph, shift: int = 1, seed: int | None = None) -> Workload:
+    """One permutation of the vertices (load 1).
+
+    With a ``seed``, the permutation is a seeded random shuffle; otherwise the
+    deterministic :func:`shifted_destination` bijection with the given shift.
+    """
+    vertices = _sorted_vertices(graph)
+    n = len(vertices)
+    if seed is None:
+        index_of = {vertex: index for index, vertex in enumerate(vertices)}
+        destinations = [
+            vertices[shifted_destination(index_of[vertex], n, shift)] for vertex in vertices
+        ]
+    else:
+        destinations = list(vertices)
+        random.Random(seed).shuffle(destinations)
+    requests = tuple(
+        RoutingRequest(source=source, destination=destination)
+        for source, destination in zip(vertices, destinations)
+    )
+    return Workload(
+        name="permutation", requests=requests, load=1, params={"shift": shift, "seed": seed}
+    )
+
+
+def multi_token_workload(graph: nx.Graph, load: int = 2) -> Workload:
+    """``L`` disjoint permutations: every vertex sends and receives ``L`` tokens."""
+    if load < 1:
+        raise ValueError("load must be at least 1")
+    vertices = _sorted_vertices(graph)
+    n = len(vertices)
+    index_of = {vertex: index for index, vertex in enumerate(vertices)}
+    requests = tuple(
+        RoutingRequest(
+            source=vertex,
+            destination=vertices[shifted_destination(index_of[vertex], n, shift)],
+        )
+        for shift in range(1, load + 1)
+        for vertex in vertices
+    )
+    return Workload(name="multi-token", requests=requests, load=load, params={"load": load})
+
+
+def hotspot_workload(
+    graph: nx.Graph, load: int = 2, hot_fraction: float = 0.125, seed: int = 0
+) -> Workload:
+    """Skewed destinations: a few hot vertices soak up ``load`` tokens each.
+
+    Every vertex sends exactly one token (source load 1).  The first
+    ``ceil(hot_fraction * n)`` vertices of a seeded shuffle are "hot" and each
+    receives exactly ``load`` tokens (as far as supply allows); the remaining
+    tokens spill round-robin over the cold vertices, so no destination ever
+    exceeds the load bound.
+    """
+    if load < 1:
+        raise ValueError("load must be at least 1")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    vertices = _sorted_vertices(graph)
+    n = len(vertices)
+    shuffled = list(vertices)
+    random.Random(seed).shuffle(shuffled)
+    hot_count = min(max(1, math.ceil(hot_fraction * n)), n)
+    hot, cold = shuffled[:hot_count], shuffled[hot_count:] or shuffled[:hot_count]
+    destinations: list = []
+    for vertex in hot:
+        destinations.extend([vertex] * load)
+    cold_index = 0
+    while len(destinations) < n:
+        destinations.append(cold[cold_index % len(cold)])
+        cold_index += 1
+    destinations = destinations[:n]
+    requests = tuple(
+        RoutingRequest(source=source, destination=destination)
+        for source, destination in zip(vertices, destinations)
+    )
+    effective_load = infer_load(requests)
+    return Workload(
+        name="hotspot",
+        requests=requests,
+        load=max(load, effective_load),
+        params={"load": load, "hot_fraction": hot_fraction, "seed": seed},
+    )
+
+
+def broadcast_workload(graph: nx.Graph, root: Hashable | None = None, fanout: int = 8) -> Workload:
+    """One root sends one token to each of ``fanout`` distinct destinations."""
+    vertices = _sorted_vertices(graph)
+    if root is None:
+        root = vertices[0]
+    if root not in set(vertices):
+        raise ValueError(f"root {root!r} is not a vertex of the graph")
+    others = [vertex for vertex in vertices if vertex != root]
+    fanout = max(1, min(fanout, len(others)))
+    requests = tuple(
+        RoutingRequest(source=root, destination=destination) for destination in others[:fanout]
+    )
+    return Workload(
+        name="broadcast", requests=requests, load=fanout, params={"root": root, "fanout": fanout}
+    )
+
+
+def gather_workload(graph: nx.Graph, root: Hashable | None = None, fanout: int = 8) -> Workload:
+    """``fanout`` distinct sources each send one token to the root."""
+    vertices = _sorted_vertices(graph)
+    if root is None:
+        root = vertices[0]
+    if root not in set(vertices):
+        raise ValueError(f"root {root!r} is not a vertex of the graph")
+    others = [vertex for vertex in vertices if vertex != root]
+    fanout = max(1, min(fanout, len(others)))
+    requests = tuple(
+        RoutingRequest(source=source, destination=root) for source in others[:fanout]
+    )
+    return Workload(
+        name="gather", requests=requests, load=fanout, params={"root": root, "fanout": fanout}
+    )
+
+
+def adversarial_bipartite_workload(graph: nx.Graph, seed: int = 0) -> Workload:
+    """Every token crosses between the low-ID and high-ID halves (load 1).
+
+    The pairing between the halves is a seeded shuffle, so the instance is a
+    permutation in which *all* traffic concentrates on whatever edges separate
+    the two halves — the congestion worst case for shortest-path baselines.
+    """
+    vertices = _sorted_vertices(graph)
+    half = len(vertices) // 2
+    low, high = vertices[:half], vertices[half:]
+    rng = random.Random(seed)
+    high_targets = list(high)
+    rng.shuffle(high_targets)
+    low_targets = list(low)
+    rng.shuffle(low_targets)
+    requests = [
+        RoutingRequest(source=source, destination=destination)
+        for source, destination in zip(low, high_targets)
+    ]
+    requests.extend(
+        RoutingRequest(source=source, destination=destination)
+        for source, destination in zip(high, low_targets)
+    )
+    # Odd vertex counts leave one high vertex unpaired as a source; it keeps
+    # its token local (self-loop requests are legal and trivially delivered).
+    if len(high) > len(low):
+        leftover = high[len(low) :]
+        requests.extend(
+            RoutingRequest(source=vertex, destination=vertex) for vertex in leftover
+        )
+    return Workload(
+        name="adversarial-bipartite",
+        requests=tuple(requests),
+        load=max(1, infer_load(requests)),
+        params={"seed": seed},
+    )
+
+
+#: Registry of workload generators: name -> generator(graph, **params).
+WORKLOAD_GENERATORS: dict[str, Callable[..., Workload]] = {
+    "permutation": permutation_workload,
+    "multi-token": multi_token_workload,
+    "hotspot": hotspot_workload,
+    "broadcast": broadcast_workload,
+    "gather": gather_workload,
+    "adversarial-bipartite": adversarial_bipartite_workload,
+}
+
+
+def available_workloads() -> list[str]:
+    """The registered workload names, sorted."""
+    return sorted(WORKLOAD_GENERATORS)
+
+
+def make_workload(name: str, graph: nx.Graph, **params) -> Workload:
+    """Generate the named workload on ``graph`` (see :data:`WORKLOAD_GENERATORS`)."""
+    try:
+        generator = WORKLOAD_GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+    return generator(graph, **params)

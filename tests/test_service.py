@@ -233,6 +233,46 @@ def test_services_with_different_parameters_do_not_share_artifacts(small_graph, 
     assert fine.cache.stats.disk_hits == 0  # the shared disk tier never cross-serves
 
 
+def test_submit_memoizes_graph_canonicalization_per_object(small_graph, monkeypatch):
+    import repro.service.service as service_module
+
+    calls = {"count": 0}
+    real_payload = service_module.graph_payload
+
+    def counting_payload(graph):
+        calls["count"] += 1
+        return real_payload(graph)
+
+    monkeypatch.setattr(service_module, "graph_payload", counting_payload)
+    service = RoutingService(epsilon=0.5)
+    for shift in (1, 2, 3, 4):
+        service.submit(small_graph, _permutation(small_graph, shift))
+    assert calls["count"] == 1  # canonicalized once, not per submit
+    assert service.fingerprint_memo_size == 1
+
+    # A distinct object — even an identical copy — is canonicalized afresh,
+    # which is what keeps mutated copies from reusing a stale payload.
+    copied = small_graph.copy()
+    service.submit(copied, _permutation(copied))
+    assert calls["count"] == 2
+    assert service.fingerprint_memo_size == 2
+    assert service.fingerprint(copied) == service.fingerprint(small_graph)
+
+
+def test_submit_accepts_workload_objects(small_graph):
+    from repro.workloads import multi_token_workload
+
+    workload = multi_token_workload(small_graph, load=2)
+    service = RoutingService(epsilon=0.5)
+    service.submit(small_graph, workload)
+    report = service.route_batch()
+    result = report.results[0]
+    assert result.workload == "multi-token"
+    assert result.outcome.load == 2
+    assert result.outcome.total_tokens == len(workload.requests)
+    assert report.all_delivered
+
+
 def test_batch_report_renders_through_reporting_helpers(small_graph):
     service = RoutingService(epsilon=0.5)
     service.submit(small_graph, _permutation(small_graph))

@@ -1,0 +1,153 @@
+"""Tests for the workload generator subsystem (shapes, validity, registry)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.graphs.generators import circulant_expander
+from repro.workloads import (
+    WORKLOAD_GENERATORS,
+    Workload,
+    adversarial_bipartite_workload,
+    available_workloads,
+    broadcast_workload,
+    gather_workload,
+    hotspot_workload,
+    infer_load,
+    make_workload,
+    multi_token_workload,
+    permutation_workload,
+)
+
+_GRAPH_CACHE = {}
+
+
+def _graph(n):
+    if n not in _GRAPH_CACHE:
+        _GRAPH_CACHE[n] = circulant_expander(n)
+    return _GRAPH_CACHE[n]
+
+
+# -- catalog -----------------------------------------------------------------------
+
+
+def test_catalog_lists_all_shapes():
+    assert available_workloads() == sorted(WORKLOAD_GENERATORS)
+    assert {
+        "permutation",
+        "multi-token",
+        "hotspot",
+        "broadcast",
+        "gather",
+        "adversarial-bipartite",
+    } == set(WORKLOAD_GENERATORS)
+
+
+def test_make_workload_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown workload"):
+        make_workload("nope", _graph(16))
+
+
+# -- shape semantics ---------------------------------------------------------------
+
+
+def test_permutation_is_a_bijection():
+    graph = _graph(32)
+    workload = permutation_workload(graph, shift=4)
+    assert len(workload) == 32
+    assert workload.load == 1
+    assert {r.source for r in workload.requests} == set(graph.nodes())
+    assert {r.destination for r in workload.requests} == set(graph.nodes())
+
+
+def test_seeded_permutation_is_reproducible_and_differs_across_seeds():
+    graph = _graph(32)
+    first = permutation_workload(graph, seed=11)
+    again = permutation_workload(graph, seed=11)
+    other = permutation_workload(graph, seed=12)
+    assert first.requests == again.requests
+    assert first.requests != other.requests
+
+
+def test_multi_token_reaches_the_declared_load():
+    graph = _graph(32)
+    workload = multi_token_workload(graph, load=3)
+    assert len(workload) == 96
+    assert infer_load(workload.requests) == 3
+
+
+def test_hotspot_concentrates_destinations():
+    graph = _graph(64)
+    workload = hotspot_workload(graph, load=4, hot_fraction=0.1, seed=3)
+    destination_counts = {}
+    for request in workload.requests:
+        destination_counts[request.destination] = destination_counts.get(request.destination, 0) + 1
+    assert max(destination_counts.values()) == 4  # hot vertices soak up the full load
+    assert len(workload) == 64  # every vertex sends exactly one token
+    assert workload.validate(graph) == []
+
+
+def test_broadcast_and_gather_are_mirror_shapes():
+    graph = _graph(32)
+    broadcast = broadcast_workload(graph, root=5, fanout=6)
+    gather = gather_workload(graph, root=5, fanout=6)
+    assert all(r.source == 5 for r in broadcast.requests)
+    assert all(r.destination == 5 for r in gather.requests)
+    assert len(broadcast) == len(gather) == 6
+    assert broadcast.load == gather.load == 6
+    assert broadcast.validate(graph) == []
+    assert gather.validate(graph) == []
+
+
+def test_broadcast_rejects_foreign_roots():
+    with pytest.raises(ValueError, match="not a vertex"):
+        broadcast_workload(_graph(16), root=99)
+
+
+def test_adversarial_bipartite_crosses_the_halves():
+    graph = _graph(32)
+    workload = adversarial_bipartite_workload(graph, seed=1)
+    low = set(sorted(graph.nodes())[:16])
+    for request in workload.requests:
+        assert (request.source in low) != (request.destination in low)
+    assert workload.load == 1
+    assert len(workload) == 32
+
+
+def test_validate_flags_bad_workloads():
+    graph = _graph(16)
+    good = permutation_workload(graph)
+    alien = Workload(name="alien", requests=good.requests, load=1)
+    assert alien.validate(_graph(8))  # vertices 8..15 lie outside the smaller graph
+    underdeclared = Workload(name="tight", requests=multi_token_workload(graph, 2).requests, load=1)
+    assert any("exceeds declared load" in p for p in underdeclared.validate(graph))
+
+
+# -- property-based: every generator yields valid requests -------------------------
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    name=st.sampled_from(sorted(WORKLOAD_GENERATORS)),
+    n=st.sampled_from([17, 24, 32, 33, 48]),
+    load=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_every_generator_produces_valid_requests(name, n, load, seed):
+    graph = _graph(n)
+    if name in ("permutation", "adversarial-bipartite"):
+        workload = make_workload(name, graph, seed=seed)
+    elif name == "multi-token":
+        workload = make_workload(name, graph, load=load)
+    elif name == "hotspot":
+        workload = make_workload(name, graph, load=load, seed=seed)
+    else:  # broadcast / gather
+        workload = make_workload(name, graph, fanout=load + 3)
+    assert workload.validate(graph) == []
+    vertices = set(graph.nodes())
+    assert all(r.source in vertices and r.destination in vertices for r in workload.requests)
+    # The load bound is respected: the observed load never exceeds the declared one.
+    assert infer_load(workload.requests) <= workload.load
+    # Generators are deterministic given their parameters.
+    assert workload.requests == make_workload(name, graph, **dict(workload.params)).requests
