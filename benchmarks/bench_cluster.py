@@ -1,0 +1,125 @@
+"""E7: shard scaling — the same workload through 1, 2, and 4 cluster shards.
+
+What scales when shards are added is *artifact cache capacity*: each shard
+brings its own :class:`~repro.service.ArtifactCache`, and the consistent-hash
+ring partitions the fingerprint working set across them.  The benchmark
+fixes a working set of 12 distinct expanders against a per-shard cache of 4
+slots: one shard can hold a third of the set and re-preprocesses the rest on
+every pass, while four shards hold all of it and serve purely from cache.
+
+The graph set is chosen deterministically so the 4-shard ring owns exactly 3
+fingerprints per shard (documented, seeded seed-scan) — the benchmark
+measures cache scaling, not placement luck.  One JSON row per shard count
+(throughput, p99 latency, hit rate) goes to ``bench-cluster.json``, uploaded
+as a CI artifact next to ``bench-backends.json``.
+
+The headline assertion is the ISSUE's acceptance bar: four shards sustain at
+least twice the single-shard batch throughput on this workload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import QUICK
+
+from repro.analysis.reporting import format_table
+from repro.cluster import ClusterCoordinator, ConsistentHashRing
+from repro.graphs.generators import random_regular_expander
+from repro.metrics import MetricsRegistry, quantile
+from repro.service import RoutingService
+from repro.workloads import permutation_workload
+
+BENCH_N = 64 if QUICK else 96
+GRAPHS_PER_SHARD = 3
+SHARD_COUNTS = (1, 2, 4)
+CACHE_CAPACITY = 4  # per shard; one shard holds 4 of the 12 fingerprints
+MEASURE_ROUNDS = 2 if QUICK else 3
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "bench-cluster.json"
+
+
+def _balanced_graphs():
+    """12 expanders whose fingerprints spread 3/3/3/3 over the 4-shard ring."""
+    ring = ConsistentHashRing([f"shard-{i}" for i in range(max(SHARD_COUNTS))])
+    keyer = RoutingService(epsilon=0.5, metrics=MetricsRegistry())
+    quota = {shard_id: GRAPHS_PER_SHARD for shard_id in ring.shard_ids}
+    graphs, seed = [], 0
+    while any(quota.values()):
+        graph = random_regular_expander(BENCH_N, degree=8, seed=seed)
+        owner = ring.assign(keyer.fingerprint(graph))
+        if quota[owner]:
+            quota[owner] -= 1
+            graphs.append(graph)
+        seed += 1
+    return graphs
+
+
+def _run_rounds(coordinator, traffic, rounds):
+    """Serve ``rounds`` full passes of the traffic; return (reports, seconds)."""
+    started = time.perf_counter()
+    reports = []
+    for _ in range(rounds):
+        for graph, workload in traffic:
+            coordinator.submit(graph, workload)
+        reports.append(coordinator.dispatch())
+    return reports, time.perf_counter() - started
+
+
+def test_shard_scaling(benchmark):
+    graphs = _balanced_graphs()
+    traffic = [(graph, permutation_workload(graph, shift=3)) for graph in graphs]
+    rows = []
+
+    def sweep():
+        for shard_count in SHARD_COUNTS:
+            coordinator = ClusterCoordinator(
+                shard_count=shard_count,
+                cache_capacity=CACHE_CAPACITY,
+                shard_max_workers=2,
+                metrics=MetricsRegistry(),
+            )
+            # Warm-up pass: every artifact gets built once somewhere.
+            _run_rounds(coordinator, traffic, 1)
+            reports, seconds = _run_rounds(coordinator, traffic, MEASURE_ROUNDS)
+            queries = sum(report.query_count for report in reports)
+            latencies = [s for report in reports for s in report.query_seconds]
+            assert all(report.all_delivered for report in reports)
+            rows.append(
+                {
+                    "shards": shard_count,
+                    "n": BENCH_N,
+                    "graphs": len(graphs),
+                    "cache_capacity": CACHE_CAPACITY,
+                    "queries": queries,
+                    "seconds": seconds,
+                    "throughput_qps": queries / seconds,
+                    "p99_seconds": quantile(latencies, 0.99),
+                    "preprocess_rounds_incurred": sum(
+                        report.preprocess_rounds_incurred for report in reports
+                    ),
+                    "cache_hit_rate": sum(report.cache_hits for report in reports) / queries,
+                    "quick": QUICK,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2, default=str) + "\n")
+
+    print(
+        f"\n[E7] shard scaling on n={BENCH_N}, "
+        f"{len(graphs)} graphs, cache={CACHE_CAPACITY}/shard"
+    )
+    print(format_table(rows))
+    print(f"wrote {len(rows)} rows to {RESULTS_PATH.name}")
+
+    by_shards = {row["shards"]: row for row in rows}
+    # More shards -> more aggregate cache -> fewer re-preprocesses.
+    assert by_shards[4]["preprocess_rounds_incurred"] < by_shards[1]["preprocess_rounds_incurred"]
+    # Four shards hold the whole working set: steady state is all cache hits.
+    assert by_shards[4]["preprocess_rounds_incurred"] == 0
+    assert by_shards[4]["cache_hit_rate"] == 1.0
+    # The ISSUE acceptance bar: >= 2x batch throughput at 4 shards vs 1.
+    speedup = by_shards[4]["throughput_qps"] / by_shards[1]["throughput_qps"]
+    print(f"throughput speedup 4 shards vs 1: {speedup:.2f}x")
+    assert speedup >= 2.0

@@ -22,6 +22,7 @@ is imported.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import networkx as nx
@@ -37,6 +38,7 @@ from repro.baselines.randomized_gks import route_randomized
 from repro.core.router import ExpanderRouter, PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
+from repro.metrics import default_registry
 from repro.workloads import infer_load
 
 __all__ = [
@@ -45,6 +47,36 @@ __all__ = [
     "RandomizedGKSBackend",
     "DirectBackend",
 ]
+
+
+def _observe_route(name: str, result: RouteResult, started: float) -> RouteResult:
+    """Record one route() call into the default metrics registry.
+
+    Adapters are constructed by registry factories with no injection point,
+    so the ``repro_backend_*`` families always land in the *process-wide*
+    registry (:func:`repro.metrics.default_registry`) — swap it with
+    :func:`repro.metrics.set_default_registry` to isolate them.  Per-service
+    and per-cluster registries carry the ``repro_service_*`` /
+    ``repro_cluster_*`` views of the same traffic.
+    """
+    registry = default_registry()
+    registry.histogram(
+        "repro_backend_route_seconds", "Wall-clock per backend route() call.", labels=("backend",)
+    ).labels(backend=name).observe(time.perf_counter() - started)
+    registry.counter(
+        "repro_backend_route_rounds_total", "Query rounds charged per backend.", labels=("backend",)
+    ).labels(backend=name).inc(result.query_rounds)
+    return result
+
+
+def _observe_preprocess(info: PreprocessInfo) -> PreprocessInfo:
+    """Record one preprocess() call into the default metrics registry."""
+    default_registry().counter(
+        "repro_backend_preprocess_rounds_total",
+        "Preprocessing rounds charged per backend.",
+        labels=("backend",),
+    ).labels(backend=info.backend).inc(info.rounds)
+    return info
 
 
 class DeterministicBackend:
@@ -87,17 +119,20 @@ class DeterministicBackend:
             if summary is not None
             else {}
         )
-        return PreprocessInfo(
-            backend=self.name,
-            rounds=self.router.preprocess_ledger.total("preprocess"),
-            details=details,
+        return _observe_preprocess(
+            PreprocessInfo(
+                backend=self.name,
+                rounds=self.router.preprocess_ledger.total("preprocess"),
+                details=details,
+            )
         )
 
     def route(
         self, requests: Sequence[RoutingRequest], load: int | None = None
     ) -> RouteResult:
+        started = time.perf_counter()
         outcome = self.router.route(requests, load=load)
-        return RouteResult(
+        result = RouteResult(
             backend=self.name,
             delivered=outcome.delivered,
             total_tokens=outcome.total_tokens,
@@ -111,6 +146,7 @@ class DeterministicBackend:
             },
             raw=outcome,
         )
+        return _observe_route(self.name, result, started)
 
     # -- artifact capability (detected by the serving layer) ------------------
 
@@ -135,13 +171,16 @@ class RebuildPerQueryBackend:
     def preprocess(self) -> PreprocessInfo:
         # Nothing survives between queries — the rebuild cost is charged to
         # every query's rounds instead, which is what the comparison measures.
-        return PreprocessInfo(backend=self.name, rounds=0, details={"rebuilds_per_query": True})
+        return _observe_preprocess(
+            PreprocessInfo(backend=self.name, rounds=0, details={"rebuilds_per_query": True})
+        )
 
     def route(
         self, requests: Sequence[RoutingRequest], load: int | None = None
     ) -> RouteResult:
+        started = time.perf_counter()
         outcome = self._router.route(requests, load=load)
-        return RouteResult(
+        result = RouteResult(
             backend=self.name,
             delivered=outcome.delivered,
             total_tokens=outcome.total_tokens,
@@ -150,6 +189,7 @@ class RebuildPerQueryBackend:
             load=load if load is not None else infer_load(requests),
             raw=outcome,
         )
+        return _observe_route(self.name, result, started)
 
 
 class RandomizedGKSBackend:
@@ -163,13 +203,16 @@ class RandomizedGKSBackend:
         self.phi = phi
 
     def preprocess(self) -> PreprocessInfo:
-        return PreprocessInfo(backend=self.name, rounds=0, details={"randomized": True})
+        return _observe_preprocess(
+            PreprocessInfo(backend=self.name, rounds=0, details={"randomized": True})
+        )
 
     def route(
         self, requests: Sequence[RoutingRequest], load: int | None = None
     ) -> RouteResult:
+        started = time.perf_counter()
         outcome = route_randomized(self.graph, requests, seed=self.seed, phi=self.phi)
-        return RouteResult(
+        result = RouteResult(
             backend=self.name,
             delivered=outcome.delivered,
             total_tokens=len(requests),
@@ -184,6 +227,7 @@ class RandomizedGKSBackend:
             },
             raw=outcome,
         )
+        return _observe_route(self.name, result, started)
 
 
 class DirectBackend:
@@ -195,13 +239,14 @@ class DirectBackend:
         self.graph = graph
 
     def preprocess(self) -> PreprocessInfo:
-        return PreprocessInfo(backend=self.name, rounds=0, details={})
+        return _observe_preprocess(PreprocessInfo(backend=self.name, rounds=0, details={}))
 
     def route(
         self, requests: Sequence[RoutingRequest], load: int | None = None
     ) -> RouteResult:
+        started = time.perf_counter()
         outcome = route_directly(self.graph, requests)
-        return RouteResult(
+        result = RouteResult(
             backend=self.name,
             delivered=outcome.delivered,
             total_tokens=len(requests),
@@ -211,6 +256,7 @@ class DirectBackend:
             extra={"congestion": outcome.congestion, "dilation": outcome.dilation},
             raw=outcome,
         )
+        return _observe_route(self.name, result, started)
 
 
 register_backend(DeterministicBackend.name, DeterministicBackend)

@@ -1,0 +1,379 @@
+"""The cluster front door: ring placement, admission, scatter/gather, merge.
+
+:class:`ClusterCoordinator` is to the cluster what
+:class:`~repro.service.RoutingService` is to one process:
+
+1. **Place** — every submitted query is fingerprinted once (the same
+   canonical key the per-shard caches use) and mapped to a shard by the
+   :class:`~repro.cluster.ring.ConsistentHashRing`, so all traffic for one
+   (graph, backend, parameters) key lands where its artifact lives.
+2. **Admit** — the shard's bounded queue accepts, rejects, or sheds
+   (:mod:`repro.cluster.admission`); overload degrades predictably instead of
+   growing an unbounded backlog.
+3. **Scatter/gather** — :meth:`ClusterCoordinator.dispatch` drains every
+   queue, fans each shard's slice out to its worker concurrently, and merges
+   the per-shard :class:`~repro.service.BatchReport` s into one
+   :class:`ClusterReport`.
+4. **Scale** — :meth:`add_shard` / :meth:`remove_shard` rebalance the ring
+   and report how much artifact locality the change cost
+   (:class:`~repro.cluster.ring.RebalanceStats` over every fingerprint the
+   coordinator has seen).
+
+Placement, admission, and per-shard serving are all deterministic given the
+same submissions and configuration — :meth:`ClusterReport.signature`
+captures exactly the deterministic part (counts and rounds, not wall-clock),
+which is what the cluster determinism tests compare.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.cluster.admission import AdmissionController, AdmissionDecision, AdmissionStats
+from repro.cluster.ring import ConsistentHashRing, RebalanceStats
+from repro.cluster.worker import ShardQuery, ShardWorker
+from repro.core.tokens import RoutingRequest
+from repro.hierarchy.builder import HierarchyParameters
+from repro.metrics import MetricsRegistry, default_registry
+from repro.metrics import quantile as _quantile
+from repro.service.cache import ArtifactCache
+from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
+from repro.workloads import Workload
+
+__all__ = ["ClusterReport", "ClusterCoordinator"]
+
+
+@dataclass
+class ClusterReport:
+    """One dispatch cycle's merged outcome across every shard.
+
+    Attributes:
+        shard_reports: per-shard :class:`BatchReport`, keyed by shard id
+            (only shards that served queries this cycle appear).
+        dispatch_seconds: wall-clock of the whole scatter/gather.
+        admission: snapshot of the coordinator's lifetime admission totals at
+            gather time (offered/accepted/rejected/shed).
+    """
+
+    shard_reports: dict[str, BatchReport] = field(default_factory=dict)
+    dispatch_seconds: float = 0.0
+    admission: AdmissionStats = field(default_factory=AdmissionStats)
+
+    @property
+    def query_count(self) -> int:
+        return sum(report.query_count for report in self.shard_reports.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(report.cache_hits for report in self.shard_reports.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.query_count
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def preprocess_rounds_incurred(self) -> int:
+        return sum(r.preprocess_rounds_incurred for r in self.shard_reports.values())
+
+    @property
+    def preprocess_rounds_reused(self) -> int:
+        return sum(r.preprocess_rounds_reused for r in self.shard_reports.values())
+
+    @property
+    def total_query_rounds(self) -> int:
+        return sum(r.total_query_rounds for r in self.shard_reports.values())
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(r.all_delivered for r in self.shard_reports.values())
+
+    @property
+    def query_seconds(self) -> list[float]:
+        """Every query's routing latency, grouped by shard id order."""
+        seconds: list[float] = []
+        for shard_id in sorted(self.shard_reports):
+            seconds.extend(self.shard_reports[shard_id].query_seconds)
+        return seconds
+
+    def query_seconds_quantile(self, q: float) -> float:
+        return _quantile(self.query_seconds, q)
+
+    def signature(self) -> dict[str, dict[str, object]]:
+        """The deterministic shape of the dispatch: per-shard counts, no clocks.
+
+        Two coordinators with the same configuration and submissions produce
+        identical signatures — the cluster determinism tests rely on it.
+        """
+        return {
+            shard_id: {
+                "queries": report.query_count,
+                "distinct_graphs": report.distinct_graphs,
+                "cache_hits": report.cache_hits,
+                "delivered": sum(res.outcome.delivered for res in report.results),
+                "total_query_rounds": report.total_query_rounds,
+                "preprocess_rounds_incurred": report.preprocess_rounds_incurred,
+                "preprocess_rounds_reused": report.preprocess_rounds_reused,
+            }
+            for shard_id, report in sorted(self.shard_reports.items())
+        }
+
+    def per_shard_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for shard_id in sorted(self.shard_reports):
+            report = self.shard_reports[shard_id]
+            rows.append(
+                {
+                    "shard": shard_id,
+                    "queries": report.query_count,
+                    "cache_hit_rate": report.cache_hit_rate,
+                    "preprocess_rounds_incurred": report.preprocess_rounds_incurred,
+                    "query_rounds": report.total_query_rounds,
+                    "p50_seconds": report.query_seconds_quantile(0.50),
+                    "p99_seconds": report.query_seconds_quantile(0.99),
+                }
+            )
+        return rows
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "shards": len(self.shard_reports),
+            "queries": self.query_count,
+            "cache_hit_rate": self.cache_hit_rate,
+            "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
+            "preprocess_rounds_reused": self.preprocess_rounds_reused,
+            "total_query_rounds": self.total_query_rounds,
+            "all_delivered": self.all_delivered,
+            "p50_seconds": self.query_seconds_quantile(0.50),
+            "p95_seconds": self.query_seconds_quantile(0.95),
+            "p99_seconds": self.query_seconds_quantile(0.99),
+            "dispatch_seconds": self.dispatch_seconds,
+            "dropped": self.admission.dropped,
+        }
+
+    def render(self) -> str:
+        parts = [format_kv(self.summary(), title="cluster")]
+        if self.shard_reports:
+            parts.append(format_table(self.per_shard_rows()))
+        return "\n\n".join(parts)
+
+
+class ClusterCoordinator:
+    """Scatters fingerprinted queries over shard workers and merges the reports.
+
+    Args:
+        shard_count: initial number of shards (``shard-0`` .. ``shard-N-1``).
+        epsilon / psi / hierarchy_params: service tradeoff parameters, shared
+            by every shard (and by the coordinator's own fingerprinting).
+        vnodes: virtual nodes per shard on the placement ring.
+        cache_capacity: per-shard in-memory artifact slots.
+        queue_capacity: per-shard admission queue bound (``None`` =
+            unbounded).
+        admission_policy: ``"reject"`` or ``"shed-oldest"``.
+        shard_max_workers: fan-out width inside each shard's service.
+        metrics: shared registry (default: the process-wide one).
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        epsilon: float = 0.5,
+        psi: float | None = None,
+        hierarchy_params: HierarchyParameters | None = None,
+        vnodes: int = 64,
+        cache_capacity: int = 8,
+        queue_capacity: int | None = None,
+        admission_policy: str = "reject",
+        shard_max_workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.epsilon = epsilon
+        self.psi = psi
+        self.hierarchy_params = hierarchy_params
+        self.cache_capacity = cache_capacity
+        self.shard_max_workers = shard_max_workers
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.admission = AdmissionController(
+            capacity=queue_capacity, policy=admission_policy, metrics=self.metrics
+        )
+        self.workers: dict[str, ShardWorker] = {}
+        self._next_shard_index = 0
+        self._seen_fingerprints: set[str] = set()
+        # The coordinator fingerprints with the same parameters the shard
+        # services use, so placement keys and cache keys agree; its own cache
+        # is never filled (placement never routes).
+        self._keyer = RoutingService(
+            epsilon=epsilon,
+            psi=psi,
+            hierarchy_params=hierarchy_params,
+            cache=ArtifactCache(capacity=1),
+            metrics=self.metrics,
+        )
+        self._m_dispatch_seconds = self.metrics.histogram(
+            "repro_cluster_dispatch_seconds", "Wall-clock per scatter/gather cycle."
+        )
+        for _ in range(shard_count):
+            self.add_shard()
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return self.ring.shard_ids
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.workers)
+
+    def add_shard(self, shard_id: str | None = None) -> RebalanceStats:
+        """Add a shard (and its worker); returns how placement moved.
+
+        The rebalance stats are measured over every fingerprint the
+        coordinator has seen — the moved fraction is the share of known
+        artifacts whose cache locality the scale-up cost.
+        """
+        if shard_id is None:
+            shard_id = f"shard-{self._next_shard_index}"
+        self._next_shard_index += 1
+        seen = sorted(self._seen_fingerprints)
+        before = self.ring.placement(seen) if len(self.ring) else {}
+        before_count = len(self.ring)
+        self.ring.add_shard(shard_id)
+        self.workers[shard_id] = ShardWorker(
+            shard_id,
+            epsilon=self.epsilon,
+            psi=self.psi,
+            hierarchy_params=self.hierarchy_params,
+            cache_capacity=self.cache_capacity,
+            max_workers=self.shard_max_workers,
+            metrics=self.metrics,
+        )
+        moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
+        expected = 1.0 / len(self.ring) if before_count else 1.0
+        return RebalanceStats(total=len(seen), moved=moved, expected_fraction=expected)
+
+    def remove_shard(self, shard_id: str) -> RebalanceStats:
+        """Drop a shard; queued work is requeued on its new owners.
+
+        Stranded items were already admitted, so they move via
+        :meth:`~repro.cluster.admission.AdmissionController.requeue` — no
+        second admission decision, no loss even if the new owner's queue is
+        momentarily over capacity.
+        """
+        if len(self.workers) <= 1:
+            raise ValueError("cannot remove the last shard")
+        seen = sorted(self._seen_fingerprints)
+        before = self.ring.placement(seen)
+        stranded = self.admission.drain(shard_id)
+        self.ring.remove_shard(shard_id)
+        self.workers.pop(shard_id)
+        by_owner: dict[str, list[ShardQuery]] = {}
+        for item in stranded:
+            by_owner.setdefault(self.ring.assign(item.fingerprint), []).append(item)
+        for owner, items in by_owner.items():
+            self.admission.requeue(owner, items)
+        moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
+        return RebalanceStats(
+            total=len(seen), moved=moved, expected_fraction=1.0 / (len(self.ring) + 1)
+        )
+
+    # -- submission -----------------------------------------------------------
+
+    def fingerprint(
+        self,
+        graph: nx.Graph,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+    ) -> str:
+        """The placement (and cache) key for ``graph`` under ``backend``."""
+        return self._keyer.fingerprint(graph, backend=backend, backend_params=backend_params)
+
+    def submit(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest] | Workload,
+        load: int | None = None,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
+    ) -> AdmissionDecision:
+        """Fingerprint, place, and offer one query; returns the admission outcome."""
+        if isinstance(requests, Workload):
+            workload = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        fingerprint = self.fingerprint(graph, backend=backend, backend_params=backend_params)
+        self._seen_fingerprints.add(fingerprint)
+        shard_id = self.ring.assign(fingerprint)
+        item = ShardQuery(
+            fingerprint=fingerprint,
+            graph=graph,
+            requests=tuple(requests),
+            load=load,
+            backend=backend,
+            backend_params=dict(backend_params or {}),
+            workload=workload,
+        )
+        return self.admission.offer(shard_id, item)
+
+    def queue_depths(self) -> dict[str, int]:
+        return {shard_id: self.admission.depth(shard_id) for shard_id in self.workers}
+
+    @property
+    def pending_count(self) -> int:
+        return sum(self.queue_depths().values())
+
+    # -- execution ------------------------------------------------------------
+
+    def dispatch(self) -> ClusterReport:
+        """Drain every queue, scatter to the shard workers, gather, merge."""
+        started = time.perf_counter()
+        slices = {shard_id: self.admission.drain(shard_id) for shard_id in sorted(self.workers)}
+        report = ClusterReport()
+        busy = {shard_id: items for shard_id, items in slices.items() if items}
+        if busy:
+            with ThreadPoolExecutor(max_workers=len(busy)) as pool:
+                futures = {
+                    shard_id: pool.submit(self.workers[shard_id].process, items)
+                    for shard_id, items in busy.items()
+                }
+                for shard_id, future in futures.items():
+                    report.shard_reports[shard_id] = future.result()
+        report.dispatch_seconds = time.perf_counter() - started
+        report.admission = self.admission.total_stats()
+        self._m_dispatch_seconds.observe(report.dispatch_seconds)
+        return report
+
+    def route_batch(
+        self,
+        graph: nx.Graph,
+        workloads: Sequence[Workload | Sequence[RoutingRequest]],
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+    ) -> ClusterReport:
+        """Submit every workload and dispatch once (drops are reflected in the report)."""
+        for workload in workloads:
+            self.submit(graph, workload, backend=backend, backend_params=backend_params)
+        return self.dispatch()
+
+    # -- reporting ------------------------------------------------------------
+
+    def shard_rows(self) -> list[dict[str, object]]:
+        """Lifetime per-shard serving and cache stats (for operators' tables)."""
+        rows = []
+        for shard_id in sorted(self.workers):
+            worker = self.workers[shard_id]
+            row = worker.as_row()
+            row["queue_depth"] = self.admission.depth(shard_id)
+            rows.append(row)
+        return rows

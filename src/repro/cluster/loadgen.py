@@ -1,0 +1,300 @@
+"""Open-loop load generation against the cluster, with an SLO report.
+
+An *open-loop* generator draws arrival times from a stochastic process and
+submits on schedule no matter how the system is doing — unlike a closed loop,
+it never slows down to match service capacity, which is exactly what exposes
+overload behaviour (queue growth, admission drops, tail latency).  Two
+arrival processes are built in, both fully seeded:
+
+* ``poisson`` — exponential inter-arrivals at ``rate`` per second, the
+  classic memoryless stream;
+* ``bursty`` — a piecewise-constant-rate Poisson process that alternates an
+  ON window (``rate * burst_factor``) and a quiet remainder within each
+  ``burst_period``, keeping the same average rate but concentrating arrivals.
+
+Each arrival picks a (graph, workload) pair from the generator's catalog with
+a seeded RNG — workloads are drawn from :mod:`repro.workloads`, built once
+per pair and replayed, so repeated traffic exercises the per-shard artifact
+caches the way real repeat queries would.  Arrivals are grouped into dispatch
+windows of ``dispatch_interval`` simulated seconds: every window's arrivals
+are submitted (the admission queues accept or drop) and then the coordinator
+dispatches once — the scatter/gather that serves that window.
+
+:meth:`OpenLoopLoadGenerator.run` returns an :class:`SLOReport`: offered vs
+completed traffic, drop/shed rate, throughput, exact latency percentiles
+(p50/p95/p99 over every served query), and per-shard cache hit rates — the
+numbers an operator would put an SLO on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.cluster.coordinator import ClusterCoordinator, ClusterReport
+from repro.metrics import quantile as _quantile
+from repro.service.service import DEFAULT_BACKEND
+from repro.workloads import Workload, make_workload
+
+__all__ = ["SLOReport", "OpenLoopLoadGenerator", "DEFAULT_WORKLOAD_MIX"]
+
+#: The default (workload, params) mix an arrival draws from.
+DEFAULT_WORKLOAD_MIX: tuple[tuple[str, dict], ...] = (
+    ("permutation", {"shift": 1}),
+    ("permutation", {"shift": 5}),
+    ("hotspot", {"load": 2, "seed": 11}),
+    ("multi-token", {"load": 2}),
+)
+
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+@dataclass
+class SLOReport:
+    """What the load run achieved, in SLO terms.
+
+    Attributes:
+        offered: arrivals the generator produced.
+        admitted: arrivals the admission queues accepted.
+        completed: queries actually served by shards.
+        rejected / shed: arrivals dropped by admission, split by policy path
+            (deltas across this run only).
+        simulated_seconds: the arrival-process horizon.
+        wall_seconds: real time spent serving.
+        cluster_reports: one :class:`ClusterReport` per dispatch window.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    shed: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cluster_reports: list[ClusterReport] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        return (self.rejected + self.shed) / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def query_seconds(self) -> list[float]:
+        seconds: list[float] = []
+        for report in self.cluster_reports:
+            seconds.extend(report.query_seconds)
+        return seconds
+
+    @property
+    def preprocess_rounds_incurred(self) -> int:
+        return sum(report.preprocess_rounds_incurred for report in self.cluster_reports)
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(report.all_delivered for report in self.cluster_reports)
+
+    def latency_quantile(self, q: float) -> float:
+        return _quantile(self.query_seconds, q)
+
+    def cache_hit_rate_by_shard(self) -> dict[str, float]:
+        """Aggregate cache hit rate per shard across every dispatch window."""
+        hits: dict[str, int] = {}
+        queries: dict[str, int] = {}
+        for report in self.cluster_reports:
+            for shard_id, shard_report in report.shard_reports.items():
+                hits[shard_id] = hits.get(shard_id, 0) + shard_report.cache_hits
+                queries[shard_id] = queries.get(shard_id, 0) + shard_report.query_count
+        return {
+            shard_id: hits[shard_id] / queries[shard_id] if queries[shard_id] else 0.0
+            for shard_id in sorted(queries)
+        }
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "drop_rate": self.drop_rate,
+            "all_delivered": self.all_delivered,
+            "throughput_qps": self.throughput_qps,
+            "p50_seconds": self.latency_quantile(0.50),
+            "p95_seconds": self.latency_quantile(0.95),
+            "p99_seconds": self.latency_quantile(0.99),
+            "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def render(self) -> str:
+        parts = [format_kv(self.summary(), title="slo")]
+        hit_rates = self.cache_hit_rate_by_shard()
+        if hit_rates:
+            parts.append(
+                format_table(
+                    [
+                        {"shard": shard_id, "cache_hit_rate": rate}
+                        for shard_id, rate in hit_rates.items()
+                    ]
+                )
+            )
+        return "\n\n".join(parts)
+
+
+class OpenLoopLoadGenerator:
+    """Seeded open-loop traffic over a graph pool and a workload mix.
+
+    Args:
+        graphs: the expanders traffic is spread across (drawn uniformly per
+            arrival).
+        workload_mix: ``(name, params)`` pairs from
+            :data:`~repro.workloads.WORKLOAD_GENERATORS` (default
+            :data:`DEFAULT_WORKLOAD_MIX`); built once per (graph, spec) pair
+            and replayed.
+        rate: average arrivals per simulated second.
+        duration: simulated horizon in seconds.
+        arrival: ``"poisson"`` or ``"bursty"``.
+        burst_factor / burst_period / burst_fraction: the bursty process — an
+            ON window of ``burst_period * burst_fraction`` at
+            ``rate * burst_factor``, then quiet at whatever rate keeps the
+            average at ``rate``.
+        dispatch_interval: simulated seconds per dispatch window.
+        backend: the routing backend every query names.
+        seed: master seed for the arrival process and the traffic picks.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[nx.Graph],
+        workload_mix: Sequence[tuple[str, Mapping[str, Any]]] = DEFAULT_WORKLOAD_MIX,
+        rate: float = 200.0,
+        duration: float = 1.0,
+        arrival: str = "poisson",
+        burst_factor: float = 4.0,
+        burst_period: float = 0.25,
+        burst_fraction: float = 0.25,
+        dispatch_interval: float = 0.05,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not graphs:
+            raise ValueError("the load generator needs at least one graph")
+        if rate <= 0 or duration <= 0 or dispatch_interval <= 0:
+            raise ValueError("rate, duration, and dispatch_interval must be positive")
+        if arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process {arrival!r}; use one of {ARRIVAL_PROCESSES}")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if burst_period <= 0 or burst_factor <= 0:
+            raise ValueError("burst_period and burst_factor must be positive")
+        self.graphs = list(graphs)
+        self.workload_mix = [(name, dict(params)) for name, params in workload_mix]
+        self.rate = rate
+        self.duration = duration
+        self.arrival = arrival
+        self.burst_factor = burst_factor
+        self.burst_period = burst_period
+        self.burst_fraction = burst_fraction
+        self.dispatch_interval = dispatch_interval
+        self.backend = backend
+        self.backend_params = dict(backend_params or {})
+        self.seed = seed
+        self._workload_cache: dict[tuple[int, int], Workload] = {}
+
+    # -- the arrival process ---------------------------------------------------
+
+    def _rate_segments(self) -> list[tuple[float, float, float]]:
+        """``(start, end, rate)`` pieces covering the simulated horizon."""
+        if self.arrival == "poisson":
+            return [(0.0, self.duration, self.rate)]
+        on = self.burst_period * self.burst_fraction
+        on_rate = self.rate * self.burst_factor
+        # Solve the quiet rate so the average over a full period equals
+        # ``rate``; clamp at zero when the burst alone carries the average.
+        off_rate = max(
+            0.0,
+            (self.rate * self.burst_period - on_rate * on) / (self.burst_period - on),
+        )
+        segments = []
+        start = 0.0
+        while start < self.duration:
+            segments.append((start, min(start + on, self.duration), on_rate))
+            if start + on < self.duration:
+                segments.append(
+                    (start + on, min(start + self.burst_period, self.duration), off_rate)
+                )
+            start += self.burst_period
+        return segments
+
+    def arrival_times(self) -> list[float]:
+        """Every arrival's simulated timestamp, deterministic for the seed."""
+        rng = random.Random(self.seed)
+        times: list[float] = []
+        for start, end, rate in self._rate_segments():
+            if rate <= 0:
+                continue
+            t = start
+            while True:
+                t += rng.expovariate(rate)
+                if t >= end:
+                    break
+                times.append(t)
+        return times
+
+    # -- traffic --------------------------------------------------------------
+
+    def _pick(self, rng: random.Random) -> tuple[nx.Graph, Workload]:
+        graph_index = rng.randrange(len(self.graphs))
+        spec_index = rng.randrange(len(self.workload_mix))
+        key = (graph_index, spec_index)
+        workload = self._workload_cache.get(key)
+        if workload is None:
+            name, params = self.workload_mix[spec_index]
+            workload = make_workload(name, self.graphs[graph_index], **params)
+            self._workload_cache[key] = workload
+        return self.graphs[graph_index], workload
+
+    def run(self, coordinator: ClusterCoordinator) -> SLOReport:
+        """Drive the coordinator with the whole arrival schedule; report SLOs."""
+        arrivals = self.arrival_times()
+        windows: dict[int, int] = {}
+        for t in arrivals:
+            windows[int(t / self.dispatch_interval)] = (
+                windows.get(int(t / self.dispatch_interval), 0) + 1
+            )
+        rng = random.Random(self.seed + 1)
+        before = coordinator.admission.total_stats()
+        report = SLOReport(offered=len(arrivals), simulated_seconds=self.duration)
+        started = time.perf_counter()
+        for window in sorted(windows):
+            for _ in range(windows[window]):
+                graph, workload = self._pick(rng)
+                decision = coordinator.submit(
+                    graph,
+                    workload,
+                    backend=self.backend,
+                    backend_params=self.backend_params,
+                )
+                if decision.accepted:
+                    report.admitted += 1
+            cluster_report = coordinator.dispatch()
+            report.cluster_reports.append(cluster_report)
+            report.completed += cluster_report.query_count
+        report.wall_seconds = time.perf_counter() - started
+        after = coordinator.admission.total_stats()
+        report.rejected = after.rejected - before.rejected
+        report.shed = after.shed - before.shed
+        # Shed items were admitted once and then dropped from the queue; they
+        # never complete, so subtract them from the admitted count.
+        report.admitted -= report.shed
+        return report

@@ -1,0 +1,146 @@
+"""One shard of the cluster: a :class:`RoutingService` plus its own cache.
+
+A shard worker is deliberately thin — all the serving machinery (fingerprint
+memoization, artifact cache, parallel fan-out, batch reports) already lives
+in :class:`~repro.service.RoutingService`; the worker gives one shard its own
+isolated instance of it.  Isolation is the point: the coordinator's
+consistent-hash ring sends every fingerprint to exactly one shard, so each
+shard's :class:`~repro.service.ArtifactCache` holds only its own partition of
+the artifact working set.  That is what makes the cluster scale — adding
+shards multiplies effective cache capacity without any cross-shard
+coordination (measured by ``benchmarks/bench_cluster.py``).
+
+:class:`ShardQuery` is the coordinator→worker wire format: a fingerprinted,
+normalised routing instance that any shard could serve (the fingerprint is
+computed once by the coordinator and must agree with the worker's own — both
+derive from the same service parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.tokens import RoutingRequest
+from repro.hierarchy.builder import HierarchyParameters
+from repro.metrics import MetricsRegistry, default_registry
+from repro.service.cache import ArtifactCache
+from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
+
+__all__ = ["ShardQuery", "ShardWorker"]
+
+
+@dataclass(frozen=True)
+class ShardQuery:
+    """One routing instance in flight between the coordinator and a shard.
+
+    Attributes:
+        fingerprint: the placement key (canonical graph+backend fingerprint).
+        graph: the graph to route on.
+        requests: the normalised request tuple.
+        load: explicit load bound (``None`` = infer).
+        backend: registry name of the routing backend.
+        backend_params: extra backend factory parameters.
+        workload: workload-shape label, for reporting.
+    """
+
+    fingerprint: str
+    graph: nx.Graph
+    requests: tuple[RoutingRequest, ...]
+    load: int | None = None
+    backend: str = DEFAULT_BACKEND
+    backend_params: Mapping[str, Any] = field(default_factory=dict)
+    workload: str = ""
+
+
+class ShardWorker:
+    """One shard: an isolated :class:`RoutingService` behind a stable id.
+
+    Args:
+        shard_id: the shard's identity on the ring.
+        epsilon / psi / hierarchy_params: service tradeoff parameters — must
+            match the coordinator's so fingerprints agree.
+        cache_capacity: in-memory artifact slots for *this shard's* partition
+            of the working set.
+        disk_dir / disk_capacity: optional per-shard disk tier.
+        max_workers: the shard service's fan-out width per batch.
+        metrics: the registry shared across the cluster (per-shard series are
+            labeled ``shard=<shard_id>``).
+        service: inject a preconfigured service instead (tests).
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        epsilon: float = 0.5,
+        psi: float | None = None,
+        hierarchy_params: HierarchyParameters | None = None,
+        cache_capacity: int = 8,
+        disk_dir: str | None = None,
+        disk_capacity: int | None = None,
+        max_workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        service: RoutingService | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.metrics = metrics if metrics is not None else default_registry()
+        if service is None:
+            cache = ArtifactCache(
+                capacity=cache_capacity,
+                disk_dir=disk_dir,
+                disk_capacity=disk_capacity,
+                metrics=self.metrics,
+            )
+            service = RoutingService(
+                epsilon=epsilon,
+                psi=psi,
+                hierarchy_params=hierarchy_params,
+                cache=cache,
+                max_workers=max_workers,
+                metrics=self.metrics,
+            )
+        self.service = service
+        self.batches_served = 0
+        self.queries_served = 0
+        self._m_queries = self.metrics.counter(
+            "repro_cluster_queries_total", "Queries served per shard.", labels=("shard",)
+        )
+        self._m_seconds = self.metrics.histogram(
+            "repro_cluster_query_seconds", "Per-query latency per shard.", labels=("shard",)
+        )
+
+    def process(self, items: Sequence[ShardQuery]) -> BatchReport:
+        """Serve one scatter of queries as a single service batch."""
+        for item in items:
+            self.service.submit(
+                item.graph,
+                item.requests,
+                load=item.load,
+                backend=item.backend,
+                backend_params=item.backend_params,
+                workload=item.workload,
+            )
+        report = self.service.route_batch()
+        self.batches_served += 1
+        self.queries_served += len(report.results)
+        self._m_queries.labels(shard=self.shard_id).inc(len(report.results))
+        for result in report.results:
+            self._m_seconds.labels(shard=self.shard_id).observe(result.seconds)
+        return report
+
+    @property
+    def cache_stats(self):
+        """This shard's :class:`~repro.service.CacheStats`."""
+        return self.service.cache.stats
+
+    def as_row(self) -> dict[str, object]:
+        stats = self.cache_stats
+        return {
+            "shard": self.shard_id,
+            "batches": self.batches_served,
+            "queries": self.queries_served,
+            "cache_hit_rate": stats.hit_rate,
+            "cache_evictions": stats.evictions,
+        }

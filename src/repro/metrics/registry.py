@@ -1,0 +1,476 @@
+"""Metric primitives and the registry: counters, gauges, latency histograms.
+
+The design follows the Prometheus client-library shape (families of labeled
+children, a registry that renders a text exposition) without the dependency:
+
+* :class:`Counter` — monotonically increasing float.
+* :class:`Gauge` — a settable level (queue depths, cache sizes).
+* :class:`Histogram` — fixed cumulative buckets plus count/sum/min/max, with
+  quantile estimates (p50/p95/p99) by linear interpolation inside the bucket
+  that crosses the requested rank.  Latency observations use
+  :data:`DEFAULT_LATENCY_BUCKETS` (100µs .. 10s) unless overridden.
+* :class:`MetricFamily` — one registered name; ``labels(...)`` resolves the
+  child metric for a label combination.  Families with no label names behave
+  as a single metric directly (``family.inc()`` etc.).
+* :class:`MetricsRegistry` — creates families idempotently (asking for an
+  existing name with the same kind returns the same family), snapshots
+  everything as a plain dict, and renders the Prometheus-style text format.
+
+All operations are thread-safe (one lock per family); the serving layer and
+the cluster tier record from worker threads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "quantile",
+]
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """The exact ``q``-quantile of ``values`` by linear interpolation (0 if empty).
+
+    The list-based companion to :meth:`Histogram.quantile`: batch reports and
+    SLO summaries hold their raw per-query latencies, so their percentiles
+    can be exact rather than bucket-estimated.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+#: Cumulative latency bucket upper bounds, in seconds (an implicit +Inf
+#: bucket always follows).  Spans 100µs to 10s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cache size, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with interpolated quantiles.
+
+    Buckets are upper bounds; an implicit +Inf bucket catches the overflow.
+    Quantiles are estimated by locating the bucket whose cumulative count
+    crosses the requested rank and interpolating linearly inside it — exact
+    enough for latency SLO reporting, and O(#buckets) regardless of how many
+    observations were recorded.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, lock: threading.Lock, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = sorted(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = bisect.bisect_left(self._bounds, value)
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (``0 <= q <= 1``) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if index == len(self._bounds):
+                        return self._max  # overflow bucket: best estimate is the max
+                    lower = self._bounds[index - 1] if index else min(self._min, 0.0)
+                    upper = self._bounds[index]
+                    fraction = (rank - previous) / bucket_count
+                    estimate = lower + (upper - lower) * fraction
+                    return min(max(estimate, self._min), self._max)
+            return self._max
+
+    def summary(self) -> dict[str, float]:
+        """count / sum / mean / min / max / p50 / p95 / p99, as a plain dict."""
+        with self._lock:
+            count, total = self._count, self._sum
+            minimum = self._min if count else 0.0
+            maximum = self._max if count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum,
+            "max": maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        return self.summary()
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with ``+Inf``."""
+        with self._lock:
+            cumulative, rows = 0, []
+            for bound, bucket_count in zip(self._bounds, self._counts):
+                cumulative += bucket_count
+                rows.append((bound, cumulative))
+            rows.append((math.inf, cumulative + self._counts[-1]))
+            return rows
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One registered metric name, fanned out over label combinations.
+
+    A family with no label names holds exactly one child and proxies the
+    metric interface directly (``family.inc()``, ``family.observe()``, ...),
+    so unlabeled metrics read naturally at call sites.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        kind: str,
+        label_names: tuple[str, ...] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def _make_child(self) -> Counter | Gauge | Histogram:
+        if self.kind == "histogram":
+            return Histogram(self._lock, self._buckets or DEFAULT_LATENCY_BUCKETS)
+        return _KINDS[self.kind](self._lock)
+
+    def labels(self, **labels: str) -> Counter | Gauge | Histogram:
+        """The child metric for this label combination (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def children(self) -> list[tuple[tuple[str, ...], Counter | Gauge | Histogram]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # -- unlabeled proxying ---------------------------------------------------
+
+    def _solo(self) -> Counter | Gauge | Histogram:
+        if self.label_names:
+            raise ValueError(f"metric {self.name!r} is labeled; call .labels(...) first")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+    def quantile(self, q: float) -> float:
+        return self._solo().quantile(q)
+
+    def summary(self) -> dict[str, float]:
+        return self._solo().summary()
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        return self._solo().bucket_counts()
+
+
+class MetricsRegistry:
+    """Creates and holds metric families; snapshots and renders them.
+
+    Family creation is idempotent: requesting an existing name with the same
+    kind returns the existing family (so call sites never coordinate), while a
+    kind or label mismatch raises — one name means one thing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        description: str,
+        kind: str,
+        labels: Iterable[str],
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        effective_buckets = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind} "
+                        f"with labels {family.label_names}"
+                    )
+                if kind == "histogram" and (
+                    (family._buckets or DEFAULT_LATENCY_BUCKETS) != effective_buckets
+                ):
+                    raise ValueError(
+                        f"histogram {name!r} already registered with buckets "
+                        f"{family._buckets or DEFAULT_LATENCY_BUCKETS}"
+                    )
+                return family
+            family = MetricFamily(name, description, kind, label_names, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, description: str = "", labels: Iterable[str] = ()) -> MetricFamily:
+        return self._family(name, description, "counter", labels)
+
+    def gauge(self, name: str, description: str = "", labels: Iterable[str] = ()) -> MetricFamily:
+        return self._family(name, description, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, description, "histogram", labels, buckets)
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def clear(self) -> None:
+        """Forget every family (tests and fresh load-generator runs)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- snapshots ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Every family's children as plain values, keyed by rendered series name."""
+        snapshot: dict[str, dict[str, object]] = {}
+        for family in self.families():
+            series: dict[str, object] = {}
+            for key, child in family.children():
+                series[_series_suffix(family.label_names, key)] = child.snapshot()
+            snapshot[family.name] = series
+        return snapshot
+
+    def render_text(self) -> str:
+        """The Prometheus-style text exposition of every registered family."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.description:
+                lines.append(f"# HELP {family.name} {family.description}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                labels = dict(zip(family.label_names, key))
+                if isinstance(child, Histogram):
+                    for bound, cumulative in child.bucket_counts():
+                        le = "+Inf" if math.isinf(bound) else _format_number(bound)
+                        bucket_labels = {**labels, "le": le}
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} {_format_number(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{_render_labels(labels)} {child.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} {_format_number(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in labels.items())
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series_suffix(label_names: tuple[str, ...], key: tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    return ",".join(f"{name}={value}" for name, value in zip(label_names, key))
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry instrumentation falls back to."""
+    return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous

@@ -8,7 +8,13 @@ cache is where they survive:
   evicted first), sized for the working set of hot expanders;
 * an optional on-disk pickle store (one ``<fingerprint>.pkl`` per artifact)
   that outlives the process; memory misses fall through to disk and promote
-  back into memory on a hit.
+  back into memory on a hit.  The disk tier is bounded too when
+  ``disk_capacity`` is set: oldest files (by modification time) are evicted
+  first, counted in :attr:`CacheStats.evictions_disk`.
+
+When a :class:`~repro.metrics.MetricsRegistry` is attached, every lookup,
+store, and eviction is also recorded as ``repro_cache_*`` metrics, so the
+cluster tier's per-shard caches show up in the shared exposition.
 
 Entries are keyed by the canonical fingerprint of
 :func:`repro.service.fingerprint.graph_fingerprint`, so invalidation is
@@ -32,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.router import PreprocessArtifact
+from repro.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "ArtifactCache"]
 
@@ -45,6 +52,7 @@ class CacheStats:
         disk_hits: misses in memory that were served from the disk tier.
         misses: lookups nothing could serve (caller must preprocess).
         evictions: artifacts dropped from the LRU because of capacity.
+        evictions_disk: disk files dropped because of ``disk_capacity``.
         stores: artifacts written via :meth:`ArtifactCache.put`.
         disk_rejects: disk entries discarded as corrupt, stale, or mismatched.
     """
@@ -53,6 +61,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    evictions_disk: int = 0
     stores: int = 0
     disk_rejects: int = 0
 
@@ -73,6 +82,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "evictions_disk": self.evictions_disk,
             "stores": self.stores,
             "disk_rejects": self.disk_rejects,
             "hit_rate": self.hit_rate,
@@ -86,21 +96,46 @@ class ArtifactCache:
     Attributes:
         capacity: maximum number of artifacts held in memory (>= 1).
         disk_dir: directory for the pickle tier; ``None`` disables it.
+        disk_capacity: maximum number of pickles kept on disk (``None`` =
+            unbounded); oldest files are evicted first when exceeded.
         stats: lifetime :class:`CacheStats`.
+        metrics: optional registry the cache also records ``repro_cache_*``
+            metrics into (``None`` keeps the cache metrics-silent).
     """
 
     capacity: int = 8
     disk_dir: str | os.PathLike | None = None
+    disk_capacity: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("cache capacity must be at least 1")
+        if self.disk_capacity is not None and self.disk_capacity < 1:
+            raise ValueError("disk capacity must be at least 1 (or None for unbounded)")
         self._entries: OrderedDict[str, PreprocessArtifact] = OrderedDict()
         self._lock = threading.RLock()
+        self._disk_lock = threading.Lock()
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+        if self.metrics is not None:
+            self._m_lookups = self.metrics.counter(
+                "repro_cache_lookups_total", "Artifact cache lookups by result.", labels=("result",)
+            )
+            self._m_stores = self.metrics.counter(
+                "repro_cache_stores_total", "Artifacts stored in the cache."
+            )
+            self._m_evictions = self.metrics.counter(
+                "repro_cache_evictions_total", "Artifacts evicted, by tier.", labels=("tier",)
+            )
+        else:
+            self._m_lookups = self._m_stores = self._m_evictions = None
+
+    def _record_lookup(self, result: str) -> None:
+        if self._m_lookups is not None:
+            self._m_lookups.labels(result=result).inc()
 
     # -- lookups -------------------------------------------------------------
 
@@ -111,6 +146,7 @@ class ArtifactCache:
             if artifact is not None:
                 self._entries.move_to_end(fingerprint)
                 self.stats.hits += 1
+                self._record_lookup("hit")
                 return artifact
         # Pickle I/O happens outside the lock so concurrent workers are not
         # serialized behind it; worst case two workers both read the same disk
@@ -119,9 +155,11 @@ class ArtifactCache:
         with self._lock:
             if artifact is not None:
                 self.stats.disk_hits += 1
+                self._record_lookup("disk_hit")
                 self._insert(fingerprint, artifact)
                 return artifact
             self.stats.misses += 1
+            self._record_lookup("miss")
             return None
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -142,6 +180,8 @@ class ArtifactCache:
         artifact.fingerprint = fingerprint
         with self._lock:
             self.stats.stores += 1
+            if self._m_stores is not None:
+                self._m_stores.inc()
             self._insert(fingerprint, artifact)
         # Disk write outside the lock: the atomic tmp-file rename keeps
         # concurrent writers of the same fingerprint consistent.
@@ -163,6 +203,8 @@ class ArtifactCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.labels(tier="memory").inc()
 
     def _disk_path(self, fingerprint: str) -> Path | None:
         if self.disk_dir is None:
@@ -177,6 +219,31 @@ class ArtifactCache:
         with open(tmp, "wb") as handle:
             pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        self._enforce_disk_capacity()
+
+    def _enforce_disk_capacity(self) -> None:
+        """Evict the oldest disk pickles until the tier fits ``disk_capacity``."""
+        if self.disk_capacity is None or self.disk_dir is None:
+            return
+        # One enforcement pass at a time; concurrent writers would otherwise
+        # race the directory scan and double-count evictions.
+        with self._disk_lock:
+            entries = []
+            for path in Path(self.disk_dir).glob("*.pkl"):
+                try:
+                    entries.append((path.stat().st_mtime_ns, path.name, path))
+                except OSError:
+                    continue  # concurrently evicted or cleared
+            entries.sort()
+            evicted = 0
+            for _, _, path in entries[: max(0, len(entries) - self.disk_capacity)]:
+                path.unlink(missing_ok=True)
+                evicted += 1
+            if evicted:
+                with self._lock:
+                    self.stats.evictions_disk += evicted
+                if self._m_evictions is not None:
+                    self._m_evictions.labels(tier="disk").inc(evicted)
 
     def _load_from_disk(self, fingerprint: str) -> PreprocessArtifact | None:
         path = self._disk_path(fingerprint)

@@ -57,6 +57,8 @@ from repro.backends.base import (
 from repro.core.router import PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
+from repro.metrics import MetricsRegistry, default_registry
+from repro.metrics import quantile as _quantile
 from repro.service.cache import ArtifactCache
 from repro.service.fingerprint import graph_fingerprint, graph_payload
 from repro.workloads import Workload
@@ -153,7 +155,13 @@ class BatchReport:
         preprocess_rounds_reused: rounds of preprocessing served from cache —
             the amortization the paper's tradeoff buys.
         preprocess_seconds: wall-clock spent building missing backends.
+        route_seconds: wall-clock of the routing phase (all queries fanned
+            out, from first submit to last gather).
         wall_seconds: wall-clock of the whole batch.
+
+    All timings come from the monotonic high-resolution clock
+    (``time.perf_counter``), so they are safe to difference and feed the
+    metrics histograms a real latency signal.
     """
 
     results: list[QueryResult] = field(default_factory=list)
@@ -163,11 +171,35 @@ class BatchReport:
     preprocess_rounds_incurred: int = 0
     preprocess_rounds_reused: int = 0
     preprocess_seconds: float = 0.0
+    route_seconds: float = 0.0
     wall_seconds: float = 0.0
 
     @property
     def query_count(self) -> int:
         return len(self.results)
+
+    @property
+    def query_seconds(self) -> list[float]:
+        """Per-query routing wall-clock, in submission order."""
+        return [result.seconds for result in self.results]
+
+    @property
+    def query_seconds_total(self) -> float:
+        return sum(self.query_seconds)
+
+    @property
+    def query_seconds_mean(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.query_seconds_total / len(self.results)
+
+    @property
+    def query_seconds_max(self) -> float:
+        return max(self.query_seconds, default=0.0)
+
+    def query_seconds_quantile(self, q: float) -> float:
+        """The ``q``-quantile of per-query latency (linear interpolation)."""
+        return _quantile(self.query_seconds, q)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -196,7 +228,12 @@ class BatchReport:
             "total_query_rounds": self.total_query_rounds,
             "all_delivered": self.all_delivered,
             "preprocess_seconds": self.preprocess_seconds,
+            "route_seconds": self.route_seconds,
             "wall_seconds": self.wall_seconds,
+            "query_seconds_mean": self.query_seconds_mean,
+            "query_seconds_p50": self.query_seconds_quantile(0.50),
+            "query_seconds_p95": self.query_seconds_quantile(0.95),
+            "query_seconds_max": self.query_seconds_max,
         }
 
     def render(self, per_query: bool = True) -> str:
@@ -324,6 +361,9 @@ class RoutingService:
             default).
         executor_factory: alternative ``concurrent.futures`` executor factory
             taking ``max_workers``; defaults to :class:`ThreadPoolExecutor`.
+        metrics: registry the service records ``repro_service_*`` metrics
+            into (default: the process-wide :func:`default_registry`).  A
+            default-constructed cache inherits the same registry.
     """
 
     def __init__(
@@ -334,12 +374,34 @@ class RoutingService:
         cache: ArtifactCache | None = None,
         max_workers: int | None = None,
         executor_factory: Callable[[int | None], Executor] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.epsilon = epsilon
         self.psi = psi
         self.hierarchy_params = hierarchy_params
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.cache = cache if cache is not None else ArtifactCache(metrics=self.metrics)
         self.max_workers = max_workers
+        self._m_queries = self.metrics.counter(
+            "repro_service_queries_total", "Queries created by the service.", labels=("backend",)
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_service_batches_total", "Batches routed by the service."
+        )
+        self._m_comparisons = self.metrics.counter(
+            "repro_service_comparisons_total", "compare_batch() invocations."
+        )
+        self._m_query_seconds = self.metrics.histogram(
+            "repro_service_query_seconds", "Per-query routing wall-clock.", labels=("backend",)
+        )
+        self._m_preprocess_seconds = self.metrics.histogram(
+            "repro_service_preprocess_seconds", "Wall-clock building missing backends, per batch."
+        )
+        self._m_preprocess_rounds = self.metrics.counter(
+            "repro_service_preprocess_rounds_total",
+            "CONGEST preprocessing rounds, incurred vs reused.",
+            labels=("kind",),
+        )
         self._executor_factory = executor_factory or (
             lambda workers: ThreadPoolExecutor(max_workers=workers)
         )
@@ -396,8 +458,9 @@ class RoutingService:
         load: int | None,
         backend: str,
         backend_params: Mapping[str, Any] | None,
+        workload: str = "",
     ) -> RoutingQuery:
-        workload_name = ""
+        workload_name = workload
         if isinstance(requests, Workload):
             workload_name = requests.name
             if load is None:
@@ -414,6 +477,7 @@ class RoutingService:
             workload=workload_name,
         )
         self._next_query_id += 1
+        self._m_queries.labels(backend=backend).inc()
         return query
 
     def submit(
@@ -423,14 +487,16 @@ class RoutingService:
         load: int | None = None,
         backend: str = DEFAULT_BACKEND,
         backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
     ) -> int:
         """Queue one routing query for the next batch; returns its query id.
 
         ``requests`` may be a plain request sequence or a
         :class:`~repro.workloads.Workload` (whose declared load bound is used
-        when ``load`` is omitted).
+        when ``load`` is omitted).  ``workload`` labels a plain request
+        sequence for reporting (a ``Workload``'s own name wins).
         """
-        query = self._make_query(graph, requests, load, backend, backend_params)
+        query = self._make_query(graph, requests, load, backend, backend_params, workload=workload)
         self._pending.append(query)
         return query.query_id
 
@@ -455,6 +521,7 @@ class RoutingService:
         report = BatchReport()
         if not queries:
             return report
+        self._m_batches.inc()
         batch_start = time.perf_counter()
 
         by_fingerprint: dict[str, list[RoutingQuery]] = {}
@@ -497,14 +564,17 @@ class RoutingService:
                     else:
                         report.preprocess_rounds_incurred += info.rounds
                 report.preprocess_seconds = time.perf_counter() - preprocess_start
+                self._m_preprocess_seconds.observe(report.preprocess_seconds)
 
             # Phase 2: route every query of the batch concurrently.
+            route_start = time.perf_counter()
             result_futures = [
                 (query, pool.submit(self._route_one, runners[query.fingerprint], query))
                 for query in queries
             ]
             for query, future in result_futures:
                 outcome, seconds = future.result()
+                self._m_query_seconds.labels(backend=query.backend).observe(seconds)
                 report.results.append(
                     QueryResult(
                         query_id=query.query_id,
@@ -516,10 +586,15 @@ class RoutingService:
                         workload=query.workload,
                     )
                 )
+            report.route_seconds = time.perf_counter() - route_start
 
         report.cache_hits = sum(1 for result in report.results if result.cache_hit)
         report.cache_misses = len(report.results) - report.cache_hits
         report.wall_seconds = time.perf_counter() - batch_start
+        if report.preprocess_rounds_incurred:
+            self._m_preprocess_rounds.labels(kind="incurred").inc(report.preprocess_rounds_incurred)
+        if report.preprocess_rounds_reused:
+            self._m_preprocess_rounds.labels(kind="reused").inc(report.preprocess_rounds_reused)
         return report
 
     def route(
@@ -565,6 +640,7 @@ class RoutingService:
         """
         if backends is None:
             backends = available_backends()
+        self._m_comparisons.inc()
         comparison = ComparisonReport()
         for backend in backends:
             params = (backend_params or {}).get(backend)

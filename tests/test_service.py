@@ -283,3 +283,97 @@ def test_batch_report_renders_through_reporting_helpers(small_graph):
     summary = report.summary()
     assert summary["queries"] == 1
     assert summary["all_delivered"] is True
+
+
+# -- disk-tier capacity -----------------------------------------------------------
+
+
+def test_disk_tier_evicts_oldest_first(tmp_path, small_artifact):
+    import time
+
+    cache = ArtifactCache(capacity=8, disk_dir=tmp_path, disk_capacity=2)
+    for key in ("fp-a", "fp-b", "fp-c"):
+        cache.put(key, small_artifact)
+        time.sleep(0.005)  # keep mtimes strictly ordered on coarse filesystems
+
+    remaining = sorted(path.stem for path in tmp_path.glob("*.pkl"))
+    assert remaining == ["fp-b", "fp-c"]
+    assert cache.stats.evictions_disk == 1
+    # The disk cap does not touch the memory tier.
+    assert cache.stats.evictions == 0
+    assert len(cache) == 3
+
+    # A fresh cache over the same directory misses the evicted key and still
+    # serves the survivors.
+    revived = ArtifactCache(capacity=8, disk_dir=tmp_path)
+    assert revived.get("fp-a") is None
+    assert revived.get("fp-b") is not None
+    assert revived.get("fp-c") is not None
+
+
+def test_disk_capacity_validation_and_stats_dict(tmp_path):
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        ArtifactCache(disk_dir=tmp_path, disk_capacity=0)
+    cache = ArtifactCache(disk_dir=tmp_path, disk_capacity=4)
+    assert "evictions_disk" in cache.stats.as_dict()
+
+
+def test_disk_evictions_recorded_in_metrics(tmp_path, small_artifact):
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = ArtifactCache(capacity=8, disk_dir=tmp_path, disk_capacity=1, metrics=registry)
+    cache.put("fp-1", small_artifact)
+    cache.put("fp-2", small_artifact)
+    snapshot = registry.as_dict()
+    assert snapshot["repro_cache_evictions_total"]["tier=disk"] == 1
+    assert snapshot["repro_cache_stores_total"][""] == 2
+
+
+# -- batch wall-clock timings -----------------------------------------------------
+
+
+def test_batch_report_carries_per_query_and_per_batch_timings(small_graph):
+    service = RoutingService(epsilon=0.5)
+    for shift in (1, 2, 3):
+        service.submit(small_graph, _permutation(small_graph, shift))
+    report = service.route_batch()
+
+    assert len(report.query_seconds) == 3
+    assert all(seconds > 0 for seconds in report.query_seconds)
+    assert report.route_seconds > 0
+    assert report.wall_seconds >= report.route_seconds
+    assert report.query_seconds_total == sum(report.query_seconds)
+    assert report.query_seconds_max == max(report.query_seconds)
+    assert (
+        0
+        < report.query_seconds_quantile(0.50)
+        <= report.query_seconds_quantile(0.95)
+        <= report.query_seconds_max
+    )
+
+
+def test_batch_timings_are_exposed_in_format_kv_output(small_graph):
+    service = RoutingService(epsilon=0.5)
+    service.submit(small_graph, _permutation(small_graph))
+    report = service.route_batch()
+    summary = report.summary()
+    for key in (
+        "route_seconds",
+        "query_seconds_mean",
+        "query_seconds_p50",
+        "query_seconds_p95",
+        "query_seconds_max",
+    ):
+        assert key in summary
+    rendered = report.render(per_query=False)
+    assert "query_seconds_p95" in rendered
+
+
+def test_empty_batch_report_has_zero_timings():
+    report = BatchReport()
+    assert report.query_seconds == []
+    assert report.query_seconds_mean == 0.0
+    assert report.query_seconds_quantile(0.99) == 0.0
