@@ -1,0 +1,446 @@
+#!/usr/bin/env python
+"""Unified perf-regression harness: one run, one ``bench-suite.json``, one verdict.
+
+Runs every benchmark scenario three ways —
+
+* ``reference``  — ``REPRO_KERNEL=reference`` + thread pool: the faithful
+  pre-kernel (PR 3) hot paths, i.e. the baseline the speedups are against;
+* ``numpy``      — vectorized kernels + memoized fast paths, thread pool;
+* ``processes``  — numpy kernels + the service's process pool (service and
+  cluster scenarios only)
+
+— and writes one ``bench-suite.json`` with per-bench wall times and speedups.
+The headline ``speedup`` column is the *optimized* configuration (numpy
+kernels; process pool when the machine has >1 core) against the reference.
+
+Regression gate: the run is compared against the checked-in
+``benchmarks/baseline.json``.  The gated quantity is ``numpy_speedup``
+(numpy-vs-reference on the same machine in the same run), which is stable
+across machine speeds; a bench regresses when its speedup falls more than
+``--tolerance`` (default 25%) below the blessed value.  Absolute wall-clock
+can additionally be gated with ``--wall-tolerance`` for same-machine use.
+Process-pool numbers are recorded but never gated — their ratio depends on
+the core count of the machine running the harness.
+
+Usage:
+    python benchmarks/harness.py                 # full suite, gate vs baseline
+    python benchmarks/harness.py --quick         # CI-sized suite
+    python benchmarks/harness.py --bless         # re-bless baseline.json
+    python benchmarks/harness.py --no-assert     # skip the >=2x acceptance asserts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+SUITE_PATH = REPO_ROOT / "bench-suite.json"
+
+#: Scenarios whose optimized configuration includes the process pool.
+POOLED = ("bench_service", "bench_cluster")
+#: Scenarios asserted to hit the ISSUE's >=2x bar in full mode.
+HEADLINE = ("bench_service", "bench_cluster")
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+def _best_seconds(fn, repeats: int = 5, inner: int = 1) -> float:
+    """Minimum wall time over ``repeats`` samples of ``inner`` calls each.
+
+    The minimum is the standard noise-robust estimator for CPU-bound
+    micro-timings (any other sample merely caught scheduler noise); the
+    regression gate depends on speedup *ratios*, so both sides use it.
+    """
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - start) / inner)
+    return min(samples)
+
+
+# -- scenarios ---------------------------------------------------------------------------
+#
+# Every scenario takes (kernel_name, parallelism) and returns measured wall
+# seconds for its hot phase (setup/warmup excluded).  Fresh MetricsRegistry
+# instances keep harness runs out of the process-default registry.
+
+
+def bench_service(kernel_name: str, parallelism: str) -> float:
+    """The E5 serving scenario: one fully warm batch on the bench expander."""
+    from repro.graphs.generators import random_regular_expander
+    from repro.kernels import kernel
+    from repro.metrics import MetricsRegistry
+    from repro.service import RoutingService
+    from repro.workloads import permutation_workload
+
+    n, batch = (64, 8) if _quick() else (256, 32)
+    graph = random_regular_expander(n, degree=8, seed=1)
+    workloads = [permutation_workload(graph, shift=shift) for shift in range(1, batch + 1)]
+    with kernel(kernel_name):
+        with RoutingService(
+            epsilon=0.5,
+            max_workers=4,
+            parallelism=parallelism,
+            metrics=MetricsRegistry(),
+        ) as service:
+            # Warm the artifact, the pool, and (process mode) the workers.
+            service.route(graph, workloads[0])
+            start = time.perf_counter()
+            for workload in workloads:
+                service.submit(graph, workload)
+            report = service.route_batch()
+            elapsed = time.perf_counter() - start
+    assert report.all_delivered and report.preprocess_rounds_incurred == 0
+    return elapsed
+
+
+def bench_cluster(kernel_name: str, parallelism: str) -> float:
+    """The E7 cluster scenario: warm measured passes over a 4-shard cluster."""
+    from repro.cluster import ClusterCoordinator
+    from repro.graphs.generators import random_regular_expander
+    from repro.kernels import kernel
+    from repro.metrics import MetricsRegistry
+    from repro.workloads import permutation_workload
+
+    n, graph_count, passes = (64, 6, 2) if _quick() else (96, 12, 3)
+    graphs = [random_regular_expander(n, degree=8, seed=seed) for seed in range(graph_count)]
+    with kernel(kernel_name):
+        with ClusterCoordinator(
+            shard_count=4,
+            cache_capacity=graph_count,  # measure routing, not cache evictions
+            shard_max_workers=2,
+            shard_parallelism=parallelism,
+            metrics=MetricsRegistry(),
+        ) as coordinator:
+            traffic = [(graph, permutation_workload(graph, shift=3)) for graph in graphs]
+            for graph, workload in traffic:  # warm-up pass builds every artifact
+                coordinator.submit(graph, workload)
+            coordinator.dispatch()
+            start = time.perf_counter()
+            for _ in range(passes):
+                for graph, workload in traffic:
+                    coordinator.submit(graph, workload)
+                report = coordinator.dispatch()
+            elapsed = time.perf_counter() - start
+    assert report.all_delivered and report.preprocess_rounds_incurred == 0
+    return elapsed
+
+
+def bench_route_query(kernel_name: str, parallelism: str) -> float:
+    """One warm routing query (dispersion + merge + leaf hot path)."""
+    import networkx as nx  # noqa: F401  (dependency sanity for the kernels)
+
+    from repro.analysis.experiments import permutation_requests
+    from repro.core.router import ExpanderRouter
+    from repro.graphs.generators import random_regular_expander
+    from repro.kernels import kernel
+
+    n = 64 if _quick() else 96
+    graph = random_regular_expander(n, degree=8, seed=1)
+    with kernel(kernel_name):
+        router = ExpanderRouter(graph, epsilon=0.5)
+        router.preprocess()
+        requests = permutation_requests(graph, load=2)
+        router.route(requests)
+        return _best_seconds(lambda: router.route(requests))
+
+
+def bench_kernel_scheduler(kernel_name: str, parallelism: str) -> float:
+    """Fact 2.2 token scheduling over shortest paths on an expander."""
+    import networkx as nx
+
+    from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
+    from repro.graphs.generators import random_regular_expander
+    from repro.kernels import kernel
+
+    n, token_count = (128, 512) if _quick() else (256, 2048)
+    graph = random_regular_expander(n, degree=8, seed=1)
+    nodes = sorted(graph.nodes())
+    tokens = [
+        ScheduledToken(
+            token_id=index,
+            path=tuple(
+                nx.shortest_path(graph, nodes[index % n], nodes[(index * 7 + 3) % n])
+            ),
+        )
+        for index in range(token_count)
+    ]
+    with kernel(kernel_name):
+        return _best_seconds(lambda: schedule_tokens_along_paths(tokens))
+
+
+def bench_kernel_conductance(kernel_name: str, parallelism: str) -> float:
+    """Exact brute-force conductance plus the Fiedler sweep estimator."""
+    import networkx as nx
+
+    from repro.graphs.conductance import estimate_conductance, sweep_cut
+    from repro.graphs.generators import random_regular_expander
+    from repro.kernels import kernel
+
+    exact_graph = nx.gnp_random_graph(12, 0.5, seed=1)
+    sweep_graph = random_regular_expander(64 if _quick() else 128, degree=8, seed=1)
+
+    def run():
+        estimate_conductance(exact_graph)
+        sweep_cut(sweep_graph)
+
+    with kernel(kernel_name):
+        return _best_seconds(run, inner=3)
+
+
+def bench_kernel_sort(kernel_name: str, parallelism: str) -> float:
+    """The comparator merge-split simulation over a full Batcher network."""
+    import random
+
+    from repro.kernels import kernel
+    from repro.sorting.expander_sort import SortItem, expander_sort
+
+    n, load = (64, 2) if _quick() else (128, 4)
+    rng = random.Random(9)
+    vertices = list(range(n))
+    items_at = {
+        vertex: [
+            SortItem(key=rng.randint(0, 1000), tag=slot, value=(vertex, slot))
+            for slot in range(load)
+        ]
+        for vertex in vertices
+    }
+    with kernel(kernel_name):
+        return _best_seconds(
+            lambda: expander_sort(
+                vertices,
+                {vertex: list(items) for vertex, items in items_at.items()},
+                load,
+                engine="comparator",
+            )
+        )
+
+
+def bench_kernel_walk_matrix(kernel_name: str, parallelism: str) -> float:
+    """Building cut-matching walk matrices (Definition 5.2) on a large cluster graph.
+
+    Times the matrix *construction* only — the subsequent ``R_i`` product is a
+    BLAS matmul that is identical under both kernels and would just add noise.
+    """
+    import random
+
+    from repro.cutmatching.potential import walk_matrix
+    from repro.kernels import kernel
+
+    t = 128 if _quick() else 256
+    rng = random.Random(5)
+    matchings = []
+    for _ in range(16):
+        indices = list(range(t))
+        rng.shuffle(indices)
+        matchings.append(
+            {
+                (min(a, b), max(a, b)): rng.uniform(0.2, 1.0)
+                for a, b in zip(indices[::2], indices[1::2])
+            }
+        )
+
+    def run():
+        for matching in matchings:
+            walk_matrix(t, matching)
+
+    with kernel(kernel_name):
+        return _best_seconds(run, inner=3)
+
+
+SCENARIOS = {
+    "bench_service": bench_service,
+    "bench_cluster": bench_cluster,
+    "bench_route_query": bench_route_query,
+    "kernel_scheduler": bench_kernel_scheduler,
+    "kernel_conductance": bench_kernel_conductance,
+    "kernel_sort": bench_kernel_sort,
+    "kernel_walk_matrix": bench_kernel_walk_matrix,
+}
+
+
+# -- driver ------------------------------------------------------------------------------
+
+
+def run_suite(parallel_mode: str) -> dict:
+    cpus = os.cpu_count() or 1
+    pooled_mode = parallel_mode
+    if pooled_mode == "auto":
+        pooled_mode = "processes" if cpus >= 2 else "threads"
+    benches: dict[str, dict] = {}
+    for name, scenario in SCENARIOS.items():
+        print(f"[harness] {name}: reference ...", flush=True)
+        reference_seconds = scenario("reference", "threads")
+        print(f"[harness] {name}: numpy ...", flush=True)
+        numpy_seconds = scenario("numpy", "threads")
+        row = {
+            "reference_seconds": reference_seconds,
+            "numpy_seconds": numpy_seconds,
+            "numpy_speedup": reference_seconds / numpy_seconds,
+        }
+        if name in POOLED:
+            print(f"[harness] {name}: processes ...", flush=True)
+            processes_seconds = scenario("numpy", "processes")
+            row["processes_seconds"] = processes_seconds
+            row["process_speedup_vs_threads"] = numpy_seconds / processes_seconds
+            if pooled_mode == "processes":
+                row["optimized_mode"] = "numpy+processes"
+                row["optimized_seconds"] = processes_seconds
+            else:
+                row["optimized_mode"] = "numpy+threads"
+                row["optimized_seconds"] = numpy_seconds
+        else:
+            row["optimized_mode"] = "numpy"
+            row["optimized_seconds"] = numpy_seconds
+        row["speedup"] = reference_seconds / row["optimized_seconds"]
+        benches[name] = row
+        print(
+            f"[harness] {name}: reference {reference_seconds:.3f}s"
+            f"  optimized {row['optimized_seconds']:.3f}s ({row['optimized_mode']})"
+            f"  speedup {row['speedup']:.2f}x",
+            flush=True,
+        )
+    return {
+        "meta": {
+            "quick": _quick(),
+            "cpus": cpus,
+            "pooled_mode": pooled_mode,
+            "python": sys.version.split()[0],
+        },
+        "benches": benches,
+    }
+
+
+def compare_to_baseline(
+    suite: dict, baseline: dict, tolerance: float, wall_tolerance: float | None
+) -> list[str]:
+    """Regressions of this run against the blessed baseline (empty = pass)."""
+    mode = "quick" if suite["meta"]["quick"] else "full"
+    blessed = baseline.get(mode, {})
+    problems = []
+    for name, row in suite["benches"].items():
+        reference_row = blessed.get(name)
+        if reference_row is None:
+            continue
+        floor = reference_row["numpy_speedup"] * (1.0 - tolerance)
+        if row["numpy_speedup"] < floor:
+            problems.append(
+                f"{name}: numpy speedup {row['numpy_speedup']:.2f}x fell below "
+                f"{floor:.2f}x (blessed {reference_row['numpy_speedup']:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+        if wall_tolerance is not None:
+            ceiling = reference_row["optimized_seconds"] * (1.0 + wall_tolerance)
+            if row["optimized_seconds"] > ceiling:
+                problems.append(
+                    f"{name}: optimized wall {row['optimized_seconds']:.3f}s exceeded "
+                    f"{ceiling:.3f}s (blessed {reference_row['optimized_seconds']:.3f}s, "
+                    f"tolerance {wall_tolerance:.0%})"
+                )
+    return problems
+
+
+def bless(suite: dict, baseline_path: Path) -> None:
+    mode = "quick" if suite["meta"]["quick"] else "full"
+    existing = {}
+    if baseline_path.exists():
+        existing = json.loads(baseline_path.read_text())
+    existing[mode] = {
+        name: {
+            "reference_seconds": row["reference_seconds"],
+            "optimized_seconds": row["optimized_seconds"],
+            "numpy_speedup": row["numpy_speedup"],
+            "speedup": row["speedup"],
+        }
+        for name, row in suite["benches"].items()
+    }
+    existing["blessed_meta"] = existing.get("blessed_meta", {})
+    existing["blessed_meta"][mode] = suite["meta"]
+    baseline_path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"[harness] blessed {mode} baseline -> {baseline_path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized scenario sweep")
+    parser.add_argument("--bless", action="store_true", help="rewrite baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative numpy-speedup regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="optionally also gate absolute optimized wall seconds (same-machine runs)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        choices=("auto", "threads", "processes"),
+        default="auto",
+        help="optimized configuration's pool mode (default: auto by core count)",
+    )
+    parser.add_argument("--output", type=Path, default=SUITE_PATH)
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="skip the full-mode >=2x acceptance assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+
+    suite = run_suite(args.parallelism)
+    args.output.write_text(json.dumps(suite, indent=2) + "\n")
+    print(f"[harness] wrote {args.output}")
+
+    if args.bless:
+        bless(suite, args.baseline)
+        return 0
+
+    # Acceptance bar (full mode only; quick sizes are too small to be meaningful).
+    if not args.no_assert and not suite["meta"]["quick"]:
+        for name in HEADLINE:
+            speedup = suite["benches"][name]["speedup"]
+            assert speedup >= 2.0, (
+                f"{name}: optimized speedup {speedup:.2f}x below the 2x acceptance bar"
+            )
+        print("[harness] acceptance: bench_service and bench_cluster >= 2x ✓")
+
+    if not args.baseline.exists():
+        print(f"[harness] no baseline at {args.baseline}; run with --bless to create one")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    problems = compare_to_baseline(suite, baseline, args.tolerance, args.wall_tolerance)
+    if problems:
+        for problem in problems:
+            print(f"[harness] REGRESSION {problem}")
+        return 1
+    print("[harness] no regressions vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,7 @@ from repro.core.tokens import RoutingRequest, Token
 from repro.service import ArtifactCache, BatchReport, ComparisonReport, RoutingService
 from repro.workloads import Workload, available_workloads, make_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ExpanderRouter",

@@ -177,7 +177,12 @@ class ClusterCoordinator:
             unbounded).
         admission_policy: ``"reject"`` or ``"shed-oldest"``.
         shard_max_workers: fan-out width inside each shard's service.
+        shard_parallelism: execution mode of every shard's service
+            (``"threads"`` or ``"processes"``; see :class:`RoutingService`).
         metrics: shared registry (default: the process-wide one).
+
+    Shard services keep long-lived worker pools; :meth:`close` (or using the
+    coordinator as a context manager) releases every shard's pool.
     """
 
     def __init__(
@@ -191,6 +196,7 @@ class ClusterCoordinator:
         queue_capacity: int | None = None,
         admission_policy: str = "reject",
         shard_max_workers: int | None = None,
+        shard_parallelism: str = "threads",
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if shard_count < 1:
@@ -200,6 +206,7 @@ class ClusterCoordinator:
         self.hierarchy_params = hierarchy_params
         self.cache_capacity = cache_capacity
         self.shard_max_workers = shard_max_workers
+        self.shard_parallelism = shard_parallelism
         self.metrics = metrics if metrics is not None else default_registry()
         self.ring = ConsistentHashRing(vnodes=vnodes)
         self.admission = AdmissionController(
@@ -255,6 +262,7 @@ class ClusterCoordinator:
             hierarchy_params=self.hierarchy_params,
             cache_capacity=self.cache_capacity,
             max_workers=self.shard_max_workers,
+            parallelism=self.shard_parallelism,
             metrics=self.metrics,
         )
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
@@ -275,7 +283,7 @@ class ClusterCoordinator:
         before = self.ring.placement(seen)
         stranded = self.admission.drain(shard_id)
         self.ring.remove_shard(shard_id)
-        self.workers.pop(shard_id)
+        self.workers.pop(shard_id).close()
         by_owner: dict[str, list[ShardQuery]] = {}
         for item in stranded:
             by_owner.setdefault(self.ring.assign(item.fingerprint), []).append(item)
@@ -365,6 +373,21 @@ class ClusterCoordinator:
         for workload in workloads:
             self.submit(graph, workload, backend=backend, backend_params=backend_params)
         return self.dispatch()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every shard's worker pool (and the keyer's); idempotent."""
+        for worker in self.workers.values():
+            worker.close()
+        self._keyer.close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     # -- reporting ------------------------------------------------------------
 

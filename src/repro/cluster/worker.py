@@ -66,9 +66,15 @@ class ShardWorker:
             of the working set.
         disk_dir / disk_capacity: optional per-shard disk tier.
         max_workers: the shard service's fan-out width per batch.
+        parallelism: the shard service's execution mode (``"threads"`` or
+            ``"processes"``); process mode gives each shard a long-lived
+            worker-process pool that routes on real cores.
         metrics: the registry shared across the cluster (per-shard series are
             labeled ``shard=<shard_id>``).
         service: inject a preconfigured service instead (tests).
+
+    The shard's service keeps one long-lived executor; :meth:`close` releases
+    it (the coordinator closes every shard it owns).
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class ShardWorker:
         disk_dir: str | None = None,
         disk_capacity: int | None = None,
         max_workers: int | None = None,
+        parallelism: str = "threads",
         metrics: MetricsRegistry | None = None,
         service: RoutingService | None = None,
     ) -> None:
@@ -99,6 +106,7 @@ class ShardWorker:
                 hierarchy_params=hierarchy_params,
                 cache=cache,
                 max_workers=max_workers,
+                parallelism=parallelism,
                 metrics=self.metrics,
             )
         self.service = service
@@ -129,6 +137,10 @@ class ShardWorker:
         for result in report.results:
             self._m_seconds.labels(shard=self.shard_id).observe(result.seconds)
         return report
+
+    def close(self) -> None:
+        """Release the shard service's worker pool (idempotent)."""
+        self.service.close()
 
     @property
     def cache_stats(self):

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from repro.kernels import use_numpy
+
 __all__ = ["ScheduledToken", "ScheduleResult", "schedule_tokens_along_paths"]
 
 
@@ -59,8 +61,22 @@ class ScheduleResult:
         return self.quality * self.quality
 
 
-def _edge_key(u: Hashable, v: Hashable) -> tuple:
-    return (u, v) if repr(u) <= repr(v) else (v, u)
+def _vertex_indexer(tokens: Sequence[ScheduledToken]) -> dict:
+    """Dense integer index per vertex, computed once per schedule.
+
+    Edge keys are sorted *int* pairs over this index.  The previous
+    implementation called ``repr()`` on both endpoints of every token-hop in
+    every round to order the key, which was both slow and fragile (it assumed
+    distinct vertices never share a repr); interning each vertex once removes
+    both problems while leaving the schedule unchanged — the key is only ever
+    used as a canonical identity for the undirected edge.
+    """
+    index: dict = {}
+    for token in tokens:
+        for vertex in token.path:
+            if vertex not in index:
+                index[vertex] = len(index)
+    return index
 
 
 def schedule_tokens_along_paths(tokens: Sequence[ScheduledToken]) -> ScheduleResult:
@@ -71,9 +87,22 @@ def schedule_tokens_along_paths(tokens: Sequence[ScheduledToken]) -> ScheduleRes
     not been used by an earlier token this round.  This is exactly the naive
     "spend congestion rounds per edge" strategy whose round count Fact 2.2
     bounds by ``congestion * dilation``.
+
+    Dispatches to the vectorized kernel unless ``REPRO_KERNEL=reference``
+    selects the loop implementation below; both produce identical results.
     """
     if not tokens:
         return ScheduleResult(rounds=0, congestion=0, dilation=0)
+    if use_numpy():
+        from repro.kernels.scheduler import schedule_tokens_numpy
+
+        return schedule_tokens_numpy(tokens)
+
+    vertex_index = _vertex_indexer(tokens)
+
+    def _edge_key(u: Hashable, v: Hashable) -> tuple[int, int]:
+        a, b = vertex_index[u], vertex_index[v]
+        return (a, b) if a <= b else (b, a)
 
     # Static quality measures of the path collection.
     edge_load: dict[tuple, int] = {}

@@ -26,6 +26,7 @@ from typing import Any, Sequence
 
 from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
 from repro.cutmatching.shuffler import Shuffler
+from repro.kernels import use_numpy
 
 __all__ = ["DispersionState", "DispersionStats", "disperse"]
 
@@ -119,6 +120,10 @@ def disperse(
 
     Returns:
         Dispersion statistics including the Definition 6.1 window check.
+
+    Dispatches to the vectorized kernel unless ``REPRO_KERNEL=reference``
+    selects the loop implementation below; token movements, statistics, and
+    charged rounds are identical either way.
     """
     stats = DispersionStats()
     t = state.part_count
@@ -132,6 +137,10 @@ def disperse(
             mark: sum(state.count(part, mark) for part in range(t)) for mark in state.marks()
         }
         return stats
+    if use_numpy():
+        from repro.kernels.dispersion import disperse_numpy
+
+        return disperse_numpy(state, shuffler, part_sizes, load, flatten_quality, ledger, phase)
 
     max_part_size = max(part_sizes) if part_sizes else 1
     rounds = 0

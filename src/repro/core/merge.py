@@ -29,6 +29,7 @@ from repro.core.dispersion import DispersionState, DispersionStats, disperse
 from repro.core.tokens import Token
 from repro.cutmatching.shuffler import Shuffler
 from repro.hierarchy.node import HierarchyNode
+from repro.kernels import use_numpy
 
 __all__ = ["Task3Result", "solve_task3"]
 
@@ -56,7 +57,64 @@ class Task3Result:
 
 
 def _part_vertices(node: HierarchyNode) -> list[list]:
+    if use_numpy():
+        cached = getattr(node, "_sorted_parts_cache", None)
+        if cached is None:
+            cached = node._sorted_parts_cache = [sorted(part.vertices) for part in node.parts]
+        return cached
     return [sorted(part.vertices) for part in node.parts]
+
+
+def _part_of_vertex(node: HierarchyNode) -> dict:
+    if use_numpy():
+        cached = getattr(node, "_part_of_cache", None)
+        if cached is None:
+            cached = node._part_of_cache = node.part_of_vertex()
+        return cached
+    return node.part_of_vertex()
+
+
+def _dispersed_dummies(
+    node: HierarchyNode,
+    shuffler: Shuffler,
+    parts: list[list],
+    part_sizes: list[int],
+    dummies_per_vertex: int,
+    flatten_quality: int,
+) -> tuple[DispersionState, DispersionStats]:
+    """The fully dispersed dummy configuration for ``dummies_per_vertex``.
+
+    Dummy dispersion is a pure function of the node's partition, its shuffler,
+    and ``dummies_per_vertex`` — the same replay happens on every query — so
+    the fast path computes it once per node and reuses the final state
+    (consumed read-only by the pairing step) and its statistics.  The caller
+    charges the recorded rounds to its own ledger, preserving the reference
+    accounting exactly.
+    """
+    cache = None
+    if use_numpy():
+        cache = getattr(node, "_dummy_dispersion_cache", None)
+        if cache is None:
+            cache = node._dummy_dispersion_cache = {}
+        entry = cache.get(dummies_per_vertex)
+        if entry is not None:
+            return entry
+    dummy_state = DispersionState(len(parts))
+    for part_index, vertices in enumerate(parts):
+        for vertex in vertices:
+            for _ in range(dummies_per_vertex):
+                dummy_state.add(part_index, part_index, vertex)
+    stats = disperse(
+        dummy_state,
+        shuffler,
+        part_sizes,
+        dummies_per_vertex,
+        flatten_quality,
+        ledger=None,
+    )
+    if cache is not None:
+        cache[dummies_per_vertex] = (dummy_state, stats)
+    return dummy_state, stats
 
 
 def solve_task3(
@@ -86,7 +144,7 @@ def solve_task3(
     parts = _part_vertices(node)
     part_sizes = [len(vertices) for vertices in parts]
     t = len(parts)
-    part_of = node.part_of_vertex()
+    part_of = _part_of_vertex(node)
     flatten_quality = node.flatten_quality()
     if dummies_per_vertex is None:
         dummies_per_vertex = 2 * max(1, load)
@@ -118,20 +176,13 @@ def solve_task3(
         )
 
         # -- 2. disperse the dummy tokens -----------------------------------
-        dummy_state = DispersionState(t)
-        for part_index, vertices in enumerate(parts):
-            for vertex in vertices:
-                for _ in range(dummies_per_vertex):
-                    dummy_state.add(part_index, part_index, vertex)
-        result.dummy_stats = disperse(
-            dummy_state,
-            shuffler,
-            part_sizes,
-            dummies_per_vertex,
-            flatten_quality,
-            ledger,
-            phase="dummy-disperse",
+        dummy_state, result.dummy_stats = _dispersed_dummies(
+            node, shuffler, parts, part_sizes, dummies_per_vertex, flatten_quality
         )
+        if len(shuffler) > 0:
+            # disperse() would have charged this phase itself had it been
+            # handed the ledger; charging here keeps the replay cacheable.
+            ledger.charge("dummy-disperse", result.dummy_stats.rounds)
 
         # -- 3. pair real and dummy tokens inside every part ----------------
         per_vertex_load: dict[Hashable, int] = {}

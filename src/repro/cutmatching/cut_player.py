@@ -34,6 +34,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.kernels import use_numpy
+
 __all__ = ["CutPlayerResult", "lemma_b4_split", "SpectralCutPlayer", "ExhaustiveCutPlayer"]
 
 
@@ -171,6 +173,10 @@ class SpectralCutPlayer:
         """Worst-case pairwise separation sum over greedy pairings (diagnostic)."""
         if not small or not large:
             return 0.0
+        if use_numpy():
+            from repro.kernels.matrixops import pairwise_separation_numpy
+
+            return pairwise_separation_numpy(walk_matrix, small, large)
         total = 0.0
         for y in small:
             distances = [

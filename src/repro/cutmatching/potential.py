@@ -23,6 +23,8 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.kernels import use_numpy
+
 __all__ = [
     "FractionalMatching",
     "walk_matrix",
@@ -35,7 +37,17 @@ FractionalMatching = Mapping[tuple[int, int], float]
 
 
 def walk_matrix(size: int, matching: FractionalMatching) -> np.ndarray:
-    """Build the lazy-walk matrix ``R_M`` of Definition 5.2 for a cluster graph of ``size`` vertices."""
+    """Build the lazy-walk matrix ``R_M`` of Definition 5.2 for a cluster graph of ``size`` vertices.
+
+    Dispatches to the scatter-based kernel unless ``REPRO_KERNEL=reference``;
+    both produce bit-identical matrices (``np.add.at`` performs the same
+    addition sequence as the loop below).  Tiny cluster graphs stay on the
+    loop — below ~48 vertices the scatter setup costs more than it saves.
+    """
+    if use_numpy() and size >= 48:
+        from repro.kernels.matrixops import walk_matrix_numpy
+
+        return walk_matrix_numpy(size, matching)
     matrix = np.zeros((size, size), dtype=float)
     degree = np.zeros(size, dtype=float)
     for (i, j), value in matching.items():

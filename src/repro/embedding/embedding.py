@@ -56,6 +56,7 @@ class Embedding:
                 f"path endpoints {endpoints} do not match virtual edge ({u!r}, {v!r})"
             )
         self.mapping[key] = path
+        self._quality_cache = None
 
     def path_for(self, u: Hashable, v: Hashable) -> Path:
         """Base path realising the virtual edge ``(u, v)``, oriented ``u -> v``."""
@@ -76,8 +77,21 @@ class Embedding:
 
     @property
     def quality(self) -> int:
-        """Quality ``Q(f)`` of the embedding (Section 2)."""
-        return self.path_collection().quality
+        """Quality ``Q(f)`` of the embedding (Section 2).
+
+        Embeddings are frozen once preprocessing built them, but their quality
+        is read on every routing query; the fast path caches the value (as a
+        lazily attached attribute, so previously pickled artifacts still
+        load).  Mutating an embedding via :meth:`add_edge` invalidates it.
+        """
+        from repro.kernels import use_numpy
+
+        cached = getattr(self, "_quality_cache", None)
+        if cached is not None and use_numpy():
+            return cached
+        value = self.path_collection().quality
+        self._quality_cache = value
+        return value
 
     def virtual_edges(self) -> Iterator[tuple]:
         return iter(self.mapping.keys())

@@ -28,6 +28,8 @@ from typing import Iterable
 import networkx as nx
 import numpy as np
 
+from repro.kernels import use_numpy
+
 __all__ = [
     "CutReport",
     "cut_edges",
@@ -124,6 +126,10 @@ def exact_conductance(graph: nx.Graph) -> float:
     n = len(nodes)
     if n < 2:
         return math.inf
+    if use_numpy():
+        from repro.kernels.conductance import exact_conductance_numpy
+
+        return exact_conductance_numpy(graph)
     best = math.inf
     # Enumerate subsets containing nodes[0] to avoid double counting.
     rest = nodes[1:]
@@ -142,6 +148,10 @@ def exact_sparsity(graph: nx.Graph) -> float:
     n = len(nodes)
     if n < 2:
         return math.inf
+    if use_numpy():
+        from repro.kernels.conductance import exact_sparsity_numpy
+
+        return exact_sparsity_numpy(graph)
     best = math.inf
     rest = nodes[1:]
     for r in range(0, n - 1):
@@ -198,6 +208,11 @@ def sweep_cut(graph: nx.Graph) -> CutReport:
     degrees = np.array([max(graph.degree(v), 1) for v in nodes], dtype=float)
     scores = fiedler / np.sqrt(degrees)
     order = sorted(range(n), key=lambda i: (scores[i], nodes[i]))
+    if use_numpy():
+        from repro.kernels.conductance import sweep_cut_best_prefix_numpy
+
+        best_k = sweep_cut_best_prefix_numpy(graph, nodes, order)
+        return _cut_report(graph, {nodes[i] for i in order[: best_k + 1]})
     best_report: CutReport | None = None
     prefix: set = set()
     for idx in order[:-1]:

@@ -85,6 +85,16 @@ def best_counts_per_part(node: HierarchyNode) -> list[int]:
     inherit that order) this is exactly the information a vertex needs to
     rewrite a destination marker ``i_z`` into ``(j_z, i'_z)`` at query time.
     """
+    from repro.kernels import use_numpy
+
+    if use_numpy():
+        cached = getattr(node, "_best_counts_cache", None)
+        if cached is None:
+            cached = node._best_counts_cache = [
+                len(part.child.best_vertices()) if part.child is not None else 0
+                for part in node.parts
+            ]
+        return cached
     counts: list[int] = []
     for part in node.parts:
         child = part.child

@@ -1,0 +1,206 @@
+"""Vectorized dispersion (Lemma 6.2) — numpy twin of :func:`repro.core.dispersion.disperse`.
+
+The reference implementation rebuilds a ``(part, mark) -> count`` snapshot
+dict and re-derives every desired transfer with nested Python loops on each
+shuffler iteration.  The kernel keeps one integer counts matrix ``C[t, m]``
+(parts × marks) and, per iteration:
+
+* computes every desired fractional amount at once —
+  ``(value / 2) * C[origin]`` broadcast over the matching's pairs;
+* applies the same deterministic largest-remainder rounding per
+  ``(origin, mark)`` cell, in the same ``(origin, repr(mark))`` group order
+  and the same ``(-fraction, target)`` tie-break the reference uses;
+* replays the resulting transfers on the *same* queue structure
+  (``pop_front`` / ``push_back``), so item movement, arrival order, and every
+  downstream pairing are identical.
+
+Portal-pair counts and the sorted fractional matchings come from the
+memoized :class:`~repro.cutmatching.shuffler.ShufflerMatching` accessors
+instead of being recomputed per iteration.  Sums that feed ``math.floor``
+use Python's sequential ``sum`` so the float results match the reference
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cost import CostLedger
+    from repro.core.dispersion import DispersionState, DispersionStats
+    from repro.cutmatching.shuffler import Shuffler
+
+__all__ = ["disperse_numpy"]
+
+
+def _partner_table(matching) -> dict[int, tuple]:
+    """Per-origin partner arrays in sorted-pair order, cached per matching.
+
+    Each record is ``(half_values, targets, target_order, sorted_targets)``
+    where ``half_values`` is ``value / 2`` per partner (floats), ``targets``
+    the partner part indices, ``target_order`` the argsort of the targets
+    (emission order), and ``sorted_targets`` the targets in that order.  The
+    table is static per shuffler matching; lazily attached so pickled
+    artifacts rebuild it on first use.
+    """
+    cached = getattr(matching, "_partner_table", None)
+    if cached is None:
+        table: dict[int, tuple[list[int], list[float]]] = {}
+        pairs, values = matching.sorted_fractional()
+        for (u, v), value in zip(pairs, values):
+            table.setdefault(u, ([], []))
+            table[u][0].append(v)
+            table[u][1].append(value)
+            table.setdefault(v, ([], []))
+            table[v][0].append(u)
+            table[v][1].append(value)
+        cached = {}
+        for origin, (targets, vals) in sorted(table.items()):
+            target_array = np.asarray(targets, dtype=np.int64)
+            order = np.argsort(target_array, kind="stable")
+            cached[origin] = (
+                np.asarray(vals, dtype=float) * 0.5,
+                target_array,
+                order,
+                target_array[order],
+            )
+        matching._partner_table = cached
+    return cached
+
+
+def _plan_transfers(counts: np.ndarray, matching) -> list[tuple[int, int, int, int]]:
+    """The iteration's transfers as ``(origin, target, mark_index, amount)``.
+
+    Reproduces the reference's ordering exactly: groups sorted by
+    ``(origin, mark)`` (mark columns are already in repr order), amounts in
+    sorted-pair order, largest-remainder rounding tie-broken by
+    ``(-fraction, target)``, emission by target.  All marks of one origin are
+    planned at once; the largest-remainder bumps only ever land on entries
+    with a positive fractional part (there are strictly fewer leftover units
+    than such entries), so including zero-amount partners in the vectorized
+    ordering cannot change the allocation the reference computes.
+    """
+    transfers: list[tuple[int, int, int, int]] = []
+    for origin, (half_values, targets, target_order, sorted_targets) in _partner_table(
+        matching
+    ).items():
+        row = counts[origin]
+        if targets.size == 1:
+            # One partner: the budget always equals floor(amount) (amounts
+            # never exceed the snapshot), so the allocation is the plain
+            # floor, every mark at once.
+            allocation = np.floor(half_values[0] * row).astype(np.int64)
+            target = int(targets[0])
+            for mark_index in np.flatnonzero(allocation):
+                transfers.append((origin, target, int(mark_index), int(allocation[mark_index])))
+            continue
+
+        group_size = targets.size
+        mark_count = row.size
+        amounts = half_values[:, None] * row[None, :]
+        floors = np.floor(amounts)
+        allocation = floors.astype(np.int64)
+        # Sequential accumulation matches the reference's builtins.sum order
+        # (zero-amount partners add +0.0, which is exact).
+        totals = amounts[0].copy()
+        for i in range(1, group_size):
+            totals += amounts[i]
+        budget = np.minimum(row, np.floor(totals).astype(np.int64))
+        remaining = budget - allocation.sum(axis=0)
+        if (remaining > 0).any():
+            fractions = amounts - floors
+            # Per-mark (-fraction, target) order, all marks at once: lexsort
+            # with the mark as the primary key yields blocks of `group_size`.
+            mark_key = np.repeat(np.arange(mark_count), group_size)
+            fraction_key = fractions.T.ravel()
+            target_key = np.tile(targets, mark_count)
+            order = np.lexsort((target_key, -fraction_key, mark_key))
+            position_in_mark = np.arange(mark_count * group_size) % group_size
+            bump = position_in_mark < np.repeat(remaining, group_size)
+            flat = allocation.T.copy().ravel()
+            flat[order[bump]] += 1
+            allocation = flat.reshape(mark_count, group_size).T
+        emitted = allocation[target_order]
+        for mark_index, target_position in np.argwhere(emitted.T > 0):
+            transfers.append(
+                (
+                    origin,
+                    int(sorted_targets[target_position]),
+                    int(mark_index),
+                    int(emitted[target_position, mark_index]),
+                )
+            )
+    return transfers
+
+
+def disperse_numpy(
+    state: "DispersionState",
+    shuffler: "Shuffler",
+    part_sizes,
+    load: int,
+    flatten_quality: int,
+    ledger: "CostLedger | None",
+    phase: str,
+) -> "DispersionStats":
+    """Numpy implementation of ``disperse`` (identical movements and rounds)."""
+    from repro.core.cost import send_round_cost, sort_round_cost
+    from repro.core.dispersion import DispersionStats
+
+    stats = DispersionStats()
+    t = state.part_count
+    marks = state.marks()
+    counts = np.zeros((t, max(len(marks), 1)), dtype=np.int64)
+    for part in range(t):
+        for mark_index, mark in enumerate(marks):
+            counts[part, mark_index] = state.count(part, mark)
+
+    max_part_size = max(part_sizes) if part_sizes else 1
+    part_of = shuffler.part_of
+    rounds = 0
+    for matching in shuffler.matchings:
+        stats.iterations += 1
+        transfers = _plan_transfers(counts, matching) if marks else []
+        outgoing: dict[tuple[int, int], int] = {}
+        for origin, target, mark_index, amount in transfers:
+            mark = marks[mark_index]
+            items = state.pop_front(origin, mark, amount)
+            state.push_back(target, mark, items)
+            moved = len(items)
+            counts[origin, mark_index] -= moved
+            counts[target, mark_index] += moved
+            outgoing[(origin, target)] = outgoing.get((origin, target), 0) + moved
+
+        # -- round accounting for this iteration (Lemma 6.7) -----------------
+        current_max_load = int(counts.sum(axis=1).max(initial=0))
+        stats.max_part_load = max(stats.max_part_load, current_max_load)
+        per_part_load = max(1, math.ceil(current_max_load / max(1, max_part_size)))
+        portal_sort = sort_round_cost(max_part_size, per_part_load, flatten_quality)
+        tokens_per_portal = 1
+        for (origin, target), amount in outgoing.items():
+            portal_pairs = max(1, matching.portal_pair_count(part_of, origin, target))
+            tokens_per_portal = max(tokens_per_portal, math.ceil(amount / portal_pairs))
+        send = send_round_cost(tokens_per_portal, matching.quality * max(1, flatten_quality))
+        rounds += portal_sort + send
+
+    stats.rounds = rounds
+    if ledger is not None:
+        ledger.charge(phase, rounds)
+
+    # -- Definition 6.1 window check ------------------------------------------
+    total_vertices = sum(part_sizes) if part_sizes else t
+    for mark_index, mark in enumerate(marks):
+        total = int(counts[:, mark_index].sum())
+        stats.mark_totals[mark] = total
+        lower = 0.9 * total / t - 0.1 * total_vertices / (t * t)
+        upper = 1.1 * total / t + 0.1 * total_vertices / (t * t)
+        slack = stats.iterations * 1.0
+        for part in range(t):
+            count = int(counts[part, mark_index])
+            stats.final_counts[(part, mark)] = count
+            stats.total_cells += 1
+            if lower - slack <= count <= upper + slack:
+                stats.within_window += 1
+    return stats

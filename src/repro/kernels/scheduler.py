@@ -1,0 +1,127 @@
+"""Vectorized token scheduler (Fact 2.2) — numpy twin of :mod:`repro.congest.scheduler`.
+
+The reference scheduler advances tokens one hop per round with a Python loop
+over every pending token.  The numpy kernel simulates the *same* deterministic
+policy on integer arrays:
+
+* vertices are interned to dense integers once, and every hop becomes one
+  integer edge code ``min(u, v) * n + max(u, v)``;
+* within one round, the winner of each contested edge is the pending token
+  with the smallest ``token_id`` — with the pending array kept sorted by
+  token id, that is exactly the first occurrence of each edge code, which
+  ``np.unique(..., return_index=True)`` yields directly.
+
+The outcome (rounds, congestion, dilation, per-token arrival rounds) is
+identical to the reference implementation; ``tests/test_kernels.py`` asserts
+this over random expanders and workloads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congest.scheduler import ScheduledToken, ScheduleResult
+
+__all__ = ["schedule_tokens_numpy"]
+
+
+def schedule_tokens_numpy(tokens: Sequence["ScheduledToken"]) -> "ScheduleResult":
+    """Numpy implementation of ``schedule_tokens_along_paths`` (identical results)."""
+    from repro.congest.scheduler import ScheduleResult
+
+    if not tokens:
+        return ScheduleResult(rounds=0, congestion=0, dilation=0)
+
+    # Flatten every path into one vertex array (one conversion for the whole
+    # instance).  Integer vertex ids — the common case — convert wholesale;
+    # anything else falls back to a dict intern.  Only identity matters.
+    path_lengths = np.fromiter(
+        (len(token.path) for token in tokens), dtype=np.int64, count=len(tokens)
+    )
+    flat_list = [vertex for token in tokens for vertex in token.path]
+    try:
+        flat = np.asarray(flat_list)
+        if flat.ndim != 1 or not np.issubdtype(flat.dtype, np.integer):
+            # Floats would silently truncate under an int cast; intern instead.
+            raise TypeError("non-integer vertex ids")
+        flat = flat.astype(np.int64)
+        if flat.size and int(flat.min()) < 0:
+            raise ValueError("negative vertex ids; intern instead")
+        vertex_count = int(flat.max()) + 1 if flat.size else 1
+        if vertex_count >= 2**31:
+            # Edge codes are min*count+max; huge sparse labels would overflow
+            # int64 and alias distinct edges.  Intern to dense ids instead.
+            raise ValueError("vertex id range too wide for direct edge codes")
+    except (TypeError, ValueError, OverflowError):
+        vertex_index: dict = {}
+        flat = np.empty(len(flat_list), dtype=np.int64)
+        for position, vertex in enumerate(flat_list):
+            index = vertex_index.get(vertex)
+            if index is None:
+                index = vertex_index[vertex] = len(vertex_index)
+            flat[position] = index
+        vertex_count = len(vertex_index)
+    vertex_count = max(vertex_count, 1)
+
+    lengths = path_lengths - 1
+    dilation = int(lengths.max(initial=0))
+
+    # Hop edge codes for all tokens at once: consecutive flat pairs, with the
+    # pairs that straddle two paths masked out.
+    vertex_offsets = np.zeros(len(tokens) + 1, dtype=np.int64)
+    np.cumsum(path_lengths, out=vertex_offsets[1:])
+    if flat.size >= 2:
+        hop_mask = np.ones(flat.size - 1, dtype=bool)
+        boundaries = vertex_offsets[1:-1] - 1
+        hop_mask[boundaries[boundaries < hop_mask.size]] = False
+        u, v = flat[:-1][hop_mask], flat[1:][hop_mask]
+        flat_codes = np.minimum(u, v) * vertex_count + np.maximum(u, v)
+    else:
+        flat_codes = np.empty(0, dtype=np.int64)
+    offsets = np.zeros(len(tokens) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+
+    congestion = 0
+    if flat_codes.size:
+        congestion = int(np.bincount(np.unique(flat_codes, return_inverse=True)[1]).max())
+
+    token_ids = np.array([token.token_id for token in tokens], dtype=np.int64)
+    arrival: dict[int, int] = {
+        int(token_ids[i]): 0 for i in range(len(tokens)) if lengths[i] == 0
+    }
+
+    # Pending token *indices*, kept sorted by token id (matching the
+    # reference's sorted(pending, key=token_id) per-round order).
+    pending = np.argsort(token_ids, kind="stable")
+    pending = pending[lengths[pending] > 0]
+    position = np.zeros(len(tokens), dtype=np.int64)
+
+    rounds = 0
+    round_limit = max(1, congestion * dilation + dilation + 1)
+    while pending.size and rounds < round_limit:
+        rounds += 1
+        codes = flat_codes[offsets[pending] + position[pending]]
+        # First occurrence per distinct edge code == smallest token id, since
+        # `pending` is sorted by token id.
+        _, first = np.unique(codes, return_index=True)
+        advanced = np.zeros(pending.size, dtype=bool)
+        advanced[first] = True
+        movers = pending[advanced]
+        position[movers] += 1
+        done = position[movers] == lengths[movers]
+        for index in movers[done]:
+            arrival[int(token_ids[index])] = rounds
+        finished = np.zeros(pending.size, dtype=bool)
+        finished[np.flatnonzero(advanced)[done]] = True
+        pending = pending[~finished]
+    if pending.size:
+        raise RuntimeError("scheduler failed to deliver all tokens within the round limit")
+    return ScheduleResult(
+        rounds=rounds,
+        congestion=congestion,
+        dilation=dilation,
+        arrival_round=arrival,
+    )

@@ -1,0 +1,119 @@
+"""Vectorized comparator-network simulation — numpy twin of the merge-split engine.
+
+The reference :class:`~repro.sorting.expander_sort.ComparatorSortEngine`
+executes every comparator of the Batcher network with a Python ``sorted`` over
+the two touched vertices' token lists.  The kernel simulates the identical
+network on an integer slot matrix:
+
+* every token is interned once and given a dense *key rank* by a single
+  stable sort over the same ``(comparable key, repr(tag))`` tuples the
+  reference engine compares — equal tuples share a rank;
+* padding slots carry a rank after every real rank (the "+infinity" token);
+* one network layer = one batched merge-split: gather the touched slot rows,
+  one stable ``argsort`` per row pair, scatter the lower/upper halves back.
+  Comparators within a layer are disjoint by :class:`SortingNetwork`'s
+  contract, so a whole layer is a single vectorized step.
+
+Stable rank sorting reproduces Python's stable ``sorted`` on the concatenated
+slot lists exactly, so the final placement (including the order of equal-key
+tokens) is identical to the reference engine's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sorting.expander_sort import ExpanderSortResult, SortItem
+    from repro.sorting.networks import SortingNetwork
+
+__all__ = ["comparator_sort_numpy"]
+
+
+def comparator_sort_numpy(
+    vertex_order: Sequence[Hashable],
+    items_at: dict[Hashable, list["SortItem"]],
+    load: int,
+    exchange_quality: int,
+    network: "SortingNetwork",
+) -> "ExpanderSortResult":
+    """Numpy implementation of ``ComparatorSortEngine.sort`` (identical results)."""
+    from repro.sorting.expander_sort import (
+        ExpanderSortResult,
+        SortPlacement,
+        _comparable_key,
+        _sorting_round_cost,
+    )
+
+    vertices = list(vertex_order)
+    padded_load = max(
+        load, max((len(value) for value in items_at.values()), default=0), 1
+    )
+
+    # Intern all tokens; initial slots are each vertex's locally sorted list,
+    # exactly as the reference engine lays them out before the network runs.
+    tokens: list["SortItem"] = []
+    token_keys: list[tuple] = []
+    initial: list[list[int]] = []
+    for vertex in vertices:
+        local = sorted(
+            items_at.get(vertex, []),
+            key=lambda item: (_comparable_key(item.key), repr(item.tag)),
+        )
+        row = []
+        for item in local:
+            row.append(len(tokens))
+            tokens.append(item)
+            token_keys.append((_comparable_key(item.key), repr(item.tag)))
+        initial.append(row)
+
+    # Dense key ranks: equal sort tuples share a rank, so a stable argsort on
+    # ranks reproduces the reference's stable sorted() on the tuples.
+    order = sorted(range(len(tokens)), key=lambda index: token_keys[index])
+    ranks = np.empty(len(tokens) + 1, dtype=np.int64)
+    next_rank = -1
+    previous_key = object()
+    for position in order:
+        key = token_keys[position]
+        if key != previous_key:
+            next_rank += 1
+            previous_key = key
+        ranks[position] = next_rank
+    pad_rank = next_rank + 1
+    ranks[-1] = pad_rank  # index -1 = the padding token
+
+    slot_ids = np.full((len(vertices), padded_load), -1, dtype=np.int64)
+    for row_index, row in enumerate(initial):
+        slot_ids[row_index, : len(row)] = row
+
+    exchanges = 0
+    for layer in network.layers:
+        if not layer:
+            continue
+        lows = np.fromiter((low for low, _ in layer), dtype=np.int64, count=len(layer))
+        highs = np.fromiter((high for _, high in layer), dtype=np.int64, count=len(layer))
+        merged = np.concatenate((slot_ids[lows], slot_ids[highs]), axis=1)
+        merged_ranks = ranks[merged]
+        ordering = np.argsort(merged_ranks, axis=1, kind="stable")
+        merged = np.take_along_axis(merged, ordering, axis=1)
+        slot_ids[lows] = merged[:, :padded_load]
+        slot_ids[highs] = merged[:, padded_load:]
+        exchanges += len(layer)
+
+    placement = SortPlacement(
+        items_at={
+            vertex: [tokens[index] for index in slot_ids[row_index] if index >= 0]
+            for row_index, vertex in enumerate(vertices)
+        }
+    )
+    max_load = max((len(value) for value in placement.items_at.values()), default=0)
+    rounds = _sorting_round_cost(network.depth, padded_load, exchange_quality)
+    return ExpanderSortResult(
+        placement=placement,
+        rounds=rounds,
+        network_depth=network.depth,
+        max_load=max_load,
+        comparator_exchanges=exchanges,
+    )

@@ -36,10 +36,15 @@ backend are safe.
 from __future__ import annotations
 
 import inspect
+import json
+import pickle
+import shutil
+import tempfile
 import time
 import weakref
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
 import networkx as nx
@@ -61,6 +66,13 @@ from repro.metrics import MetricsRegistry, default_registry
 from repro.metrics import quantile as _quantile
 from repro.service.cache import ArtifactCache
 from repro.service.fingerprint import graph_fingerprint, graph_payload
+from repro.service.pool import (
+    BuildTask,
+    RouteTask,
+    build_in_worker,
+    route_in_worker,
+    spill_path,
+)
 from repro.workloads import Workload
 
 __all__ = [
@@ -74,6 +86,11 @@ __all__ = [
 
 #: The default backend a query routes through when none is named.
 DEFAULT_BACKEND = "deterministic"
+
+
+def _shutdown_executor(pool: Executor) -> None:
+    """Finalizer target: release a dropped service's executor without blocking."""
+    pool.shutdown(wait=False)
 
 
 @dataclass(frozen=True)
@@ -236,6 +253,38 @@ class BatchReport:
             "query_seconds_max": self.query_seconds_max,
         }
 
+    def signature(self) -> str:
+        """The deterministic shape of the batch as one canonical JSON string.
+
+        Covers every count and round total but no wall-clock, so two batches
+        over the same submissions agree byte for byte regardless of timing —
+        and regardless of whether they were routed by the thread pool or the
+        process pool (the determinism tests compare exactly this).
+        """
+        payload = {
+            "queries": [
+                {
+                    "query_id": result.query_id,
+                    "fingerprint": result.fingerprint,
+                    "backend": result.backend,
+                    "workload": result.workload,
+                    "cache_hit": result.cache_hit,
+                    "delivered": result.outcome.delivered,
+                    "total": result.outcome.total_tokens,
+                    "query_rounds": result.outcome.query_rounds,
+                    "preprocess_rounds": result.outcome.preprocess_rounds,
+                    "load": result.outcome.load,
+                }
+                for result in sorted(self.results, key=lambda result: result.query_id)
+            ],
+            "distinct_graphs": self.distinct_graphs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
+            "preprocess_rounds_reused": self.preprocess_rounds_reused,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
     def render(self, per_query: bool = True) -> str:
         """Human-readable report (summary block plus optional per-query table)."""
         parts = [format_kv(self.summary(), title="batch")]
@@ -357,13 +406,24 @@ class RoutingService:
             given, its fields join the cache key.
         cache: the artifact cache to use (fresh default-sized
             :class:`ArtifactCache` when omitted).
-        max_workers: worker pool size for one batch (``None`` = executor
-            default).
+        max_workers: worker pool size (``None`` = executor default).
+        parallelism: ``"threads"`` (default) fans queries out over a thread
+            pool — concurrency without parallel compute, the GIL applies —
+            while ``"processes"`` ships preprocessing and routing to worker
+            processes (artifacts spilled to disk once, loaded at most once
+            per worker; see :mod:`repro.service.pool`).  Results are
+            byte-identical either way (:meth:`BatchReport.signature`).
         executor_factory: alternative ``concurrent.futures`` executor factory
-            taking ``max_workers``; defaults to :class:`ThreadPoolExecutor`.
+            taking ``max_workers``; defaults to :class:`ThreadPoolExecutor`
+            (``parallelism="threads"`` only).
         metrics: registry the service records ``repro_service_*`` metrics
             into (default: the process-wide :func:`default_registry`).  A
             default-constructed cache inherits the same registry.
+
+    The executor is created lazily on the first batch and reused across
+    batches for the life of the service (one pool per service instance, not
+    one per batch); call :meth:`close` — or use the service as a context
+    manager — to release it and the artifact spill directory.
     """
 
     def __init__(
@@ -373,12 +433,20 @@ class RoutingService:
         hierarchy_params: HierarchyParameters | None = None,
         cache: ArtifactCache | None = None,
         max_workers: int | None = None,
+        parallelism: str = "threads",
         executor_factory: Callable[[int | None], Executor] | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
+        if parallelism not in ("threads", "processes"):
+            raise ValueError(
+                f"unknown parallelism {parallelism!r}; expected 'threads' or 'processes'"
+            )
+        if parallelism == "processes" and executor_factory is not None:
+            raise ValueError("executor_factory only applies to parallelism='threads'")
         self.epsilon = epsilon
         self.psi = psi
         self.hierarchy_params = hierarchy_params
+        self.parallelism = parallelism
         self.metrics = metrics if metrics is not None else default_registry()
         self.cache = cache if cache is not None else ArtifactCache(metrics=self.metrics)
         self.max_workers = max_workers
@@ -402,9 +470,34 @@ class RoutingService:
             "CONGEST preprocessing rounds, incurred vs reused.",
             labels=("kind",),
         )
+        self._m_pool_created = self.metrics.counter(
+            "repro_service_pool_created_total",
+            "Executor pools created by the service (1 per service lifetime).",
+            labels=("kind",),
+        )
+        self._m_pool_workers = self.metrics.gauge(
+            "repro_service_pool_workers", "Configured worker count of the service's pool."
+        )
+        self._m_pool_tasks = self.metrics.counter(
+            "repro_service_pool_tasks_total",
+            "Tasks submitted to the service's pool.",
+            labels=("kind",),
+        )
+        self._m_pool_runner_loads = self.metrics.counter(
+            "repro_service_pool_runner_loads_total",
+            "Worker-process runner resolutions (warm cache hit vs cold load).",
+            labels=("state",),
+        )
         self._executor_factory = executor_factory or (
             lambda workers: ThreadPoolExecutor(max_workers=workers)
         )
+        self._pool: Executor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+        self._spill_dir: Path | None = None
+        # Insertion-ordered so the oldest spilled artifacts trim first.
+        self._spilled: dict[str, None] = {}
+        self._spill_finalizer: weakref.finalize | None = None
+        self._closed = False
         self._pending: list[RoutingQuery] = []
         self._next_query_id = 0
         # Graph canonicalization dominates fingerprint cost; memoize it per
@@ -414,6 +507,94 @@ class RoutingService:
         self._payload_memo: "weakref.WeakKeyDictionary[nx.Graph, str]" = (
             weakref.WeakKeyDictionary()
         )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self) -> Executor:
+        """The service's long-lived executor, created on first use."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._pool is None:
+            if self.parallelism == "processes":
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._pool = self._executor_factory(self.max_workers)
+            # Services dropped without close() (loops over short-lived
+            # services) must not strand their executors until process exit.
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_executor, self._pool
+            )
+            self._m_pool_created.labels(kind=self.parallelism).inc()
+            workers = getattr(self._pool, "_max_workers", None)
+            if workers:
+                self._m_pool_workers.set(workers)
+        return self._pool
+
+    def _ensure_spill_dir(self) -> Path:
+        if self._spill_dir is None:
+            self._spill_dir = Path(tempfile.mkdtemp(prefix="repro-service-spill-"))
+            self._spill_finalizer = weakref.finalize(
+                self, shutil.rmtree, str(self._spill_dir), True
+            )
+        return self._spill_dir
+
+    def _spill_artifact(self, fingerprint: str, artifact: PreprocessArtifact) -> None:
+        """Write ``artifact`` to the spill directory once, for worker processes."""
+        if fingerprint in self._spilled:
+            return
+        path = spill_path(self._ensure_spill_dir(), fingerprint)
+        staging = path.with_suffix(".tmp")
+        with open(staging, "wb") as handle:
+            pickle.dump(artifact, handle)
+        staging.replace(path)
+        self._spilled[fingerprint] = None
+
+    def _trim_spill_dir(self, keep: set[str]) -> None:
+        """Bound the spill directory, never evicting the current batch's keys.
+
+        The cap mirrors the artifact cache (4x its in-memory capacity, at
+        least 16): the spill tier exists so each *worker* loads an artifact at
+        most once, not as a second unbounded store.  Evicted fingerprints are
+        simply re-spilled from the cache-of-record on their next warm batch.
+        """
+        cap = max(16, 4 * getattr(self.cache, "capacity", 4), len(keep))
+        if len(self._spilled) <= cap or self._spill_dir is None:
+            return
+        for fingerprint in list(self._spilled):
+            if len(self._spilled) <= cap:
+                break
+            if fingerprint in keep:
+                continue
+            del self._spilled[fingerprint]
+            spill_path(self._spill_dir, fingerprint).unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Shut the worker pool down and remove the artifact spill directory.
+
+        Idempotent; afterwards the service rejects new batches.  Pending
+        (unrouted) submissions are left queued so callers can inspect them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._spill_finalizer is not None:
+            self._spill_finalizer()
+            self._spill_finalizer = None
+        self._spill_dir = None
+        self._spilled.clear()
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False
 
     # -- submission ----------------------------------------------------------
 
@@ -514,6 +695,10 @@ class RoutingService:
         (built concurrently), then every query routed concurrently on shared
         read-only backends.
         """
+        if self._closed:
+            # Before touching the pending queue: close() promises queued
+            # submissions survive for inspection.
+            raise RuntimeError("service is closed")
         if queries is None:
             queries, self._pending = self._pending, []
         else:
@@ -529,64 +714,11 @@ class RoutingService:
             by_fingerprint.setdefault(query.fingerprint, []).append(query)
         report.distinct_graphs = len(by_fingerprint)
 
-        with self._executor_factory(self.max_workers) as pool:
-            # Phase 1: resolve a query-ready backend per distinct fingerprint
-            # (artifact-cache lookups first, cold builds concurrently in the
-            # pool).
-            runners: dict[str, RoutingBackend] = {}
-            warm: dict[str, bool] = {}
-            cold: dict[str, RoutingQuery] = {}
-            for fingerprint, group in by_fingerprint.items():
-                query = group[0]
-                factory = backend_factory(query.backend)
-                cached = (
-                    self.cache.get(fingerprint) if supports_artifacts(factory) else None
-                )
-                if cached is not None:
-                    runners[fingerprint] = factory.from_artifact(query.graph, cached)
-                    warm[fingerprint] = True
-                    report.preprocess_rounds_reused += cached.preprocessing_rounds
-                else:
-                    cold[fingerprint] = query
-                    warm[fingerprint] = False
-            if cold:
-                preprocess_start = time.perf_counter()
-                futures = {
-                    fingerprint: pool.submit(self._build_runner, query)
-                    for fingerprint, query in cold.items()
-                }
-                for fingerprint, future in futures.items():
-                    runner, info, artifact = future.result()
-                    runners[fingerprint] = runner
-                    if artifact is not None:
-                        self.cache.put(fingerprint, artifact)
-                        report.preprocess_rounds_incurred += artifact.preprocessing_rounds
-                    else:
-                        report.preprocess_rounds_incurred += info.rounds
-                report.preprocess_seconds = time.perf_counter() - preprocess_start
-                self._m_preprocess_seconds.observe(report.preprocess_seconds)
-
-            # Phase 2: route every query of the batch concurrently.
-            route_start = time.perf_counter()
-            result_futures = [
-                (query, pool.submit(self._route_one, runners[query.fingerprint], query))
-                for query in queries
-            ]
-            for query, future in result_futures:
-                outcome, seconds = future.result()
-                self._m_query_seconds.labels(backend=query.backend).observe(seconds)
-                report.results.append(
-                    QueryResult(
-                        query_id=query.query_id,
-                        fingerprint=query.fingerprint,
-                        backend=query.backend,
-                        outcome=outcome,
-                        cache_hit=warm[query.fingerprint],
-                        seconds=seconds,
-                        workload=query.workload,
-                    )
-                )
-            report.route_seconds = time.perf_counter() - route_start
+        pool = self._ensure_pool()
+        if self.parallelism == "processes":
+            self._route_batch_processes(pool, queries, by_fingerprint, report)
+        else:
+            self._route_batch_threads(pool, queries, by_fingerprint, report)
 
         report.cache_hits = sum(1 for result in report.results if result.cache_hit)
         report.cache_misses = len(report.results) - report.cache_hits
@@ -666,13 +798,185 @@ class RoutingService:
 
     # -- internals -----------------------------------------------------------
 
-    def _make_backend(self, query: RoutingQuery) -> RoutingBackend:
+    def _route_batch_threads(
+        self,
+        pool: Executor,
+        queries: Sequence[RoutingQuery],
+        by_fingerprint: dict[str, list[RoutingQuery]],
+        report: BatchReport,
+    ) -> None:
+        """Thread-pool execution: shared in-process backends, concurrent fan-out."""
+        # Phase 1: resolve a query-ready backend per distinct fingerprint
+        # (artifact-cache lookups first, cold builds concurrently in the pool).
+        runners: dict[str, RoutingBackend] = {}
+        warm: dict[str, bool] = {}
+        cold: dict[str, RoutingQuery] = {}
+        for fingerprint, group in by_fingerprint.items():
+            query = group[0]
+            factory = backend_factory(query.backend)
+            cached = (
+                self.cache.get(fingerprint) if supports_artifacts(factory) else None
+            )
+            if cached is not None:
+                runners[fingerprint] = factory.from_artifact(query.graph, cached)
+                warm[fingerprint] = True
+                report.preprocess_rounds_reused += cached.preprocessing_rounds
+            else:
+                cold[fingerprint] = query
+                warm[fingerprint] = False
+        if cold:
+            preprocess_start = time.perf_counter()
+            futures = {
+                fingerprint: pool.submit(self._build_runner, query)
+                for fingerprint, query in cold.items()
+            }
+            self._m_pool_tasks.labels(kind="build").inc(len(futures))
+            for fingerprint, future in futures.items():
+                runner, info, artifact = future.result()
+                runners[fingerprint] = runner
+                if artifact is not None:
+                    self.cache.put(fingerprint, artifact)
+                    report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                else:
+                    report.preprocess_rounds_incurred += info.rounds
+            report.preprocess_seconds = time.perf_counter() - preprocess_start
+            self._m_preprocess_seconds.observe(report.preprocess_seconds)
+
+        # Phase 2: route every query of the batch concurrently.
+        route_start = time.perf_counter()
+        result_futures = [
+            (query, pool.submit(self._route_one, runners[query.fingerprint], query))
+            for query in queries
+        ]
+        self._m_pool_tasks.labels(kind="route").inc(len(result_futures))
+        for query, future in result_futures:
+            outcome, seconds = future.result()
+            self._m_query_seconds.labels(backend=query.backend).observe(seconds)
+            report.results.append(
+                QueryResult(
+                    query_id=query.query_id,
+                    fingerprint=query.fingerprint,
+                    backend=query.backend,
+                    outcome=outcome,
+                    cache_hit=warm[query.fingerprint],
+                    seconds=seconds,
+                    workload=query.workload,
+                )
+            )
+        report.route_seconds = time.perf_counter() - route_start
+
+    def _route_batch_processes(
+        self,
+        pool: Executor,
+        queries: Sequence[RoutingQuery],
+        by_fingerprint: dict[str, list[RoutingQuery]],
+        report: BatchReport,
+    ) -> None:
+        """Process-pool execution: artifacts spilled once, routed in workers.
+
+        The parent keeps the cache-of-record (hits/misses and round
+        accounting are identical to the thread path); worker processes keep a
+        runner per fingerprint, loading each spilled artifact at most once.
+        """
+        from repro.kernels import active_kernel
+
+        compute_kernel = active_kernel()
+        self._trim_spill_dir(keep=set(by_fingerprint))
+        warm: dict[str, bool] = {}
+        cold: dict[str, RoutingQuery] = {}
+        for fingerprint, group in by_fingerprint.items():
+            query = group[0]
+            factory = backend_factory(query.backend)
+            cached = (
+                self.cache.get(fingerprint) if supports_artifacts(factory) else None
+            )
+            if cached is not None:
+                warm[fingerprint] = True
+                report.preprocess_rounds_reused += cached.preprocessing_rounds
+                self._spill_artifact(fingerprint, cached)
+            else:
+                warm[fingerprint] = False
+                cold[fingerprint] = query
+        if cold:
+            preprocess_start = time.perf_counter()
+            futures = {
+                fingerprint: pool.submit(
+                    build_in_worker,
+                    BuildTask(
+                        fingerprint=fingerprint,
+                        graph=query.graph,
+                        backend=query.backend,
+                        params=self._resolved_backend_params(query),
+                        kernel=compute_kernel,
+                    ),
+                )
+                for fingerprint, query in cold.items()
+            }
+            self._m_pool_tasks.labels(kind="build").inc(len(futures))
+            for fingerprint, future in futures.items():
+                info, artifact = future.result()
+                if artifact is not None:
+                    self.cache.put(fingerprint, artifact)
+                    self._spill_artifact(fingerprint, artifact)
+                    report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                else:
+                    report.preprocess_rounds_incurred += info.rounds
+            report.preprocess_seconds = time.perf_counter() - preprocess_start
+            self._m_preprocess_seconds.observe(report.preprocess_seconds)
+
+        route_start = time.perf_counter()
+        spill = str(self._spill_dir) if self._spill_dir is not None else None
+        result_futures = [
+            (
+                query,
+                pool.submit(
+                    route_in_worker,
+                    RouteTask(
+                        fingerprint=query.fingerprint,
+                        # Spilled artifacts carry their own graph; warm-path
+                        # queries then ship only the request list.
+                        graph=None if query.fingerprint in self._spilled else query.graph,
+                        requests=query.requests,
+                        load=query.load,
+                        backend=query.backend,
+                        params=self._resolved_backend_params(query),
+                        spill_dir=spill,
+                        kernel=compute_kernel,
+                    ),
+                ),
+            )
+            for query in queries
+        ]
+        self._m_pool_tasks.labels(kind="route").inc(len(result_futures))
+        for query, future in result_futures:
+            outcome, seconds, runner_warm = future.result()
+            self._m_pool_runner_loads.labels(
+                state="warm" if runner_warm else "cold"
+            ).inc()
+            self._m_query_seconds.labels(backend=query.backend).observe(seconds)
+            report.results.append(
+                QueryResult(
+                    query_id=query.query_id,
+                    fingerprint=query.fingerprint,
+                    backend=query.backend,
+                    outcome=outcome,
+                    cache_hit=warm[query.fingerprint],
+                    seconds=seconds,
+                    workload=query.workload,
+                )
+            )
+        report.route_seconds = time.perf_counter() - route_start
+
+    def _resolved_backend_params(self, query: RoutingQuery) -> dict[str, Any]:
+        """Query parameters plus the service-level defaults the factory accepts.
+
+        The service-level tradeoff parameters apply to every backend whose
+        factory accepts them by name (epsilon reaches both the deterministic
+        router and the rebuild-per-query comparator, so comparisons are
+        apples to apples); explicit per-query params still win.
+        """
         factory = backend_factory(query.backend)
         params = dict(query.backend_params)
-        # The service-level tradeoff parameters apply to every backend whose
-        # factory accepts them by name (epsilon reaches both the deterministic
-        # router and the rebuild-per-query comparator, so comparisons are
-        # apples to apples); explicit per-query params still win.
         service_defaults: dict[str, Any] = {"epsilon": self.epsilon}
         if self.psi is not None:
             service_defaults["psi"] = self.psi
@@ -690,7 +994,11 @@ class RoutingService:
         for key, value in service_defaults.items():
             if key in accepted:
                 params.setdefault(key, value)
-        return factory(query.graph, **params)
+        return params
+
+    def _make_backend(self, query: RoutingQuery) -> RoutingBackend:
+        factory = backend_factory(query.backend)
+        return factory(query.graph, **self._resolved_backend_params(query))
 
     def _build_runner(
         self, query: RoutingQuery

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
+from repro.kernels import use_numpy
 from repro.sorting.networks import SortingNetwork, batcher_odd_even_network
 
 __all__ = [
@@ -122,11 +123,21 @@ class ComparatorSortEngine:
         load: int,
         exchange_quality: int = 1,
     ) -> ExpanderSortResult:
-        """Run the merge-split simulation and return the sorted placement."""
+        """Run the merge-split simulation and return the sorted placement.
+
+        Dispatches to the batched layer-at-a-time kernel unless
+        ``REPRO_KERNEL=reference``; placements are identical either way.
+        """
         vertices = list(vertex_order)
         if not vertices:
             return ExpanderSortResult(SortPlacement(), 0, 0, 0)
         network = self.network_factory(len(vertices))
+        if use_numpy():
+            from repro.kernels.sortnet import comparator_sort_numpy
+
+            return comparator_sort_numpy(
+                vertices, items_at, load, exchange_quality, network
+            )
 
         def sort_key(item: SortItem) -> tuple:
             return (_comparable_key(item.key), repr(item.tag))

@@ -1,0 +1,345 @@
+"""Equivalence of the numpy kernels and the reference implementations.
+
+The contract of ``repro.kernels`` is that ``REPRO_KERNEL=numpy`` changes wall
+clock only: every schedule, cut estimate, sort placement, dispersion, and —
+end to end — every backend :class:`RouteResult` is *identical* to the
+reference dict-and-loop implementations.  These tests assert that identity
+property-based over random expanders and workloads from :mod:`repro.workloads`.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import get_backend
+from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
+from repro.cutmatching.potential import WalkState, walk_matrix
+from repro.graphs.cluster import build_cluster_graph, natural_fractional_matching
+from repro.graphs.conductance import (
+    estimate_conductance,
+    exact_conductance,
+    exact_sparsity,
+    sweep_cut,
+)
+from repro.graphs.generators import random_regular_expander
+from repro.kernels import KERNELS, active_kernel, kernel, set_kernel, use_numpy
+from repro.sorting.expander_sort import SortItem, expander_sort, is_globally_sorted
+from repro.workloads import (
+    hotspot_workload,
+    multi_token_workload,
+    permutation_workload,
+)
+
+settings.register_profile(
+    "kernels", deadline=None, max_examples=20, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("kernels")
+
+
+# -- selection API ------------------------------------------------------------------------
+
+
+def test_kernel_selection_api(monkeypatch):
+    assert active_kernel() in KERNELS
+    with kernel("reference"):
+        assert not use_numpy()
+        with kernel("numpy"):
+            assert use_numpy()
+        assert not use_numpy()
+    monkeypatch.setenv("REPRO_KERNEL", "reference")
+    assert active_kernel() == "reference"
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    assert active_kernel() == "numpy"
+    monkeypatch.setenv("REPRO_KERNEL", "not-a-kernel")
+    with pytest.raises(ValueError):
+        active_kernel()
+    with pytest.raises(ValueError):
+        set_kernel("not-a-kernel")
+
+
+# -- scheduler ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=8, max_value=40),
+    st.integers(min_value=1, max_value=3),
+)
+def test_scheduler_kernel_equivalent_on_expander_paths(seed, n, tokens_per_vertex):
+    n += n % 2  # random_regular_expander needs even n * degree
+    graph = random_regular_expander(n, degree=4, seed=seed % 97)
+    nodes = sorted(graph.nodes())
+    rng = np.random.default_rng(seed)
+    tokens = []
+    for index in range(tokens_per_vertex * n):
+        source = nodes[int(rng.integers(0, n))]
+        destination = nodes[int(rng.integers(0, n))]
+        tokens.append(
+            ScheduledToken(
+                token_id=index, path=tuple(nx.shortest_path(graph, source, destination))
+            )
+        )
+    with kernel("reference"):
+        reference = schedule_tokens_along_paths(tokens)
+    with kernel("numpy"):
+        vectorized = schedule_tokens_along_paths(tokens)
+    assert reference.rounds == vectorized.rounds
+    assert reference.congestion == vectorized.congestion
+    assert reference.dilation == vectorized.dilation
+    assert reference.arrival_round == vectorized.arrival_round
+
+
+def test_scheduler_kernel_equivalent_on_huge_sparse_vertex_ids():
+    """Wide integer labels must intern instead of overflowing the edge codes."""
+    a, b, c, d = 2**31, 2**31 + 5, 0, 2**33 - 1
+    tokens = [
+        ScheduledToken(token_id=0, path=(a, b)),
+        ScheduledToken(token_id=1, path=(c, b, d)),
+    ]
+    with kernel("reference"):
+        reference = schedule_tokens_along_paths(tokens)
+    with kernel("numpy"):
+        vectorized = schedule_tokens_along_paths(tokens)
+    assert reference.rounds == vectorized.rounds
+    assert reference.congestion == vectorized.congestion
+    assert reference.arrival_round == vectorized.arrival_round
+
+
+def test_scheduler_kernel_equivalent_on_float_vertices():
+    """Float labels must intern, not truncate to aliased integer codes."""
+    tokens = [
+        ScheduledToken(token_id=0, path=(0.25, 0.75)),
+        ScheduledToken(token_id=1, path=(0.1, 0.9)),
+    ]
+    with kernel("reference"):
+        reference = schedule_tokens_along_paths(tokens)
+    with kernel("numpy"):
+        vectorized = schedule_tokens_along_paths(tokens)
+    assert reference.rounds == vectorized.rounds
+    assert reference.congestion == vectorized.congestion
+    assert reference.arrival_round == vectorized.arrival_round
+
+
+def test_scheduler_kernel_equivalent_on_non_integer_vertices():
+    tokens = [
+        ScheduledToken(token_id=i, path=tuple(f"v{j}" for j in range(i % 5 + 1)))
+        for i in range(24)
+    ]
+    with kernel("reference"):
+        reference = schedule_tokens_along_paths(tokens)
+    with kernel("numpy"):
+        vectorized = schedule_tokens_along_paths(tokens)
+    assert reference.arrival_round == vectorized.arrival_round
+    assert reference.rounds == vectorized.rounds
+
+
+# -- conductance -------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=10_000))
+def test_exact_cut_measures_kernel_equivalent(n, seed):
+    graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+    with kernel("reference"):
+        phi_reference = exact_conductance(graph)
+        psi_reference = exact_sparsity(graph)
+    with kernel("numpy"):
+        phi_vectorized = exact_conductance(graph)
+        psi_vectorized = exact_sparsity(graph)
+    assert phi_reference == phi_vectorized or (
+        math.isinf(phi_reference) and math.isinf(phi_vectorized)
+    )
+    assert psi_reference == psi_vectorized or (
+        math.isinf(psi_reference) and math.isinf(psi_vectorized)
+    )
+
+
+@given(st.integers(min_value=0, max_value=50), st.sampled_from([16, 24, 40, 64]))
+def test_sweep_cut_kernel_equivalent(seed, n):
+    graph = random_regular_expander(n, degree=4, seed=seed)
+    with kernel("reference"):
+        reference = sweep_cut(graph)
+        estimate_reference = estimate_conductance(graph)
+    with kernel("numpy"):
+        vectorized = sweep_cut(graph)
+        estimate_vectorized = estimate_conductance(graph)
+    assert reference == vectorized
+    assert estimate_reference == estimate_vectorized
+
+
+# -- walk matrices -----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=6))
+def test_walk_matrix_kernel_bit_identical(seed, parts):
+    n = parts * 8
+    graph = random_regular_expander(n, degree=4, seed=seed % 31)
+    nodes = sorted(graph.nodes())
+    partition = [nodes[i::parts] for i in range(parts)]
+    cluster = build_cluster_graph(graph, partition)
+    rng = np.random.default_rng(seed)
+    indices = list(range(parts))
+    rng.shuffle(indices)
+    pairs = list(zip(indices[::2], indices[1::2]))
+    matching = natural_fractional_matching(
+        cluster, [(partition[i][0], partition[j][0]) for i, j in pairs]
+    )
+    from repro.kernels.matrixops import walk_matrix_numpy
+
+    with kernel("reference"):
+        reference = walk_matrix(parts, matching)
+        state_reference = WalkState(parts)
+        potential_reference = state_reference.apply(matching)
+    with kernel("numpy"):
+        # walk_matrix() gates the kernel by size, so exercise it directly too.
+        vectorized = walk_matrix_numpy(parts, matching)
+        dispatched = walk_matrix(parts, matching)
+        state_vectorized = WalkState(parts)
+        potential_vectorized = state_vectorized.apply(matching)
+    assert np.array_equal(reference, vectorized)
+    assert np.array_equal(reference, dispatched)
+    assert potential_reference == potential_vectorized
+
+
+def test_walk_matrix_dispatch_above_size_gate():
+    size = 64
+    matching = {(i, i + size // 2): 0.5 for i in range(size // 2)}
+    with kernel("reference"):
+        reference = walk_matrix(size, matching)
+    with kernel("numpy"):
+        vectorized = walk_matrix(size, matching)
+    assert np.array_equal(reference, vectorized)
+
+
+def test_walk_matrix_kernel_rejects_bad_matchings():
+    from repro.kernels.matrixops import walk_matrix_numpy
+
+    for build in (
+        walk_matrix,  # small sizes dispatch to the reference loop
+        walk_matrix_numpy,
+    ):
+        with pytest.raises(ValueError):
+            build(3, {(0, 7): 0.5})
+        with pytest.raises(ValueError):
+            build(2, {(0, 1): -0.5})
+        with pytest.raises(ValueError):
+            build(2, {(0, 1): 1.5})  # degree > 1
+
+
+# -- comparator sort ---------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_comparator_sort_kernel_identical_placements(vertex_count, load, data):
+    vertices = list(range(vertex_count))
+    items_at = {}
+    for vertex in vertices:
+        count = data.draw(st.integers(min_value=0, max_value=load))
+        items_at[vertex] = [
+            SortItem(
+                key=data.draw(st.integers(min_value=0, max_value=5)),
+                tag=data.draw(st.integers(min_value=0, max_value=3)),
+                value=(vertex, slot),
+            )
+            for slot in range(count)
+        ]
+    with kernel("reference"):
+        reference = expander_sort(
+            vertices, {v: list(items) for v, items in items_at.items()}, load,
+            engine="comparator",
+        )
+    with kernel("numpy"):
+        vectorized = expander_sort(
+            vertices, {v: list(items) for v, items in items_at.items()}, load,
+            engine="comparator",
+        )
+    assert reference.rounds == vectorized.rounds
+    assert reference.network_depth == vectorized.network_depth
+    assert reference.max_load == vectorized.max_load
+    assert reference.comparator_exchanges == vectorized.comparator_exchanges
+    for vertex in vertices:
+        left = [(i.key, i.tag, i.value) for i in reference.placement.items_at.get(vertex, [])]
+        right = [(i.key, i.tag, i.value) for i in vectorized.placement.items_at.get(vertex, [])]
+        assert left == right
+    assert is_globally_sorted(vectorized.placement, vertices)
+
+
+# -- end to end: backend RouteResults -----------------------------------------------------
+
+
+def _route_under(kernel_name, graph, workload, backend_name, **params):
+    """Build the backend and route the workload entirely under one kernel."""
+    with kernel(kernel_name):
+        backend = get_backend(backend_name, graph, **params)
+        info = backend.preprocess()
+        result = backend.route(list(workload.requests), load=workload.load)
+    return info, result
+
+
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.sampled_from([24, 32]),
+    st.integers(min_value=0, max_value=20),
+    st.sampled_from(["permutation", "hotspot", "multi-token"]),
+)
+def test_deterministic_backend_route_results_kernel_identical(n, seed, shape):
+    graph = random_regular_expander(n, degree=6, seed=seed)
+    if shape == "permutation":
+        workload = permutation_workload(graph, shift=seed % (n - 1) + 1)
+    elif shape == "hotspot":
+        workload = hotspot_workload(graph, load=2, seed=seed)
+    else:
+        workload = multi_token_workload(graph, load=2)
+    info_reference, reference = _route_under(
+        "reference", graph, workload, "deterministic", epsilon=0.5
+    )
+    info_vectorized, vectorized = _route_under(
+        "numpy", graph, workload, "deterministic", epsilon=0.5
+    )
+    # Preprocessing (hierarchy, shufflers, round accounting) must agree...
+    assert info_reference.rounds == info_vectorized.rounds
+    # ...and so must the full normalized route result.
+    assert reference.delivered == vectorized.delivered
+    assert reference.total_tokens == vectorized.total_tokens
+    assert reference.query_rounds == vectorized.query_rounds
+    assert reference.preprocess_rounds == vectorized.preprocess_rounds
+    assert reference.load == vectorized.load
+    assert reference.all_delivered and vectorized.all_delivered
+    # Token-level identity: every token ends on the same vertex via the same trace.
+    for left, right in zip(reference.tokens, vectorized.tokens):
+        assert left.token_id == right.token_id
+        assert left.current_vertex == right.current_vertex
+        assert left.trace == right.trace
+
+
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=20), st.sampled_from(["direct", "randomized-gks"]))
+def test_baseline_backend_route_results_kernel_identical(seed, backend_name):
+    graph = random_regular_expander(24, degree=6, seed=seed)
+    workload = permutation_workload(graph, shift=seed % 23 + 1)
+    info_reference, reference = _route_under("reference", graph, workload, backend_name)
+    info_vectorized, vectorized = _route_under("numpy", graph, workload, backend_name)
+    assert info_reference.rounds == info_vectorized.rounds
+    assert reference.delivered == vectorized.delivered
+    assert reference.query_rounds == vectorized.query_rounds
+    assert reference.preprocess_rounds == vectorized.preprocess_rounds
+
+
+def test_route_on_shared_preprocessed_router_is_kernel_independent(preprocessed_router):
+    """Swapping the kernel *after* preprocessing must not change query results."""
+    graph = preprocessed_router.graph
+    requests = permutation_workload(graph, shift=5).requests
+    with kernel("reference"):
+        reference = preprocessed_router.route(list(requests))
+    with kernel("numpy"):
+        vectorized = preprocessed_router.route(list(requests))
+    assert reference.query_rounds == vectorized.query_rounds
+    assert reference.delivered == vectorized.delivered
+    assert reference.breakdown == vectorized.breakdown
