@@ -31,10 +31,11 @@ from repro.backends import (
 )
 from repro.core.router import ExpanderRouter, PreprocessArtifact, RoutingOutcome
 from repro.core.tokens import RoutingRequest, Token
+from repro.planner import CostModel, ExecutionPlan, QueryPlanner
 from repro.service import ArtifactCache, BatchReport, ComparisonReport, RoutingService
 from repro.workloads import Workload, available_workloads, make_workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ExpanderRouter",
@@ -48,6 +49,9 @@ __all__ = [
     "RoutingService",
     "RouteResult",
     "RoutingBackend",
+    "CostModel",
+    "ExecutionPlan",
+    "QueryPlanner",
     "available_backends",
     "get_backend",
     "Workload",

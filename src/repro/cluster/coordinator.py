@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
 import networkx as nx
@@ -40,8 +40,10 @@ from repro.cluster.ring import ConsistentHashRing, RebalanceStats
 from repro.cluster.worker import ShardQuery, ShardWorker
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
+from repro.kernels import active_kernel
 from repro.metrics import MetricsRegistry, default_registry
 from repro.metrics import quantile as _quantile
+from repro.planner import ExecutionPlan, QueryPlanner
 from repro.service.cache import ArtifactCache
 from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
 from repro.workloads import Workload
@@ -95,6 +97,25 @@ class ClusterReport:
         return all(r.all_delivered for r in self.shard_reports.values())
 
     @property
+    def plan_counts(self) -> dict[str, int]:
+        """How many queries each full plan id served this cycle (sorted)."""
+        counts: dict[str, int] = {}
+        for report in self.shard_reports.values():
+            for result in report.results:
+                key = result.plan_id or "(no plan)"
+                counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def backend_counts(self) -> dict[str, int]:
+        """How many queries each backend served this cycle (sorted)."""
+        counts: dict[str, int] = {}
+        for report in self.shard_reports.values():
+            for result in report.results:
+                counts[result.backend] = counts.get(result.backend, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
     def query_seconds(self) -> list[float]:
         """Every query's routing latency, grouped by shard id order."""
         seconds: list[float] = []
@@ -120,6 +141,9 @@ class ClusterReport:
                 "total_query_rounds": report.total_query_rounds,
                 "preprocess_rounds_incurred": report.preprocess_rounds_incurred,
                 "preprocess_rounds_reused": report.preprocess_rounds_reused,
+                # Semantic plan identities only: stable across kernels and
+                # pool modes, like BatchReport.signature().
+                "plans": sorted({res.plan_semantic_id for res in report.results}),
             }
             for shard_id, report in sorted(self.shard_reports.items())
         }
@@ -145,6 +169,7 @@ class ClusterReport:
         return {
             "shards": len(self.shard_reports),
             "queries": self.query_count,
+            "distinct_plans": len(self.plan_counts),
             "cache_hit_rate": self.cache_hit_rate,
             "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
             "preprocess_rounds_reused": self.preprocess_rounds_reused,
@@ -176,9 +201,21 @@ class ClusterCoordinator:
         queue_capacity: per-shard admission queue bound (``None`` =
             unbounded).
         admission_policy: ``"reject"`` or ``"shed-oldest"``.
-        shard_max_workers: fan-out width inside each shard's service.
-        shard_parallelism: execution mode of every shard's service
-            (``"threads"`` or ``"processes"``; see :class:`RoutingService`).
+        default_plan: the cluster's execution defaults as **one**
+            :class:`~repro.planner.ExecutionPlan` — pool mode and width for
+            every shard service, and the template fixed submissions execute
+            under.  This replaces the old per-argument
+            ``shard_max_workers`` / ``shard_parallelism`` plumbing (both are
+            kept as shims that synthesize this plan).
+        policy: central planning policy — ``"fixed"`` (default) executes the
+            default plan / explicit kwargs, ``"cost"`` / ``"adaptive"``
+            attach a :class:`~repro.planner.QueryPlanner` whose cost model
+            is shared cluster-wide (every shard's observed timings calibrate
+            the same model).
+        planner: inject a preconfigured planner instead (wins over
+            ``policy``).
+        shard_max_workers: legacy shim for ``default_plan.max_workers``.
+        shard_parallelism: legacy shim for ``default_plan.parallelism``.
         metrics: shared registry (default: the process-wide one).
 
     Shard services keep long-lived worker pools; :meth:`close` (or using the
@@ -195,6 +232,9 @@ class ClusterCoordinator:
         cache_capacity: int = 8,
         queue_capacity: int | None = None,
         admission_policy: str = "reject",
+        default_plan: ExecutionPlan | None = None,
+        policy: str | None = None,
+        planner: QueryPlanner | None = None,
         shard_max_workers: int | None = None,
         shard_parallelism: str = "threads",
         metrics: MetricsRegistry | None = None,
@@ -205,9 +245,27 @@ class ClusterCoordinator:
         self.psi = psi
         self.hierarchy_params = hierarchy_params
         self.cache_capacity = cache_capacity
-        self.shard_max_workers = shard_max_workers
-        self.shard_parallelism = shard_parallelism
         self.metrics = metrics if metrics is not None else default_registry()
+        if default_plan is None:
+            # The legacy kwargs collapse into the one shared plan object.
+            default_plan = ExecutionPlan(
+                backend=DEFAULT_BACKEND,
+                kernel=active_kernel(),
+                parallelism=shard_parallelism,
+                max_workers=shard_max_workers,
+                policy="fixed",
+                reason="cluster execution defaults",
+            )
+        self.default_plan = default_plan
+        if planner is None and policy is not None and policy != "fixed":
+            planner = QueryPlanner(
+                policy=policy,
+                epsilon=epsilon,
+                parallelism=default_plan.parallelism,
+                max_workers=default_plan.max_workers,
+                metrics=self.metrics,
+            )
+        self.planner = planner
         self.ring = ConsistentHashRing(vnodes=vnodes)
         self.admission = AdmissionController(
             capacity=queue_capacity, policy=admission_policy, metrics=self.metrics
@@ -261,8 +319,8 @@ class ClusterCoordinator:
             psi=self.psi,
             hierarchy_params=self.hierarchy_params,
             cache_capacity=self.cache_capacity,
-            max_workers=self.shard_max_workers,
-            parallelism=self.shard_parallelism,
+            default_plan=self.default_plan,
+            planner=self.planner,
             metrics=self.metrics,
         )
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
@@ -286,13 +344,28 @@ class ClusterCoordinator:
         self.workers.pop(shard_id).close()
         by_owner: dict[str, list[ShardQuery]] = {}
         for item in stranded:
-            by_owner.setdefault(self.ring.assign(item.fingerprint), []).append(item)
+            owner = self.ring.assign(item.fingerprint)
+            if item.plan is not None and item.plan.shard_hint != owner:
+                item = replace(item, plan=item.plan.with_shard(owner))
+            by_owner.setdefault(owner, []).append(item)
         for owner, items in by_owner.items():
             self.admission.requeue(owner, items)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         return RebalanceStats(
             total=len(seen), moved=moved, expected_fraction=1.0 / (len(self.ring) + 1)
         )
+
+    # -- compat shims ----------------------------------------------------------
+
+    @property
+    def shard_parallelism(self) -> str:
+        """Legacy view of :attr:`default_plan`'s execution mode."""
+        return self.default_plan.parallelism
+
+    @property
+    def shard_max_workers(self) -> int | None:
+        """Legacy view of :attr:`default_plan`'s pool width."""
+        return self.default_plan.max_workers
 
     # -- submission -----------------------------------------------------------
 
@@ -305,32 +378,123 @@ class ClusterCoordinator:
         """The placement (and cache) key for ``graph`` under ``backend``."""
         return self._keyer.fingerprint(graph, backend=backend, backend_params=backend_params)
 
-    def submit(
+    def plan(
         self,
         graph: nx.Graph,
         requests: Sequence[RoutingRequest] | Workload,
         load: int | None = None,
-        backend: str = DEFAULT_BACKEND,
+        backend: str | None = None,
         backend_params: Mapping[str, Any] | None = None,
         workload: str = "",
-    ) -> AdmissionDecision:
-        """Fingerprint, place, and offer one query; returns the admission outcome."""
+    ) -> ExecutionPlan:
+        """The execution plan one submission would ship (placement hint unset).
+
+        Central planning: with a planner attached the policy decides (an
+        explicitly named backend still pins a fixed plan); otherwise the
+        cluster's :attr:`default_plan` is specialised with the caller's
+        backend kwargs.
+        """
         if isinstance(requests, Workload):
             workload = requests.name
             if load is None:
                 load = requests.load
             requests = requests.requests
-        fingerprint = self.fingerprint(graph, backend=backend, backend_params=backend_params)
+        if self.planner is not None:
+            return self.planner.plan(
+                self._keyer.graph_key(graph),
+                graph.number_of_nodes(),
+                request_count=len(requests),
+                load=load,
+                workload=workload,
+                backend=backend,
+                backend_params=backend_params,
+            )
+        if backend is None and backend_params is None:
+            # The template verbatim — including its configured backend_params.
+            return replace(self.default_plan, reason="cluster default plan")
+        if backend is None:
+            # Params override on the default backend; the template's own
+            # params still back-fill anything the caller left unset.
+            params = {**dict(self.default_plan.backend_params), **dict(backend_params)}
+            return replace(
+                self.default_plan,
+                backend_params=params,
+                reason="cluster default plan with caller params",
+            )
+        # A pinned backend never inherits the template's params — they are
+        # specific to the template's backend.
+        return replace(
+            self.default_plan,
+            backend=backend,
+            backend_params=dict(backend_params or {}),
+            reason=f"caller pinned backend={backend}",
+        )
+
+    def explain(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest] | Workload,
+        load: int | None = None,
+        backend: str | None = None,
+        backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
+    ):
+        """The planner's EXPLAIN report for this submission (needs a planner)."""
+        if self.planner is None:
+            raise RuntimeError("explain() requires a cluster planner (policy=...)")
+        if isinstance(requests, Workload):
+            workload = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        return self.planner.explain(
+            self._keyer.graph_key(graph),
+            graph.number_of_nodes(),
+            request_count=len(requests),
+            load=load,
+            workload=workload,
+            backend=backend,
+            backend_params=backend_params,
+        )
+
+    def submit(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest] | Workload,
+        load: int | None = None,
+        backend: str | None = None,
+        backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
+    ) -> AdmissionDecision:
+        """Plan, fingerprint, place, and offer one query; returns the admission outcome."""
+        if isinstance(requests, Workload):
+            workload = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        requests = tuple(requests)
+        plan = self.plan(
+            graph,
+            requests,
+            load=load,
+            backend=backend,
+            backend_params=backend_params,
+            workload=workload,
+        )
+        fingerprint = self.fingerprint(
+            graph, backend=plan.backend, backend_params=plan.backend_params
+        )
         self._seen_fingerprints.add(fingerprint)
         shard_id = self.ring.assign(fingerprint)
         item = ShardQuery(
             fingerprint=fingerprint,
             graph=graph,
-            requests=tuple(requests),
+            requests=requests,
             load=load,
-            backend=backend,
-            backend_params=dict(backend_params or {}),
+            backend=plan.backend,
+            backend_params=dict(plan.backend_params),
             workload=workload,
+            plan=plan.with_shard(shard_id),
         )
         return self.admission.offer(shard_id, item)
 
@@ -366,7 +530,7 @@ class ClusterCoordinator:
         self,
         graph: nx.Graph,
         workloads: Sequence[Workload | Sequence[RoutingRequest]],
-        backend: str = DEFAULT_BACKEND,
+        backend: str | None = None,
         backend_params: Mapping[str, Any] | None = None,
     ) -> ClusterReport:
         """Submit every workload and dispatch once (drops are reflected in the report)."""

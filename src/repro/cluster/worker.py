@@ -10,6 +10,13 @@ the artifact working set.  That is what makes the cluster scale — adding
 shards multiplies effective cache capacity without any cross-shard
 coordination (measured by ``benchmarks/bench_cluster.py``).
 
+Execution knobs arrive as **one** :class:`~repro.planner.ExecutionPlan`: the
+coordinator plans centrally (policy + cost model) and ships the plan inside
+each :class:`ShardQuery`, and the worker's service shape (pool mode, width)
+comes from a single default plan instead of the ``shard_parallelism`` /
+``shard_max_workers`` pass-through pairs the pre-planner cluster re-forwarded
+argument by argument.
+
 :class:`ShardQuery` is the coordinator→worker wire format: a fingerprinted,
 normalised routing instance that any shard could serve (the fingerprint is
 computed once by the coordinator and must agree with the worker's own — both
@@ -26,6 +33,7 @@ import networkx as nx
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
 from repro.metrics import MetricsRegistry, default_registry
+from repro.planner import ExecutionPlan, QueryPlanner
 from repro.service.cache import ArtifactCache
 from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
 
@@ -41,9 +49,13 @@ class ShardQuery:
         graph: the graph to route on.
         requests: the normalised request tuple.
         load: explicit load bound (``None`` = infer).
-        backend: registry name of the routing backend.
+        backend: registry name of the routing backend (mirrors
+            ``plan.backend`` when a plan is attached).
         backend_params: extra backend factory parameters.
         workload: workload-shape label, for reporting.
+        plan: the :class:`~repro.planner.ExecutionPlan` the coordinator chose
+            (its ``shard_hint`` records the placement); the shard's service
+            executes it verbatim.
     """
 
     fingerprint: str
@@ -53,6 +65,7 @@ class ShardQuery:
     backend: str = DEFAULT_BACKEND
     backend_params: Mapping[str, Any] = field(default_factory=dict)
     workload: str = ""
+    plan: ExecutionPlan | None = None
 
 
 class ShardWorker:
@@ -65,16 +78,19 @@ class ShardWorker:
         cache_capacity: in-memory artifact slots for *this shard's* partition
             of the working set.
         disk_dir / disk_capacity: optional per-shard disk tier.
-        max_workers: the shard service's fan-out width per batch.
-        parallelism: the shard service's execution mode (``"threads"`` or
-            ``"processes"``); process mode gives each shard a long-lived
-            worker-process pool that routes on real cores.
+        default_plan: the execution defaults this shard's service takes its
+            pool shape from (``parallelism``, ``max_workers``); per-query
+            plans shipped in :class:`ShardQuery` override it query by query.
+        planner: the cluster's shared :class:`~repro.planner.QueryPlanner`
+            (if any) — attaching it feeds the shard's observed timings back
+            into the shared cost model, which is what makes the cluster-wide
+            ``adaptive`` policy converge.
         metrics: the registry shared across the cluster (per-shard series are
             labeled ``shard=<shard_id>``).
         service: inject a preconfigured service instead (tests).
 
-    The shard's service keeps one long-lived executor; :meth:`close` releases
-    it (the coordinator closes every shard it owns).
+    The shard's service keeps long-lived executors; :meth:`close` releases
+    them (the coordinator closes every shard it owns).
     """
 
     def __init__(
@@ -86,12 +102,13 @@ class ShardWorker:
         cache_capacity: int = 8,
         disk_dir: str | None = None,
         disk_capacity: int | None = None,
-        max_workers: int | None = None,
-        parallelism: str = "threads",
+        default_plan: ExecutionPlan | None = None,
+        planner: QueryPlanner | None = None,
         metrics: MetricsRegistry | None = None,
         service: RoutingService | None = None,
     ) -> None:
         self.shard_id = shard_id
+        self.default_plan = default_plan
         self.metrics = metrics if metrics is not None else default_registry()
         if service is None:
             cache = ArtifactCache(
@@ -105,8 +122,9 @@ class ShardWorker:
                 psi=psi,
                 hierarchy_params=hierarchy_params,
                 cache=cache,
-                max_workers=max_workers,
-                parallelism=parallelism,
+                max_workers=default_plan.max_workers if default_plan else None,
+                parallelism=default_plan.parallelism if default_plan else "threads",
+                planner=planner,
                 metrics=self.metrics,
             )
         self.service = service
@@ -126,9 +144,10 @@ class ShardWorker:
                 item.graph,
                 item.requests,
                 load=item.load,
-                backend=item.backend,
-                backend_params=item.backend_params,
+                backend=item.backend if item.plan is None else None,
+                backend_params=item.backend_params if item.plan is None else None,
                 workload=item.workload,
+                plan=item.plan,
             )
         report = self.service.route_batch()
         self.batches_served += 1
@@ -139,7 +158,7 @@ class ShardWorker:
         return report
 
     def close(self) -> None:
-        """Release the shard service's worker pool (idempotent)."""
+        """Release the shard service's worker pools (idempotent)."""
         self.service.close()
 
     @property

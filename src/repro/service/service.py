@@ -28,6 +28,15 @@ routing.
    :class:`ComparisonReport`, both rendered through
    :mod:`repro.analysis.reporting`.
 
+Since PR 5 every query executes through an
+:class:`~repro.planner.ExecutionPlan` — one object owning the backend,
+backend parameters, kernel, parallelism, and chunking decision.  Callers may
+pass a plan explicitly, attach a :class:`~repro.planner.QueryPlanner`
+(``policy="cost"`` / ``"adaptive"``) and let the cost model choose, or keep
+using the legacy kwargs, which the service turns into ``fixed`` plans with
+identical behaviour.  Observed per-query and per-preprocess timings flow back
+into the planner's cost model, which is how the adaptive policy converges.
+
 Queries are pure with respect to the shared backend state — routing mutates
 only its own tokens and per-query ledgers — so concurrent queries on one
 backend are safe.
@@ -42,6 +51,7 @@ import shutil
 import tempfile
 import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,8 +72,10 @@ from repro.backends.base import (
 from repro.core.router import PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
+from repro.kernels import active_kernel
 from repro.metrics import MetricsRegistry, default_registry
 from repro.metrics import quantile as _quantile
+from repro.planner import ExecutionPlan, QueryPlanner
 from repro.service.cache import ArtifactCache
 from repro.service.fingerprint import graph_fingerprint, graph_payload
 from repro.service.pool import (
@@ -104,10 +116,15 @@ class RoutingQuery:
         graph: the graph to route on.
         requests: the Task 1 requests of this query.
         load: explicit load parameter ``L`` (``None`` = infer per query).
-        backend: registry name of the routing backend to use.
-        backend_params: extra parameters for the backend factory.
+        backend: registry name of the routing backend to use (mirrors
+            ``plan.backend`` when a plan is attached).
+        backend_params: extra parameters for the backend factory (mirrors
+            ``plan.backend_params``).
         workload: name of the workload shape the requests came from (reporting
             only; ``""`` for ad-hoc request lists).
+        plan: the :class:`~repro.planner.ExecutionPlan` this query executes
+            under (the service always attaches one at submit time; ``None``
+            only for hand-built queries, which route as fixed plans).
     """
 
     query_id: int
@@ -118,6 +135,7 @@ class RoutingQuery:
     backend: str = DEFAULT_BACKEND
     backend_params: Mapping[str, Any] = field(default_factory=dict)
     workload: str = ""
+    plan: ExecutionPlan | None = None
 
 
 @dataclass
@@ -134,6 +152,8 @@ class QueryResult:
         cache_hit: True when the backend's artifact existed before this batch.
         seconds: wall-clock spent routing this query (excludes preprocessing).
         workload: workload-shape label carried over from the query.
+        plan: the :class:`~repro.planner.ExecutionPlan` the query executed
+            under.
     """
 
     query_id: int
@@ -143,12 +163,24 @@ class QueryResult:
     cache_hit: bool
     seconds: float
     workload: str = ""
+    plan: ExecutionPlan | None = None
+
+    @property
+    def plan_id(self) -> str:
+        """Full plan identity (``""`` for plan-less hand-built queries)."""
+        return self.plan.plan_id if self.plan is not None else ""
+
+    @property
+    def plan_semantic_id(self) -> str:
+        """Result-affecting plan identity (stable across execution modes)."""
+        return self.plan.semantic_id if self.plan is not None else ""
 
     def as_row(self) -> dict[str, object]:
         return {
             "query": self.query_id,
             "graph": self.fingerprint[:10],
             "backend": self.backend,
+            "plan": self.plan_id[:8],
             "tokens": self.outcome.total_tokens,
             "delivered": self.outcome.delivered,
             "load": self.outcome.load,
@@ -259,7 +291,10 @@ class BatchReport:
         Covers every count and round total but no wall-clock, so two batches
         over the same submissions agree byte for byte regardless of timing —
         and regardless of whether they were routed by the thread pool or the
-        process pool (the determinism tests compare exactly this).
+        process pool (the determinism tests compare exactly this).  Plan
+        identity is recorded as the *semantic* id (backend + parameters
+        only), which is invariant across kernels, pool modes, and chunking
+        of the same plan.
         """
         payload = {
             "queries": [
@@ -267,6 +302,7 @@ class BatchReport:
                     "query_id": result.query_id,
                     "fingerprint": result.fingerprint,
                     "backend": result.backend,
+                    "plan": result.plan_semantic_id,
                     "workload": result.workload,
                     "cache_hit": result.cache_hit,
                     "delivered": result.outcome.delivered,
@@ -407,23 +443,35 @@ class RoutingService:
         cache: the artifact cache to use (fresh default-sized
             :class:`ArtifactCache` when omitted).
         max_workers: worker pool size (``None`` = executor default).
-        parallelism: ``"threads"`` (default) fans queries out over a thread
-            pool — concurrency without parallel compute, the GIL applies —
-            while ``"processes"`` ships preprocessing and routing to worker
+        parallelism: the *default* execution mode for fixed plans —
+            ``"threads"`` (default) fans queries out over a thread pool —
+            concurrency without parallel compute, the GIL applies — while
+            ``"processes"`` ships preprocessing and routing to worker
             processes (artifacts spilled to disk once, loaded at most once
             per worker; see :mod:`repro.service.pool`).  Results are
-            byte-identical either way (:meth:`BatchReport.signature`).
+            byte-identical either way (:meth:`BatchReport.signature`).  A
+            query's :class:`~repro.planner.ExecutionPlan` may override the
+            mode per batch slice; the service keeps one lazy long-lived pool
+            per mode it actually uses.
         executor_factory: alternative ``concurrent.futures`` executor factory
             taking ``max_workers``; defaults to :class:`ThreadPoolExecutor`
-            (``parallelism="threads"`` only).
+            (thread-mode slices only).
         metrics: registry the service records ``repro_service_*`` metrics
             into (default: the process-wide :func:`default_registry`).  A
             default-constructed cache inherits the same registry.
+        planner: a :class:`~repro.planner.QueryPlanner` that chooses plans
+            for queries submitted without an explicit backend; observed
+            timings are recorded back into its cost model.
+        policy: convenience — build a planner with this policy (``"fixed"``,
+            ``"cost"``, or ``"adaptive"``) inheriting the service's epsilon,
+            parallelism, worker count, and metrics.  Ignored when ``planner``
+            is given.
 
-    The executor is created lazily on the first batch and reused across
-    batches for the life of the service (one pool per service instance, not
-    one per batch); call :meth:`close` — or use the service as a context
-    manager — to release it and the artifact spill directory.
+    Executors are created lazily on the first batch that needs their mode and
+    reused across batches for the life of the service (one pool per mode per
+    service instance, not one per batch); call :meth:`close` — or use the
+    service as a context manager — to release them and the artifact spill
+    directory.
     """
 
     def __init__(
@@ -436,6 +484,8 @@ class RoutingService:
         parallelism: str = "threads",
         executor_factory: Callable[[int | None], Executor] | None = None,
         metrics: MetricsRegistry | None = None,
+        planner: QueryPlanner | None = None,
+        policy: str | None = None,
     ) -> None:
         if parallelism not in ("threads", "processes"):
             raise ValueError(
@@ -450,6 +500,15 @@ class RoutingService:
         self.metrics = metrics if metrics is not None else default_registry()
         self.cache = cache if cache is not None else ArtifactCache(metrics=self.metrics)
         self.max_workers = max_workers
+        if planner is None and policy is not None:
+            planner = QueryPlanner(
+                policy=policy,
+                epsilon=epsilon,
+                parallelism=parallelism,
+                max_workers=max_workers,
+                metrics=self.metrics,
+            )
+        self.planner = planner
         self._m_queries = self.metrics.counter(
             "repro_service_queries_total", "Queries created by the service.", labels=("backend",)
         )
@@ -491,8 +550,8 @@ class RoutingService:
         self._executor_factory = executor_factory or (
             lambda workers: ThreadPoolExecutor(max_workers=workers)
         )
-        self._pool: Executor | None = None
-        self._pool_finalizer: weakref.finalize | None = None
+        self._pools: dict[str, Executor] = {}
+        self._pool_finalizers: dict[str, weakref.finalize] = {}
         self._spill_dir: Path | None = None
         # Insertion-ordered so the oldest spilled artifacts trim first.
         self._spilled: dict[str, None] = {}
@@ -507,28 +566,58 @@ class RoutingService:
         self._payload_memo: "weakref.WeakKeyDictionary[nx.Graph, str]" = (
             weakref.WeakKeyDictionary()
         )
+        # Full cache keys are also memoized per graph object: hashing the
+        # canonical payload costs tens of microseconds per call at a few
+        # hundred vertices, which dominates sub-millisecond queries (the
+        # planner path hashes twice per submit — planning key + final
+        # fingerprint).  Keyed by (backend, canonical params); the planning
+        # key lives under a reserved empty backend name.
+        self._key_memo: "weakref.WeakKeyDictionary[nx.Graph, dict[tuple, str]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Query-ready runners memoized per fingerprint for the thread path
+        # (the process path has its per-worker equivalent in service/pool.py).
+        # Rebuilding a backend from its artifact every warm batch costs more
+        # than the routing itself for cheap queries; the fingerprint already
+        # guarantees the runner matches the (graph, backend, params) content.
+        # Batch accounting (cache hits, incurred/reused rounds) is computed
+        # from the artifact cache exactly as before — the memo only skips
+        # redundant reconstruction work, never changes what is reported.
+        self._runner_memo: OrderedDict[
+            str, tuple[RoutingBackend, PreprocessInfo | None, PreprocessArtifact | None]
+        ] = OrderedDict()
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_pool(self) -> Executor:
-        """The service's long-lived executor, created on first use."""
+    def _ensure_pool(self, mode: str | None = None) -> Executor:
+        """The service's long-lived executor for ``mode``, created on first use.
+
+        One pool per execution mode the service actually serves (a plan may
+        pick either mode per batch slice); each is created lazily, sized by
+        the *service's* ``max_workers`` (per-query ``plan.max_workers`` is
+        advisory — see :class:`~repro.planner.ExecutionPlan`), and reused
+        for the service's lifetime.
+        """
         if self._closed:
             raise RuntimeError("service is closed")
-        if self._pool is None:
-            if self.parallelism == "processes":
-                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        mode = mode or self.parallelism
+        pool = self._pools.get(mode)
+        if pool is None:
+            if mode == "processes":
+                pool = ProcessPoolExecutor(max_workers=self.max_workers)
             else:
-                self._pool = self._executor_factory(self.max_workers)
+                pool = self._executor_factory(self.max_workers)
+            self._pools[mode] = pool
             # Services dropped without close() (loops over short-lived
             # services) must not strand their executors until process exit.
-            self._pool_finalizer = weakref.finalize(
-                self, _shutdown_executor, self._pool
+            self._pool_finalizers[mode] = weakref.finalize(
+                self, _shutdown_executor, pool
             )
-            self._m_pool_created.labels(kind=self.parallelism).inc()
-            workers = getattr(self._pool, "_max_workers", None)
+            self._m_pool_created.labels(kind=mode).inc()
+            workers = getattr(pool, "_max_workers", None)
             if workers:
                 self._m_pool_workers.set(workers)
-        return self._pool
+        return pool
 
     def _ensure_spill_dir(self) -> Path:
         if self._spill_dir is None:
@@ -577,12 +666,12 @@ class RoutingService:
         if self._closed:
             return
         self._closed = True
-        if self._pool_finalizer is not None:
-            self._pool_finalizer.detach()
-            self._pool_finalizer = None
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        for finalizer in self._pool_finalizers.values():
+            finalizer.detach()
+        self._pool_finalizers.clear()
+        for pool in self._pools.values():
+            pool.shutdown(wait=True)
+        self._pools.clear()
         if self._spill_finalizer is not None:
             self._spill_finalizer()
             self._spill_finalizer = None
@@ -598,6 +687,28 @@ class RoutingService:
 
     # -- submission ----------------------------------------------------------
 
+    def _runner_memo_get(
+        self, fingerprint: str
+    ) -> tuple[RoutingBackend, PreprocessInfo | None, PreprocessArtifact | None] | None:
+        entry = self._runner_memo.get(fingerprint)
+        if entry is not None:
+            self._runner_memo.move_to_end(fingerprint)
+        return entry
+
+    def _runner_memo_put(
+        self,
+        fingerprint: str,
+        runner: RoutingBackend,
+        info: PreprocessInfo | None,
+        artifact: PreprocessArtifact | None,
+    ) -> None:
+        """Retain a query-ready runner (LRU, sized to the artifact cache)."""
+        self._runner_memo[fingerprint] = (runner, info, artifact)
+        self._runner_memo.move_to_end(fingerprint)
+        cap = max(4, getattr(self.cache, "capacity", 4))
+        while len(self._runner_memo) > cap:
+            self._runner_memo.popitem(last=False)
+
     def _graph_payload(self, graph: nx.Graph) -> str:
         payload = self._payload_memo.get(graph)
         if payload is None:
@@ -610,13 +721,8 @@ class RoutingService:
         """How many live graphs have a memoized canonical payload."""
         return len(self._payload_memo)
 
-    def fingerprint(
-        self,
-        graph: nx.Graph,
-        backend: str = DEFAULT_BACKEND,
-        backend_params: Mapping[str, Any] | None = None,
-    ) -> str:
-        """The cache key this service uses for ``graph`` under ``backend``."""
+    def _service_parameters(self) -> dict[str, Hashable]:
+        """The service-level parameters every cache key includes."""
         parameters: dict[str, Hashable] = {"epsilon": self.epsilon}
         if self.psi is not None:
             parameters["psi"] = self.psi
@@ -625,11 +731,115 @@ class RoutingService:
                 (f"hierarchy.{key}", value)
                 for key, value in sorted(vars(self.hierarchy_params).items())
             )
+        return parameters
+
+    def fingerprint(
+        self,
+        graph: nx.Graph,
+        backend: str = DEFAULT_BACKEND,
+        backend_params: Mapping[str, Any] | None = None,
+    ) -> str:
+        """The cache key this service uses for ``graph`` under ``backend``."""
+        canonical = canonical_backend_params(backend_params)
+        memo = self._key_memo.setdefault(graph, {})
+        cached = memo.get(("backend", backend, canonical))
+        if cached is not None:
+            return cached
+        parameters = self._service_parameters()
         parameters["backend"] = backend
-        for key, value in canonical_backend_params(backend_params):
+        for key, value in canonical:
             parameters[f"backend.{key}"] = value
-        return graph_fingerprint(
+        fingerprint = graph_fingerprint(
             graph, parameters, precomputed_graph_payload=self._graph_payload(graph)
+        )
+        memo[("backend", backend, canonical)] = fingerprint
+        return fingerprint
+
+    def graph_key(self, graph: nx.Graph) -> str:
+        """The backend-agnostic planning key (graph + service parameters).
+
+        This is what the planner's plan cache keys on: the backend is the
+        planner's *output*, so the planning key must not depend on it.  The
+        per-backend artifact fingerprint is derived afterwards from the
+        chosen plan.
+        """
+        memo = self._key_memo.setdefault(graph, {})
+        cached = memo.get(("plan",))
+        if cached is not None:
+            return cached
+        key = graph_fingerprint(
+            graph,
+            self._service_parameters(),
+            precomputed_graph_payload=self._graph_payload(graph),
+        )
+        memo[("plan",)] = key
+        return key
+
+    def _plan_for(
+        self,
+        graph: nx.Graph,
+        request_count: int,
+        load: int | None,
+        backend: str | None,
+        backend_params: Mapping[str, Any] | None,
+        workload: str,
+    ) -> ExecutionPlan:
+        """The plan a kwargs-style submission executes under.
+
+        With a planner attached the decision is delegated (an explicitly
+        named backend still pins a ``fixed`` plan); without one, the legacy
+        kwargs are synthesized into a ``fixed`` plan that reproduces the
+        pre-planner behaviour exactly.
+        """
+        if self.planner is not None:
+            return self.planner.plan(
+                self.graph_key(graph),
+                graph.number_of_nodes(),
+                request_count=request_count,
+                load=load,
+                workload=workload,
+                backend=backend,
+                backend_params=backend_params,
+            )
+        return ExecutionPlan(
+            backend=backend if backend is not None else DEFAULT_BACKEND,
+            backend_params=dict(backend_params or {}),
+            kernel=active_kernel(),
+            parallelism=self.parallelism,
+            max_workers=self.max_workers,
+            policy="fixed",
+            reason="synthesized from service kwargs (no planner attached)",
+        )
+
+    def explain(
+        self,
+        graph: nx.Graph,
+        requests: Sequence[RoutingRequest] | Workload,
+        load: int | None = None,
+        backend: str | None = None,
+        backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
+    ):
+        """The planner's EXPLAIN report for this submission, without routing it.
+
+        Requires an attached planner (the fixed-kwargs path has nothing to
+        explain); returns a :class:`~repro.planner.PlanExplanation`.
+        """
+        if self.planner is None:
+            raise RuntimeError("explain() requires a service planner (policy=...)")
+        if isinstance(requests, Workload):
+            workload = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        return self.planner.explain(
+            self.graph_key(graph),
+            graph.number_of_nodes(),
+            request_count=len(requests),
+            load=load,
+            workload=workload,
+            backend=backend,
+            backend_params=backend_params,
         )
 
     def _make_query(
@@ -637,9 +847,10 @@ class RoutingService:
         graph: nx.Graph,
         requests: Sequence[RoutingRequest] | Workload,
         load: int | None,
-        backend: str,
+        backend: str | None,
         backend_params: Mapping[str, Any] | None,
         workload: str = "",
+        plan: ExecutionPlan | None = None,
     ) -> RoutingQuery:
         workload_name = workload
         if isinstance(requests, Workload):
@@ -647,18 +858,26 @@ class RoutingService:
             if load is None:
                 load = requests.load
             requests = requests.requests
+        requests = tuple(requests)
+        if plan is None:
+            plan = self._plan_for(
+                graph, len(requests), load, backend, backend_params, workload_name
+            )
         query = RoutingQuery(
             query_id=self._next_query_id,
-            fingerprint=self.fingerprint(graph, backend=backend, backend_params=backend_params),
+            fingerprint=self.fingerprint(
+                graph, backend=plan.backend, backend_params=plan.backend_params
+            ),
             graph=graph,
-            requests=tuple(requests),
+            requests=requests,
             load=load,
-            backend=backend,
-            backend_params=dict(backend_params or {}),
+            backend=plan.backend,
+            backend_params=dict(plan.backend_params),
             workload=workload_name,
+            plan=plan,
         )
         self._next_query_id += 1
-        self._m_queries.labels(backend=backend).inc()
+        self._m_queries.labels(backend=plan.backend).inc()
         return query
 
     def submit(
@@ -666,9 +885,10 @@ class RoutingService:
         graph: nx.Graph,
         requests: Sequence[RoutingRequest] | Workload,
         load: int | None = None,
-        backend: str = DEFAULT_BACKEND,
+        backend: str | None = None,
         backend_params: Mapping[str, Any] | None = None,
         workload: str = "",
+        plan: ExecutionPlan | None = None,
     ) -> int:
         """Queue one routing query for the next batch; returns its query id.
 
@@ -676,8 +896,15 @@ class RoutingService:
         :class:`~repro.workloads.Workload` (whose declared load bound is used
         when ``load`` is omitted).  ``workload`` labels a plain request
         sequence for reporting (a ``Workload``'s own name wins).
+
+        Execution strategy resolves in precedence order: an explicit ``plan``
+        wins outright; a named ``backend`` pins a fixed plan; otherwise the
+        service's planner (when attached) chooses, falling back to the
+        default backend under the service's own execution defaults.
         """
-        query = self._make_query(graph, requests, load, backend, backend_params, workload=workload)
+        query = self._make_query(
+            graph, requests, load, backend, backend_params, workload=workload, plan=plan
+        )
         self._pending.append(query)
         return query.query_id
 
@@ -709,17 +936,28 @@ class RoutingService:
         self._m_batches.inc()
         batch_start = time.perf_counter()
 
-        by_fingerprint: dict[str, list[RoutingQuery]] = {}
+        report.distinct_graphs = len({query.fingerprint for query in queries})
+
+        # Each plan names its execution mode; slice the batch per mode and
+        # run every slice through that mode's long-lived pool.  Legacy
+        # plan-less queries ride the service's default mode.
+        by_mode: dict[str, list[RoutingQuery]] = {}
         for query in queries:
-            by_fingerprint.setdefault(query.fingerprint, []).append(query)
-        report.distinct_graphs = len(by_fingerprint)
+            mode = query.plan.parallelism if query.plan is not None else self.parallelism
+            by_mode.setdefault(mode, []).append(query)
+        for mode in sorted(by_mode):
+            slice_queries = by_mode[mode]
+            by_fingerprint: dict[str, list[RoutingQuery]] = {}
+            for query in slice_queries:
+                by_fingerprint.setdefault(query.fingerprint, []).append(query)
+            pool = self._ensure_pool(mode)
+            if mode == "processes":
+                self._route_batch_processes(pool, slice_queries, by_fingerprint, report)
+            else:
+                self._route_batch_threads(pool, slice_queries, by_fingerprint, report)
 
-        pool = self._ensure_pool()
-        if self.parallelism == "processes":
-            self._route_batch_processes(pool, queries, by_fingerprint, report)
-        else:
-            self._route_batch_threads(pool, queries, by_fingerprint, report)
-
+        # Submission order, regardless of mode slicing and chunked fan-out.
+        report.results.sort(key=lambda result: result.query_id)
         report.cache_hits = sum(1 for result in report.results if result.cache_hit)
         report.cache_misses = len(report.results) - report.cache_hits
         report.wall_seconds = time.perf_counter() - batch_start
@@ -734,15 +972,17 @@ class RoutingService:
         graph: nx.Graph,
         requests: Sequence[RoutingRequest] | Workload,
         load: int | None = None,
-        backend: str = DEFAULT_BACKEND,
+        backend: str | None = None,
         backend_params: Mapping[str, Any] | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> RouteResult:
         """Route one instance immediately (a batch of one), returning its outcome.
 
         Queries queued via :meth:`submit` are left pending — this routes only
-        the instance passed here.
+        the instance passed here.  Strategy resolution follows
+        :meth:`submit` (explicit plan > named backend > planner > default).
         """
-        query = self._make_query(graph, requests, load, backend, backend_params)
+        query = self._make_query(graph, requests, load, backend, backend_params, plan=plan)
         report = self.route_batch([query])
         return report.results[0].outcome
 
@@ -817,10 +1057,31 @@ class RoutingService:
             cached = (
                 self.cache.get(fingerprint) if supports_artifacts(factory) else None
             )
+            memo = self._runner_memo_get(fingerprint)
             if cached is not None:
-                runners[fingerprint] = factory.from_artifact(query.graph, cached)
+                runners[fingerprint] = (
+                    memo[0] if memo is not None else factory.from_artifact(query.graph, cached)
+                )
+                if memo is None:
+                    self._runner_memo_put(
+                        fingerprint, runners[fingerprint], None, cached
+                    )
                 warm[fingerprint] = True
                 report.preprocess_rounds_reused += cached.preprocessing_rounds
+            elif memo is not None:
+                # Memoized runner for a fingerprint the artifact cache no
+                # longer holds (or a stateless backend): serve it, and charge
+                # the batch exactly what a rebuild would have reported —
+                # preprocessing is deterministic, so the counts are
+                # byte-identical and only the redundant work is skipped.
+                runner, info, artifact = memo
+                runners[fingerprint] = runner
+                warm[fingerprint] = False
+                if artifact is not None:
+                    self.cache.put(fingerprint, artifact)
+                    report.preprocess_rounds_incurred += artifact.preprocessing_rounds
+                elif info is not None:
+                    report.preprocess_rounds_incurred += info.rounds
             else:
                 cold[fingerprint] = query
                 warm[fingerprint] = False
@@ -832,38 +1093,53 @@ class RoutingService:
             }
             self._m_pool_tasks.labels(kind="build").inc(len(futures))
             for fingerprint, future in futures.items():
-                runner, info, artifact = future.result()
+                runner, info, artifact, build_seconds = future.result()
                 runners[fingerprint] = runner
+                self._runner_memo_put(fingerprint, runner, info, artifact)
                 if artifact is not None:
                     self.cache.put(fingerprint, artifact)
                     report.preprocess_rounds_incurred += artifact.preprocessing_rounds
                 else:
                     report.preprocess_rounds_incurred += info.rounds
-            report.preprocess_seconds = time.perf_counter() - preprocess_start
-            self._m_preprocess_seconds.observe(report.preprocess_seconds)
+                self._record_preprocess(cold[fingerprint], build_seconds)
+            slice_preprocess = time.perf_counter() - preprocess_start
+            report.preprocess_seconds += slice_preprocess
+            self._m_preprocess_seconds.observe(slice_preprocess)
 
-        # Phase 2: route every query of the batch concurrently.
+        # Phase 2: route every query of the batch concurrently.  Queries on
+        # the same fingerprint whose plan asks for chunking share one pool
+        # task (amortizes task overhead for sub-millisecond queries); the
+        # per-query timing and results are identical either way.
         route_start = time.perf_counter()
-        result_futures = [
-            (query, pool.submit(self._route_one, runners[query.fingerprint], query))
-            for query in queries
-        ]
-        self._m_pool_tasks.labels(kind="route").inc(len(result_futures))
-        for query, future in result_futures:
-            outcome, seconds = future.result()
-            self._m_query_seconds.labels(backend=query.backend).observe(seconds)
-            report.results.append(
-                QueryResult(
-                    query_id=query.query_id,
-                    fingerprint=query.fingerprint,
-                    backend=query.backend,
-                    outcome=outcome,
-                    cache_hit=warm[query.fingerprint],
-                    seconds=seconds,
-                    workload=query.workload,
-                )
+        chunk_futures = []
+        for fingerprint, group in by_fingerprint.items():
+            chunk_size = (
+                group[0].plan.effective_chunk_size if group[0].plan is not None else 1
             )
-        report.route_seconds = time.perf_counter() - route_start
+            runner = runners[fingerprint]
+            for index in range(0, len(group), chunk_size):
+                chunk = group[index : index + chunk_size]
+                chunk_futures.append(
+                    (chunk, pool.submit(self._route_chunk, runner, chunk))
+                )
+        self._m_pool_tasks.labels(kind="route").inc(len(chunk_futures))
+        for chunk, future in chunk_futures:
+            for query, (outcome, seconds) in zip(chunk, future.result()):
+                self._m_query_seconds.labels(backend=query.backend).observe(seconds)
+                self._record_query(query, seconds)
+                report.results.append(
+                    QueryResult(
+                        query_id=query.query_id,
+                        fingerprint=query.fingerprint,
+                        backend=query.backend,
+                        outcome=outcome,
+                        cache_hit=warm[query.fingerprint],
+                        seconds=seconds,
+                        workload=query.workload,
+                        plan=query.plan,
+                    )
+                )
+        report.route_seconds += time.perf_counter() - route_start
 
     def _route_batch_processes(
         self,
@@ -877,10 +1153,14 @@ class RoutingService:
         The parent keeps the cache-of-record (hits/misses and round
         accounting are identical to the thread path); worker processes keep a
         runner per fingerprint, loading each spilled artifact at most once.
+        Worker tasks are pinned to each query's planned kernel (plans record
+        the kernel active at submit time).
         """
-        from repro.kernels import active_kernel
+        default_kernel = active_kernel()
 
-        compute_kernel = active_kernel()
+        def query_kernel(query: RoutingQuery) -> str:
+            return query.plan.kernel if query.plan is not None else default_kernel
+
         self._trim_spill_dir(keep=set(by_fingerprint))
         warm: dict[str, bool] = {}
         cold: dict[str, RoutingQuery] = {}
@@ -907,7 +1187,7 @@ class RoutingService:
                         graph=query.graph,
                         backend=query.backend,
                         params=self._resolved_backend_params(query),
-                        kernel=compute_kernel,
+                        kernel=query_kernel(query),
                     ),
                 )
                 for fingerprint, query in cold.items()
@@ -921,8 +1201,13 @@ class RoutingService:
                     report.preprocess_rounds_incurred += artifact.preprocessing_rounds
                 else:
                     report.preprocess_rounds_incurred += info.rounds
-            report.preprocess_seconds = time.perf_counter() - preprocess_start
-            self._m_preprocess_seconds.observe(report.preprocess_seconds)
+            slice_preprocess = time.perf_counter() - preprocess_start
+            report.preprocess_seconds += slice_preprocess
+            self._m_preprocess_seconds.observe(slice_preprocess)
+            # Worker builds overlap, so per-build wall-clock is not directly
+            # observable from the parent; calibrate with the slice average.
+            for query in cold.values():
+                self._record_preprocess(query, slice_preprocess / len(cold))
 
         route_start = time.perf_counter()
         spill = str(self._spill_dir) if self._spill_dir is not None else None
@@ -941,7 +1226,7 @@ class RoutingService:
                         backend=query.backend,
                         params=self._resolved_backend_params(query),
                         spill_dir=spill,
-                        kernel=compute_kernel,
+                        kernel=query_kernel(query),
                     ),
                 ),
             )
@@ -954,6 +1239,7 @@ class RoutingService:
                 state="warm" if runner_warm else "cold"
             ).inc()
             self._m_query_seconds.labels(backend=query.backend).observe(seconds)
+            self._record_query(query, seconds)
             report.results.append(
                 QueryResult(
                     query_id=query.query_id,
@@ -963,9 +1249,10 @@ class RoutingService:
                     cache_hit=warm[query.fingerprint],
                     seconds=seconds,
                     workload=query.workload,
+                    plan=query.plan,
                 )
             )
-        report.route_seconds = time.perf_counter() - route_start
+        report.route_seconds += time.perf_counter() - route_start
 
     def _resolved_backend_params(self, query: RoutingQuery) -> dict[str, Any]:
         """Query parameters plus the service-level defaults the factory accepts.
@@ -1002,7 +1289,8 @@ class RoutingService:
 
     def _build_runner(
         self, query: RoutingQuery
-    ) -> tuple[RoutingBackend, PreprocessInfo, PreprocessArtifact | None]:
+    ) -> tuple[RoutingBackend, PreprocessInfo, PreprocessArtifact | None, float]:
+        start = time.perf_counter()
         backend = self._make_backend(query)
         info = backend.preprocess()
         artifact = None
@@ -1011,10 +1299,36 @@ class RoutingService:
         # lookup path would not read.
         if supports_artifacts(backend_factory(query.backend)) and supports_artifacts(backend):
             artifact = backend.export_artifact(fingerprint=query.fingerprint)
-        return backend, info, artifact
+        return backend, info, artifact, time.perf_counter() - start
 
     @staticmethod
     def _route_one(runner: RoutingBackend, query: RoutingQuery) -> tuple[RouteResult, float]:
         start = time.perf_counter()
         outcome = runner.route(list(query.requests), load=query.load)
         return outcome, time.perf_counter() - start
+
+    @classmethod
+    def _route_chunk(
+        cls, runner: RoutingBackend, chunk: Sequence[RoutingQuery]
+    ) -> list[tuple[RouteResult, float]]:
+        """Route a chunk of same-fingerprint queries inside one pool task."""
+        return [cls._route_one(runner, query) for query in chunk]
+
+    # -- planner feedback ----------------------------------------------------
+
+    def _record_query(self, query: RoutingQuery, seconds: float) -> None:
+        """Feed one observed routing wall-clock back into the cost model."""
+        if self.planner is not None and query.plan is not None:
+            self.planner.record_query(
+                query.plan,
+                query.graph.number_of_nodes(),
+                seconds,
+                workload=query.workload,
+            )
+
+    def _record_preprocess(self, query: RoutingQuery, seconds: float) -> None:
+        """Feed one observed preprocess wall-clock back into the cost model."""
+        if self.planner is not None and query.plan is not None:
+            self.planner.record_preprocess(
+                query.plan, query.graph.number_of_nodes(), seconds
+            )
