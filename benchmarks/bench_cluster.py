@@ -27,6 +27,7 @@ from repro.analysis.reporting import format_table
 from repro.cluster import ClusterCoordinator, ConsistentHashRing
 from repro.graphs.generators import random_regular_expander
 from repro.metrics import MetricsRegistry, quantile
+from repro.planner import ExecutionPlan
 from repro.service import RoutingService
 from repro.workloads import permutation_workload
 
@@ -75,7 +76,7 @@ def test_shard_scaling(benchmark):
             coordinator = ClusterCoordinator(
                 shard_count=shard_count,
                 cache_capacity=CACHE_CAPACITY,
-                shard_max_workers=2,
+                default_plan=ExecutionPlan(backend="deterministic", max_workers=2),
                 metrics=MetricsRegistry(),
             )
             # Warm-up pass: every artifact gets built once somewhere.

@@ -45,6 +45,7 @@ if str(SRC) not in sys.path:
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 SUITE_PATH = REPO_ROOT / "bench-suite.json"
+NETWORK_PATH = REPO_ROOT / "bench-network.json"
 
 #: Scenarios whose optimized configuration includes the process pool.
 POOLED = ("bench_service", "bench_cluster")
@@ -119,6 +120,7 @@ def bench_cluster(kernel_name: str, parallelism: str) -> float:
     from repro.graphs.generators import random_regular_expander
     from repro.kernels import kernel
     from repro.metrics import MetricsRegistry
+    from repro.planner import ExecutionPlan
     from repro.workloads import permutation_workload
 
     n, graph_count, passes = (64, 6, 2) if _quick() else (96, 12, 3)
@@ -127,8 +129,12 @@ def bench_cluster(kernel_name: str, parallelism: str) -> float:
         with ClusterCoordinator(
             shard_count=4,
             cache_capacity=graph_count,  # measure routing, not cache evictions
-            shard_max_workers=2,
-            shard_parallelism=parallelism,
+            default_plan=ExecutionPlan(
+                backend="deterministic",
+                kernel=kernel_name,
+                parallelism=parallelism,
+                max_workers=2,
+            ),
             metrics=MetricsRegistry(),
         ) as coordinator:
             traffic = [(graph, permutation_workload(graph, shift=3)) for graph in graphs]
@@ -381,6 +387,79 @@ def run_policy_gate(policy: str) -> dict:
     }
 
 
+def run_network_bench() -> dict:
+    """TCP serving smoke: local vs tcp under the same seeded open-loop load.
+
+    Drives identical traffic through a ``transport="local"`` and a
+    ``transport="tcp"`` cluster (shard server processes over unix sockets)
+    and asserts the serving tier's two invariants — no batch is lost
+    (offered == completed + rejected + shed) and the per-window
+    ``ClusterReport.signature()`` values match byte for byte — then reports
+    throughput and latency percentiles per transport so the wire's overhead
+    is a tracked number, not a guess.
+    """
+    from repro.cluster import ClusterCoordinator, OpenLoopLoadGenerator
+    from repro.graphs.generators import random_regular_expander
+    from repro.metrics import MetricsRegistry
+    from repro.planner import ExecutionPlan
+
+    n, rate, duration, interval = (48, 80.0, 0.4, 0.1) if _quick() else (64, 120.0, 1.5, 0.25)
+    graphs = [random_regular_expander(n, degree=6, seed=seed) for seed in range(2)]
+    plan = ExecutionPlan(backend="deterministic", max_workers=2)
+    transports: dict[str, dict] = {}
+    signatures: dict[str, list] = {}
+    for transport in ("local", "tcp"):
+        print(f"[harness] network bench: {transport} ...", flush=True)
+        coordinator = ClusterCoordinator(
+            shard_count=2,
+            cache_capacity=4,
+            default_plan=plan,
+            metrics=MetricsRegistry(),
+            transport=transport,
+        )
+        try:
+            generator = OpenLoopLoadGenerator(
+                graphs, rate=rate, duration=duration, dispatch_interval=interval, seed=11
+            )
+            slo = generator.run(coordinator)
+        finally:
+            coordinator.close()
+        lost = slo.offered - slo.completed - slo.rejected - slo.shed
+        assert lost == 0, f"network bench ({transport}): {lost} batches lost"
+        signatures[transport] = [report.signature() for report in slo.cluster_reports]
+        summary = slo.summary()
+        transports[transport] = {
+            "offered": slo.offered,
+            "completed": slo.completed,
+            "lost": lost,
+            "throughput_qps": slo.throughput_qps,
+            "p50_seconds": slo.latency_quantile(0.50),
+            "p99_seconds": slo.latency_quantile(0.99),
+            "rtt_p50_seconds": summary["rtt_p50_seconds"],
+            "rtt_p99_seconds": summary["rtt_p99_seconds"],
+            "transport_overhead_seconds": summary["transport_overhead_seconds"],
+        }
+        print(
+            f"[harness] network bench {transport}: {slo.completed}/{slo.offered} served,"
+            f" p99 {transports[transport]['p99_seconds']:.4f}s"
+            f" rtt_p99 {transports[transport]['rtt_p99_seconds']:.4f}s",
+            flush=True,
+        )
+    assert signatures["local"] == signatures["tcp"], (
+        "network bench: local vs tcp ClusterReport signatures diverged"
+    )
+    print(
+        f"[harness] network bench: signature parity across "
+        f"{len(signatures['local'])} dispatch windows ✓",
+        flush=True,
+    )
+    return {
+        "meta": {"quick": _quick(), "rate": rate, "duration": duration, "shards": 2},
+        "signature_windows": len(signatures["local"]),
+        "transports": transports,
+    }
+
+
 # -- driver ------------------------------------------------------------------------------
 
 
@@ -510,7 +589,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="additionally gate the query planner policy against fixed backends",
     )
+    parser.add_argument(
+        "--network",
+        action="store_true",
+        help="also run the local-vs-tcp serving smoke (always on with --quick)",
+    )
     parser.add_argument("--output", type=Path, default=SUITE_PATH)
+    parser.add_argument("--network-output", type=Path, default=NETWORK_PATH)
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument(
         "--no-assert",
@@ -527,6 +612,13 @@ def main(argv: list[str] | None = None) -> int:
         suite["planner"] = run_policy_gate(args.policy)
     args.output.write_text(json.dumps(suite, indent=2) + "\n")
     print(f"[harness] wrote {args.output}")
+
+    # The tcp serving smoke rides along in quick (CI) mode: its zero-loss and
+    # signature-parity assertions are the cheap canary for the network tier.
+    if args.network or args.quick:
+        network = run_network_bench()
+        args.network_output.write_text(json.dumps(network, indent=2) + "\n")
+        print(f"[harness] wrote {args.network_output}")
 
     if args.bless:
         bless(suite, args.baseline)

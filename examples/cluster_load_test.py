@@ -22,13 +22,15 @@ Run with ``PYTHONPATH=src python examples/cluster_load_test.py`` (or after
 from repro.cluster import ClusterCoordinator, OpenLoopLoadGenerator
 from repro.graphs.generators import random_regular_expander
 from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
 
 
 def main() -> None:
     graphs = [random_regular_expander(64, degree=8, seed=seed) for seed in range(8)]
     metrics = MetricsRegistry()
+    plan = ExecutionPlan(backend="deterministic", max_workers=2)
     coordinator = ClusterCoordinator(
-        shard_count=4, cache_capacity=8, shard_max_workers=2, metrics=metrics
+        shard_count=4, cache_capacity=8, default_plan=plan, metrics=metrics
     )
 
     print("== cold run: seeded Poisson arrivals against 4 shards ==")
@@ -52,7 +54,7 @@ def main() -> None:
         cache_capacity=8,
         queue_capacity=4,
         admission_policy="shed-oldest",
-        shard_max_workers=2,
+        default_plan=plan,
         metrics=MetricsRegistry(),
     )
     burst = OpenLoopLoadGenerator(

@@ -29,7 +29,7 @@ from repro.cluster.admission import (
     AdmissionDecision,
     AdmissionStats,
 )
-from repro.cluster.coordinator import ClusterCoordinator, ClusterReport
+from repro.cluster.coordinator import TRANSPORTS, ClusterCoordinator, ClusterReport
 from repro.cluster.loadgen import DEFAULT_WORKLOAD_MIX, OpenLoopLoadGenerator, SLOReport
 from repro.cluster.ring import ConsistentHashRing, RebalanceStats
 from repro.cluster.worker import ShardQuery, ShardWorker
@@ -48,4 +48,5 @@ __all__ = [
     "SLOReport",
     "ShardQuery",
     "ShardWorker",
+    "TRANSPORTS",
 ]

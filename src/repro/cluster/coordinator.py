@@ -27,7 +27,10 @@ which is what the cluster determinism tests compare.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
@@ -48,7 +51,11 @@ from repro.service.cache import ArtifactCache
 from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
 from repro.workloads import Workload
 
-__all__ = ["ClusterReport", "ClusterCoordinator"]
+__all__ = ["ClusterReport", "ClusterCoordinator", "TRANSPORTS"]
+
+#: The recognised cluster transports: in-process shard workers, or shard
+#: server processes behind the wire protocol (unix sockets by default).
+TRANSPORTS = ("local", "tcp")
 
 
 @dataclass
@@ -214,12 +221,23 @@ class ClusterCoordinator:
             the same model).
         planner: inject a preconfigured planner instead (wins over
             ``policy``).
-        shard_max_workers: legacy shim for ``default_plan.max_workers``.
-        shard_parallelism: legacy shim for ``default_plan.parallelism``.
+        shard_max_workers: deprecated shim for ``default_plan.max_workers``
+            (emits :class:`DeprecationWarning`).
+        shard_parallelism: deprecated shim for ``default_plan.parallelism``
+            (emits :class:`DeprecationWarning`).
         metrics: shared registry (default: the process-wide one).
+        transport: ``"local"`` (default) keeps every shard in process;
+            ``"tcp"`` runs each shard as a spawned server process behind the
+            wire protocol (:mod:`repro.net`) — placement, admission, and
+            planning stay here, and :class:`ClusterReport.signature` is
+            byte-identical across the two transports.  Note the ``adaptive``
+            policy's timing feedback does not cross the process boundary.
+        net_family: listener family for ``transport="tcp"`` — ``"unix"``
+            (default, CI-safe) or ``"inet"`` (real TCP on loopback).
 
-    Shard services keep long-lived worker pools; :meth:`close` (or using the
-    coordinator as a context manager) releases every shard's pool.
+    Shard services keep long-lived worker pools (and, under
+    ``transport="tcp"``, server processes); :meth:`close` (or using the
+    coordinator as a context manager) releases all of them, idempotently.
     """
 
     def __init__(
@@ -236,22 +254,37 @@ class ClusterCoordinator:
         policy: str | None = None,
         planner: QueryPlanner | None = None,
         shard_max_workers: int | None = None,
-        shard_parallelism: str = "threads",
+        shard_parallelism: str | None = None,
         metrics: MetricsRegistry | None = None,
+        transport: str = "local",
+        net_family: str = "unix",
     ) -> None:
         if shard_count < 1:
             raise ValueError("a cluster needs at least one shard")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; use one of {TRANSPORTS}")
         self.epsilon = epsilon
         self.psi = psi
         self.hierarchy_params = hierarchy_params
         self.cache_capacity = cache_capacity
+        self.transport = transport
+        self.net_family = net_family
+        self._socket_dir: str | None = None
+        self._closed = False
         self.metrics = metrics if metrics is not None else default_registry()
+        if shard_max_workers is not None or shard_parallelism is not None:
+            warnings.warn(
+                "shard_max_workers/shard_parallelism are deprecated; pass "
+                "default_plan=ExecutionPlan(parallelism=..., max_workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if default_plan is None:
             # The legacy kwargs collapse into the one shared plan object.
             default_plan = ExecutionPlan(
                 backend=DEFAULT_BACKEND,
                 kernel=active_kernel(),
-                parallelism=shard_parallelism,
+                parallelism=shard_parallelism if shard_parallelism is not None else "threads",
                 max_workers=shard_max_workers,
                 policy="fixed",
                 reason="cluster execution defaults",
@@ -299,6 +332,38 @@ class ClusterCoordinator:
     def shard_count(self) -> int:
         return len(self.workers)
 
+    def _make_worker(self, shard_id: str):
+        """One shard for the configured transport: in-process or a server process."""
+        if self.transport == "local":
+            return ShardWorker(
+                shard_id,
+                epsilon=self.epsilon,
+                psi=self.psi,
+                hierarchy_params=self.hierarchy_params,
+                cache_capacity=self.cache_capacity,
+                default_plan=self.default_plan,
+                planner=self.planner,
+                metrics=self.metrics,
+            )
+        # Imported lazily: repro.net depends on this module.
+        from repro.net.shard_server import ShardServerConfig, start_shard_server
+
+        if self._socket_dir is None:
+            self._socket_dir = tempfile.mkdtemp(prefix="repro-net-")
+        config = ShardServerConfig(
+            shard_id=shard_id,
+            family=self.net_family,
+            socket_path=(
+                f"{self._socket_dir}/{shard_id}.sock" if self.net_family == "unix" else None
+            ),
+            epsilon=self.epsilon,
+            psi=self.psi,
+            hierarchy_params=self.hierarchy_params,
+            cache_capacity=self.cache_capacity,
+            default_plan=self.default_plan,
+        )
+        return start_shard_server(config, metrics=self.metrics)
+
     def add_shard(self, shard_id: str | None = None) -> RebalanceStats:
         """Add a shard (and its worker); returns how placement moved.
 
@@ -313,16 +378,7 @@ class ClusterCoordinator:
         before = self.ring.placement(seen) if len(self.ring) else {}
         before_count = len(self.ring)
         self.ring.add_shard(shard_id)
-        self.workers[shard_id] = ShardWorker(
-            shard_id,
-            epsilon=self.epsilon,
-            psi=self.psi,
-            hierarchy_params=self.hierarchy_params,
-            cache_capacity=self.cache_capacity,
-            default_plan=self.default_plan,
-            planner=self.planner,
-            metrics=self.metrics,
-        )
+        self.workers[shard_id] = self._make_worker(shard_id)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         expected = 1.0 / len(self.ring) if before_count else 1.0
         return RebalanceStats(total=len(seen), moved=moved, expected_fraction=expected)
@@ -359,12 +415,24 @@ class ClusterCoordinator:
 
     @property
     def shard_parallelism(self) -> str:
-        """Legacy view of :attr:`default_plan`'s execution mode."""
+        """Deprecated view of :attr:`default_plan`'s execution mode."""
+        warnings.warn(
+            "ClusterCoordinator.shard_parallelism is deprecated; read "
+            "default_plan.parallelism instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.default_plan.parallelism
 
     @property
     def shard_max_workers(self) -> int | None:
-        """Legacy view of :attr:`default_plan`'s pool width."""
+        """Deprecated view of :attr:`default_plan`'s pool width."""
+        warnings.warn(
+            "ClusterCoordinator.shard_max_workers is deprecated; read "
+            "default_plan.max_workers instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.default_plan.max_workers
 
     # -- submission -----------------------------------------------------------
@@ -505,26 +573,52 @@ class ClusterCoordinator:
     def pending_count(self) -> int:
         return sum(self.queue_depths().values())
 
+    def admission_totals(self) -> AdmissionStats:
+        """Cluster-lifetime admission totals (the client exposes the same call)."""
+        return self.admission.total_stats()
+
     # -- execution ------------------------------------------------------------
 
-    def dispatch(self) -> ClusterReport:
-        """Drain every queue, scatter to the shard workers, gather, merge."""
-        started = time.perf_counter()
+    def drain_slices(self) -> dict[str, list[ShardQuery]]:
+        """Drain every queue; the busy shards' slices, in shard-id order."""
         slices = {shard_id: self.admission.drain(shard_id) for shard_id in sorted(self.workers)}
-        report = ClusterReport()
-        busy = {shard_id: items for shard_id, items in slices.items() if items}
+        return {shard_id: items for shard_id, items in slices.items() if items}
+
+    def process_shard(self, shard_id: str, items: Sequence[ShardQuery]) -> BatchReport:
+        """Serve one shard's slice on its worker (local or remote)."""
+        return self.workers[shard_id].process(items)
+
+    def merge_reports(
+        self, shard_reports: Mapping[str, BatchReport], dispatch_seconds: float
+    ) -> ClusterReport:
+        """Merge per-shard reports into one cycle report (records the histogram)."""
+        report = ClusterReport(
+            shard_reports=dict(shard_reports),
+            dispatch_seconds=dispatch_seconds,
+            admission=self.admission.total_stats(),
+        )
+        self._m_dispatch_seconds.observe(dispatch_seconds)
+        return report
+
+    def dispatch(self) -> ClusterReport:
+        """Drain every queue, scatter to the shard workers, gather, merge.
+
+        The gateway composes the same three steps (:meth:`drain_slices`,
+        :meth:`process_shard`, :meth:`merge_reports`) so it can stream each
+        shard's report as it completes instead of gathering here.
+        """
+        started = time.perf_counter()
+        busy = self.drain_slices()
+        shard_reports: dict[str, BatchReport] = {}
         if busy:
             with ThreadPoolExecutor(max_workers=len(busy)) as pool:
                 futures = {
-                    shard_id: pool.submit(self.workers[shard_id].process, items)
+                    shard_id: pool.submit(self.process_shard, shard_id, items)
                     for shard_id, items in busy.items()
                 }
                 for shard_id, future in futures.items():
-                    report.shard_reports[shard_id] = future.result()
-        report.dispatch_seconds = time.perf_counter() - started
-        report.admission = self.admission.total_stats()
-        self._m_dispatch_seconds.observe(report.dispatch_seconds)
-        return report
+                    shard_reports[shard_id] = future.result()
+        return self.merge_reports(shard_reports, time.perf_counter() - started)
 
     def route_batch(
         self,
@@ -541,10 +635,16 @@ class ClusterCoordinator:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Release every shard's worker pool (and the keyer's); idempotent."""
+        """Release every shard (pools or server processes) and the keyer; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         for worker in self.workers.values():
             worker.close()
         self._keyer.close()
+        if self._socket_dir is not None:
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+            self._socket_dir = None
 
     def __enter__(self) -> "ClusterCoordinator":
         return self

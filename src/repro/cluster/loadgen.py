@@ -67,6 +67,11 @@ class SLOReport:
         simulated_seconds: the arrival-process horizon.
         wall_seconds: real time spent serving.
         cluster_reports: one :class:`ClusterReport` per dispatch window.
+        round_trip_seconds: client-observed wall-clock of each dispatch call
+            — over a network transport this includes serialization and
+            transit, so comparing it with the server-side
+            ``dispatch_seconds`` isolates the transport overhead instead of
+            folding it into route time.
     """
 
     offered: int = 0
@@ -77,6 +82,7 @@ class SLOReport:
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
     cluster_reports: list[ClusterReport] = field(default_factory=list)
+    round_trip_seconds: list[float] = field(default_factory=list)
 
     @property
     def drop_rate(self) -> float:
@@ -104,6 +110,27 @@ class SLOReport:
     def latency_quantile(self, q: float) -> float:
         return _quantile(self.query_seconds, q)
 
+    @property
+    def service_dispatch_seconds(self) -> list[float]:
+        """Server-side scatter/gather wall-clock, one entry per window."""
+        return [report.dispatch_seconds for report in self.cluster_reports]
+
+    @property
+    def transport_overhead_seconds(self) -> list[float]:
+        """Per-window round trip minus server dispatch time (>= 0 each).
+
+        Zero-ish for ``transport="local"`` (the dispatch call *is* the
+        service); over a socket it is the serialization + transit cost the
+        SLO report would otherwise hide inside latency.
+        """
+        return [
+            max(0.0, rtt - service)
+            for rtt, service in zip(self.round_trip_seconds, self.service_dispatch_seconds)
+        ]
+
+    def round_trip_quantile(self, q: float) -> float:
+        return _quantile(self.round_trip_seconds, q)
+
     def cache_hit_rate_by_shard(self) -> dict[str, float]:
         """Aggregate cache hit rate per shard across every dispatch window."""
         hits: dict[str, int] = {}
@@ -130,6 +157,9 @@ class SLOReport:
             "p50_seconds": self.latency_quantile(0.50),
             "p95_seconds": self.latency_quantile(0.95),
             "p99_seconds": self.latency_quantile(0.99),
+            "rtt_p50_seconds": self.round_trip_quantile(0.50),
+            "rtt_p99_seconds": self.round_trip_quantile(0.99),
+            "transport_overhead_seconds": sum(self.transport_overhead_seconds),
             "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
             "simulated_seconds": self.simulated_seconds,
             "wall_seconds": self.wall_seconds,
@@ -265,7 +295,14 @@ class OpenLoopLoadGenerator:
         return self.graphs[graph_index], workload
 
     def run(self, coordinator: ClusterCoordinator) -> SLOReport:
-        """Drive the coordinator with the whole arrival schedule; report SLOs."""
+        """Drive the cluster with the whole arrival schedule; report SLOs.
+
+        ``coordinator`` is anything with the coordinator's driving surface —
+        ``submit`` / ``dispatch`` / ``admission_totals`` — so a
+        :class:`~repro.net.client.ClusterClient` pointed at a gateway runs the
+        identical schedule over the network (the per-window round trip is
+        recorded either way, so the two transports are directly comparable).
+        """
         arrivals = self.arrival_times()
         windows: dict[int, int] = {}
         for t in arrivals:
@@ -273,7 +310,7 @@ class OpenLoopLoadGenerator:
                 windows.get(int(t / self.dispatch_interval), 0) + 1
             )
         rng = random.Random(self.seed + 1)
-        before = coordinator.admission.total_stats()
+        before = coordinator.admission_totals()
         report = SLOReport(offered=len(arrivals), simulated_seconds=self.duration)
         started = time.perf_counter()
         for window in sorted(windows):
@@ -287,11 +324,13 @@ class OpenLoopLoadGenerator:
                 )
                 if decision.accepted:
                     report.admitted += 1
+            dispatch_started = time.perf_counter()
             cluster_report = coordinator.dispatch()
+            report.round_trip_seconds.append(time.perf_counter() - dispatch_started)
             report.cluster_reports.append(cluster_report)
             report.completed += cluster_report.query_count
         report.wall_seconds = time.perf_counter() - started
-        after = coordinator.admission.total_stats()
+        after = coordinator.admission_totals()
         report.rejected = after.rejected - before.rejected
         report.shed = after.shed - before.shed
         # Shed items were admitted once and then dropped from the queue; they

@@ -25,6 +25,7 @@ derive from the same service parameters).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -130,6 +131,7 @@ class ShardWorker:
         self.service = service
         self.batches_served = 0
         self.queries_served = 0
+        self._closed = False
         self._m_queries = self.metrics.counter(
             "repro_cluster_queries_total", "Queries served per shard.", labels=("shard",)
         )
@@ -158,8 +160,36 @@ class ShardWorker:
         return report
 
     def close(self) -> None:
-        """Release the shard service's worker pools (idempotent)."""
+        """Release the shard service's worker pools; idempotent by design so
+        server shutdown paths can call it unconditionally."""
+        if self._closed:
+            return
+        self._closed = True
         self.service.close()
+
+    # -- compat shims ----------------------------------------------------------
+
+    @property
+    def shard_parallelism(self) -> str:
+        """Deprecated view of the shard's pool mode; read ``default_plan``."""
+        warnings.warn(
+            "ShardWorker.shard_parallelism is deprecated; read "
+            "default_plan.parallelism instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.default_plan.parallelism if self.default_plan else "threads"
+
+    @property
+    def shard_max_workers(self) -> int | None:
+        """Deprecated view of the shard's pool width; read ``default_plan``."""
+        warnings.warn(
+            "ShardWorker.shard_max_workers is deprecated; read "
+            "default_plan.max_workers instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.default_plan.max_workers if self.default_plan else None
 
     @property
     def cache_stats(self):

@@ -1,0 +1,49 @@
+"""Network transports for the cluster serving tier.
+
+The wire *schema* lives in :mod:`repro.wire`; this package puts it on
+sockets: length-prefixed framing (:mod:`repro.net.frames`), shard server
+processes (:mod:`repro.net.shard_server`), the coordinator's asyncio gateway
+(:mod:`repro.net.gateway`), and the blocking client
+(:mod:`repro.net.client`).  Unix sockets are the default (CI-friendly);
+``family="inet"`` serves real TCP.
+"""
+
+from repro.net.address import FAMILIES, connect, describe
+from repro.net.client import ClusterClient, DeadlineExpired, GatewayError
+from repro.net.frames import (
+    MAX_FRAME_BYTES,
+    NetInstruments,
+    pack_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+from repro.net.gateway import ClusterGateway
+from repro.net.shard_server import (
+    RemoteShard,
+    ShardServerConfig,
+    serve_shard,
+    start_shard_server,
+)
+
+__all__ = [
+    "FAMILIES",
+    "connect",
+    "describe",
+    "MAX_FRAME_BYTES",
+    "NetInstruments",
+    "pack_frame",
+    "read_frame",
+    "write_frame",
+    "recv_frame",
+    "send_frame",
+    "ShardServerConfig",
+    "serve_shard",
+    "start_shard_server",
+    "RemoteShard",
+    "ClusterGateway",
+    "ClusterClient",
+    "GatewayError",
+    "DeadlineExpired",
+]

@@ -1,0 +1,44 @@
+"""Listen/connect addresses for the serving transports.
+
+An address is a plain tuple so it can cross a ``multiprocessing`` pipe and a
+config dataclass without custom pickling:
+
+* ``("unix", path)`` — an ``AF_UNIX`` stream socket (the CI default: no port
+  allocation, no loopback firewalling);
+* ``("inet", host, port)`` — a TCP socket on ``host:port``.
+
+Servers bind with ``port 0`` / a fresh socket path and report the *actual*
+bound address back, so callers never guess.
+"""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["FAMILIES", "connect", "describe"]
+
+#: The recognised address families.
+FAMILIES = ("unix", "inet")
+
+
+def connect(address: tuple, timeout: float | None = None) -> socket.socket:
+    """A connected blocking stream socket for ``address``."""
+    if address[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address[1])
+    elif address[0] == "inet":
+        sock = socket.create_connection((address[1], address[2]), timeout=timeout)
+    else:
+        raise ValueError(f"unknown address family {address[0]!r}; use one of {FAMILIES}")
+    sock.settimeout(timeout)
+    return sock
+
+
+def describe(address: tuple) -> str:
+    """Human-readable form of an address (for logs and examples)."""
+    if address[0] == "unix":
+        return f"unix:{address[1]}"
+    if address[0] == "inet":
+        return f"tcp://{address[1]}:{address[2]}"
+    return repr(address)

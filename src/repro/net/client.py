@@ -1,0 +1,220 @@
+"""A blocking cluster client speaking the gateway's frame protocol.
+
+:class:`ClusterClient` mirrors the slice of the
+:class:`~repro.cluster.ClusterCoordinator` surface that drivers use —
+``submit`` / ``dispatch`` / ``admission_totals`` / ``queue_depths`` — so the
+open-loop load generator (and any closed-loop driver) can point at a network
+cluster without changing a line: pass the client where the coordinator went.
+
+``dispatch()`` consumes the gateway's streamed per-shard frames and reasembles
+the same :class:`~repro.cluster.ClusterReport` the in-process path returns;
+``report.signature()`` is byte-identical across the two transports.  Shards
+that hit the request deadline before starting are recorded on
+:attr:`last_expired` (their work was requeued server-side, not lost).
+
+One connection, one request in flight (a lock enforces it) — that is the
+protocol's per-connection backpressure; open more clients for concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping, Sequence
+
+import networkx as nx
+
+from repro.cluster.admission import AdmissionStats
+from repro.cluster.coordinator import ClusterReport
+from repro.metrics import MetricsRegistry, default_registry
+from repro.net import address as net_address
+from repro.net.frames import NetInstruments, recv_frame, send_frame
+from repro.wire.codec import WireDecodeError
+from repro.wire.messages import (
+    DispatchDoneReply,
+    DispatchRequest,
+    DispatchShardReply,
+    ErrorReply,
+    Ping,
+    Pong,
+    StatsReply,
+    StatsRequest,
+    SubmitReply,
+    SubmitRequest,
+    WireGraph,
+    WireMessage,
+    WireRequest,
+)
+from repro.workloads import Workload
+
+__all__ = ["ClusterClient", "GatewayError", "DeadlineExpired"]
+
+
+class GatewayError(RuntimeError):
+    """The gateway answered with an :class:`~repro.wire.messages.ErrorReply`."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class DeadlineExpired(GatewayError):
+    """The request's deadline lapsed before the gateway served it."""
+
+
+def _raise_for(reply: WireMessage) -> WireMessage:
+    if isinstance(reply, ErrorReply):
+        if reply.code == "deadline":
+            raise DeadlineExpired(reply.code, reply.message)
+        raise GatewayError(reply.code, reply.message)
+    return reply
+
+
+class ClusterClient:
+    """Blocking client for one :class:`~repro.net.gateway.ClusterGateway`.
+
+    Args:
+        address: the gateway's bound address tuple (``("unix", path)`` or
+            ``("inet", host, port)``).
+        timeout: socket timeout in seconds for connect and replies.
+        metrics: registry for the ``repro_net_*{role="client"}`` series.
+    """
+
+    def __init__(
+        self,
+        address: tuple,
+        timeout: float | None = 120.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.address = tuple(address)
+        self._instruments = NetInstruments(
+            metrics if metrics is not None else default_registry(), role="client"
+        )
+        self._sock = net_address.connect(self.address, timeout=timeout)
+        self._instruments.connection_opened()
+        self._lock = threading.Lock()
+        self._closed = False
+        # Graphs are replayed query after query; encode each object once.
+        self._graph_cache: dict[int, tuple[nx.Graph, WireGraph]] = {}
+        self.last_expired: tuple[str, ...] = ()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _recv(self) -> WireMessage:
+        reply = recv_frame(self._sock, instruments=self._instruments)
+        if reply is None:
+            raise ConnectionError("the gateway closed the connection")
+        return reply
+
+    def _request(self, message: WireMessage) -> WireMessage:
+        if self._closed:
+            raise RuntimeError("the client is closed")
+        with self._lock:
+            send_frame(self._sock, message, instruments=self._instruments)
+            return _raise_for(self._recv())
+
+    def _wire_graph(self, graph: nx.Graph) -> WireGraph:
+        cached = self._graph_cache.get(id(graph))
+        if cached is not None and cached[0] is graph:
+            return cached[1]
+        wire_graph = WireGraph.from_graph(graph)
+        self._graph_cache[id(graph)] = (graph, wire_graph)
+        return wire_graph
+
+    # -- the coordinator-shaped API -------------------------------------------
+
+    def ping(self) -> bool:
+        return isinstance(self._request(Ping()), Pong)
+
+    def submit(
+        self,
+        graph: nx.Graph,
+        requests: Sequence | Workload,
+        load: int | None = None,
+        backend: str | None = None,
+        backend_params: Mapping[str, Any] | None = None,
+        workload: str = "",
+        deadline: float | None = None,
+    ) -> SubmitReply:
+        """Plan/place/enqueue one query on the server; returns the admission outcome.
+
+        The reply quacks like an admission decision: ``accepted``,
+        ``shard_id``, and ``shed`` (a count — the shed items themselves stay
+        server-side).
+        """
+        if isinstance(requests, Workload):
+            workload = requests.name
+            if load is None:
+                load = requests.load
+            requests = requests.requests
+        reply = self._request(
+            SubmitRequest(
+                graph=self._wire_graph(graph),
+                requests=tuple(WireRequest.from_request(request) for request in requests),
+                load=load,
+                backend=backend,
+                backend_params=dict(backend_params) if backend_params is not None else None,
+                workload=workload,
+                deadline=deadline,
+            )
+        )
+        if not isinstance(reply, SubmitReply):
+            raise WireDecodeError(f"expected a submit reply, got {reply.type!r}")
+        return reply
+
+    def dispatch(self, deadline: float | None = None) -> ClusterReport:
+        """One scatter/gather cycle; shard reports stream in as they complete."""
+        if self._closed:
+            raise RuntimeError("the client is closed")
+        with self._lock:
+            request = DispatchRequest(deadline=deadline)
+            send_frame(self._sock, request, instruments=self._instruments)
+            report = ClusterReport()
+            while True:
+                reply = _raise_for(self._recv())
+                if isinstance(reply, DispatchShardReply):
+                    report.shard_reports[reply.shard_id] = reply.report.to_report()
+                    continue
+                if isinstance(reply, DispatchDoneReply):
+                    report.dispatch_seconds = reply.dispatch_seconds
+                    report.admission = reply.admission.to_stats()
+                    self.last_expired = tuple(reply.expired)
+                    for _ in reply.expired:
+                        self._instruments.deadline_expired("dispatch")
+                    return report
+                raise WireDecodeError(f"unexpected {reply.type!r} frame during dispatch")
+
+    def admission_totals(self) -> AdmissionStats:
+        """Cluster-lifetime admission totals, as the coordinator reports them."""
+        return self._stats().admission.to_stats()
+
+    def queue_depths(self) -> dict[str, int]:
+        return dict(self._stats().queue_depths)
+
+    @property
+    def shard_count(self) -> int:
+        return self._stats().shard_count
+
+    def _stats(self) -> StatsReply:
+        reply = self._request(StatsRequest())
+        if not isinstance(reply, StatsReply):
+            raise WireDecodeError(f"expected a stats reply, got {reply.type!r}")
+        return reply
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        finally:
+            self._instruments.connection_closed()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False

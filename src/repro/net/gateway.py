@@ -1,0 +1,326 @@
+"""The cluster's network front door: an asyncio gateway over the coordinator.
+
+:class:`ClusterGateway` multiplexes client connections onto one
+:class:`~repro.cluster.ClusterCoordinator`.  It owns an asyncio event loop in
+a background thread (the coordinator keeps its blocking, thread-pooled
+internals) and speaks the frame protocol of :mod:`repro.net.frames`:
+
+* **Backpressure, twice.** Each connection is served one frame at a time —
+  a client cannot have two requests in flight on one connection, and a slow
+  reader stops being written to (TCP does the rest).  Across connections a
+  global semaphore bounds in-flight requests, so a connection storm queues at
+  the door instead of overwhelming the admission tier.
+* **Deadlines.** ``SubmitRequest.deadline`` / ``DispatchRequest.deadline``
+  are *relative* second budgets (client clocks are never trusted).  An
+  expired submit is refused with an ``ErrorReply(code="deadline")``; a
+  dispatch slice whose shard has not *started* by the deadline is requeued —
+  admitted work is never lost — and named in the done frame's ``expired``
+  list.  Both paths count ``repro_net_deadline_expirations_total``.
+* **Streaming.** A dispatch cycle answers with one
+  :class:`~repro.wire.messages.DispatchShardReply` per busy shard *as each
+  completes* — the client renders results shard by shard instead of waiting
+  for the stragglers — then one :class:`~repro.wire.messages.DispatchDoneReply`.
+
+Submission order is serialised by an internal lock, so one client driving the
+gateway sees exactly the placement/admission sequence the in-process
+coordinator gives — that is what makes ``transport="local"`` and
+``transport="tcp"`` signature-compatible end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import threading
+import time
+
+import networkx as nx
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.net import address as net_address
+from repro.net.frames import NetInstruments, read_frame, write_frame
+from repro.wire.messages import (
+    DispatchDoneReply,
+    DispatchRequest,
+    DispatchShardReply,
+    ErrorReply,
+    Ping,
+    Pong,
+    Shutdown,
+    ShutdownAck,
+    StatsReply,
+    StatsRequest,
+    SubmitReply,
+    SubmitRequest,
+    WireAdmissionStats,
+    WireBatchReport,
+    WireGraph,
+    WireMessage,
+)
+
+__all__ = ["ClusterGateway"]
+
+
+class ClusterGateway:
+    """Serve a coordinator over unix or TCP sockets; one instance per cluster.
+
+    Args:
+        coordinator: the (already configured) cluster front door to expose.
+        family: ``"unix"`` (default — binds ``socket_path``) or ``"inet"``
+            (binds ``host`` on an ephemeral port).
+        socket_path: listening path for the unix family.
+        host: listening host for the inet family.
+        max_inflight: global bound on concurrently served requests.
+        metrics: registry for the ``repro_net_*{role="gateway"}`` series
+            (default: the coordinator's registry).
+
+    The constructor blocks until the listener is bound; :attr:`address` then
+    holds the actual address (``("unix", path)`` or ``("inet", host, port)``).
+    ``close()`` stops the loop and thread (idempotent); the coordinator itself
+    is *not* closed — the caller owns it.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        family: str = "unix",
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        max_inflight: int = 64,
+        metrics=None,
+    ) -> None:
+        if family not in net_address.FAMILIES:
+            raise ValueError(f"unknown family {family!r}; use one of {net_address.FAMILIES}")
+        if family == "unix" and not socket_path:
+            raise ValueError("a unix gateway needs socket_path")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.coordinator = coordinator
+        self._family = family
+        self._socket_path = socket_path
+        self._host = host
+        self._max_inflight = max_inflight
+        self._instruments = NetInstruments(
+            metrics if metrics is not None else coordinator.metrics, role="gateway"
+        )
+        self.address: tuple = ()
+        self._graph_cache: dict[str, nx.Graph] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._closed = False
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, name="repro-gateway", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("gateway failed to start") from self._startup_error
+        if not self.address:
+            raise TimeoutError("gateway did not bind in time")
+
+    # -- the serving loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # noqa: BLE001 - surfaced to the constructor
+            self._startup_error = error
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        # Submissions (and queue drains) are serialised: placement and
+        # admission order is then a pure function of frame arrival order,
+        # exactly like call order on the in-process coordinator.
+        self._submit_lock = asyncio.Lock()
+        self._inflight = asyncio.Semaphore(self._max_inflight)
+        if self._family == "unix":
+            server = await asyncio.start_unix_server(self._handle, path=self._socket_path)
+            self.address = ("unix", self._socket_path)
+        else:
+            server = await asyncio.start_server(self._handle, host=self._host, port=0)
+            self.address = ("inet", self._host, server.sockets[0].getsockname()[1])
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._instruments.connection_opened()
+        try:
+            while True:
+                message = await read_frame(reader, self._instruments)
+                if message is None:
+                    break
+                async with self._inflight:
+                    try:
+                        done = await self._answer(message, writer)
+                    except Exception as error:  # noqa: BLE001 - reported to the peer
+                        await self._send(
+                            writer,
+                            ErrorReply(
+                                code="gateway-error",
+                                message=f"{type(error).__name__}: {error}",
+                            ),
+                        )
+                        done = False
+                if done:
+                    break
+        finally:
+            self._instruments.connection_closed()
+            writer.close()
+            # CancelledError included: loop shutdown cancels handler tasks
+            # mid-wait, and an unhandled cancellation here is just log noise.
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, message: WireMessage) -> None:
+        await write_frame(writer, message, instruments=self._instruments)
+
+    async def _answer(self, message: WireMessage, writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; returns True when the connection should close."""
+        if isinstance(message, SubmitRequest):
+            await self._send(writer, await self._submit(message))
+        elif isinstance(message, DispatchRequest):
+            await self._dispatch(message, writer)
+        elif isinstance(message, StatsRequest):
+            await self._send(writer, self._stats())
+        elif isinstance(message, Ping):
+            await self._send(writer, Pong())
+        elif isinstance(message, Shutdown):
+            await self._send(writer, ShutdownAck())
+            if self._stop is not None:
+                self._stop.set()
+            return True
+        else:
+            await self._send(
+                writer,
+                ErrorReply(code="unsupported", message=f"gateway cannot serve {message.type!r}"),
+            )
+        return False
+
+    # -- request handlers ------------------------------------------------------
+
+    def _graph_for(self, wire_graph: WireGraph) -> nx.Graph:
+        """Reconstruct (and memoize) the submitted graph.
+
+        Clients replay the same graphs query after query; caching on the
+        canonical payload keeps one graph *object* per distinct graph, so the
+        coordinator's per-object fingerprint memoization works exactly as it
+        does in process.
+        """
+        payload = wire_graph.to_payload()
+        payload.pop("v", None)
+        key = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        graph = self._graph_cache.get(key)
+        if graph is None:
+            graph = wire_graph.to_graph()
+            self._graph_cache[key] = graph
+        return graph
+
+    async def _submit(self, request: SubmitRequest) -> WireMessage:
+        if request.deadline is not None and request.deadline <= 0:
+            self._instruments.deadline_expired("submit")
+            return ErrorReply(code="deadline", message="submit deadline expired")
+        graph = self._graph_for(request.graph)
+        requests = tuple(entry.to_request() for entry in request.requests)
+        async with self._submit_lock:
+            decision = await asyncio.to_thread(
+                self.coordinator.submit,
+                graph,
+                requests,
+                load=request.load,
+                backend=request.backend,
+                backend_params=request.backend_params,
+                workload=request.workload,
+            )
+        return SubmitReply(
+            shard_id=decision.shard_id, accepted=decision.accepted, shed=len(decision.shed)
+        )
+
+    async def _dispatch(self, request: DispatchRequest, writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        expires_at = started + request.deadline if request.deadline is not None else None
+        async with self._submit_lock:
+            busy = await asyncio.to_thread(self.coordinator.drain_slices)
+        expired: list[str] = []
+        running: set[asyncio.Task] = set()
+        for shard_id in sorted(busy):
+            if expires_at is not None and time.perf_counter() >= expires_at:
+                # Not started in time: the slice goes back to the head of its
+                # queue (it was admitted once — it is never lost) and the
+                # shard is reported as expired.
+                self.coordinator.admission.requeue(shard_id, busy[shard_id])
+                self._instruments.deadline_expired("dispatch")
+                expired.append(shard_id)
+                continue
+
+            async def serve(shard_id: str = shard_id, items=busy[shard_id]):
+                report = await asyncio.to_thread(
+                    self.coordinator.process_shard, shard_id, items
+                )
+                return shard_id, report
+
+            running.add(asyncio.create_task(serve()))
+        shard_reports = {}
+        while running:
+            done, running = await asyncio.wait(running, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                shard_id, report = task.result()
+                shard_reports[shard_id] = report
+                await self._send(
+                    writer,
+                    DispatchShardReply(
+                        shard_id=shard_id, report=WireBatchReport.from_report(report)
+                    ),
+                )
+        merged = self.coordinator.merge_reports(
+            shard_reports, dispatch_seconds=time.perf_counter() - started
+        )
+        await self._send(
+            writer,
+            DispatchDoneReply(
+                dispatch_seconds=merged.dispatch_seconds,
+                admission=WireAdmissionStats.from_stats(merged.admission),
+                expired=tuple(expired),
+            ),
+        )
+
+    def _stats(self) -> StatsReply:
+        return StatsReply(
+            admission=WireAdmissionStats.from_stats(self.coordinator.admission_totals()),
+            queue_depths=dict(self.coordinator.queue_depths()),
+            shard_count=self.coordinator.shard_count,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the listener and join the loop thread; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=10)
+        if self._family == "unix" and self._socket_path:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClusterGateway":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,293 @@
+"""A shard as a real server process: asyncio frames around a :class:`ShardWorker`.
+
+The in-process cluster keeps every shard in the coordinator's interpreter;
+this module promotes one shard to its own **spawned** process running an
+asyncio frame server.  The division of labour is unchanged — placement,
+admission, and planning stay coordinator-side; the shard owns its service,
+artifact cache, and metrics — but the :class:`~repro.cluster.ShardQuery`
+hand-off now crosses the wire as a
+:class:`~repro.wire.messages.ShardProcessRequest`.
+
+Three pieces:
+
+* :class:`ShardServerConfig` — everything the child needs, picklable for the
+  ``spawn`` start method (``fork`` is unsafe here: the parent holds live
+  thread pools).
+* :func:`serve_shard` / ``_shard_server_main`` — the child entrypoint: build
+  the worker, bind (unix socket or TCP port 0), report the actual bound
+  address through the ready pipe, serve until :class:`~repro.wire.messages.Shutdown`.
+* :class:`RemoteShard` — the coordinator-side handle with the same
+  ``process`` / ``as_row`` / ``close`` surface as :class:`ShardWorker`, so the
+  coordinator's scatter/gather code cannot tell local from remote.
+
+Remote limitations, by design: the cluster's shared
+:class:`~repro.planner.QueryPlanner` does not cross the process boundary
+(plans ship inside each query; the ``adaptive`` policy's timing feedback only
+calibrates from local shards), and remote shards must execute with thread
+parallelism (a daemonic server process cannot fork process pools).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.worker import ShardQuery, ShardWorker
+from repro.hierarchy.builder import HierarchyParameters
+from repro.metrics import MetricsRegistry, default_registry
+from repro.net import address as net_address
+from repro.net.frames import NetInstruments, read_frame, recv_frame, send_frame, write_frame
+from repro.planner import ExecutionPlan
+from repro.service.service import BatchReport
+from repro.wire.messages import (
+    ErrorReply,
+    Ping,
+    Pong,
+    ShardProcessReply,
+    ShardProcessRequest,
+    ShardStatsReply,
+    ShardStatsRequest,
+    Shutdown,
+    ShutdownAck,
+    WireBatchReport,
+    WireMessage,
+)
+
+__all__ = ["ShardServerConfig", "serve_shard", "start_shard_server", "RemoteShard"]
+
+#: How long the parent waits for a child to report its bound address.
+READY_TIMEOUT_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class ShardServerConfig:
+    """Everything one shard server process needs (picklable for ``spawn``).
+
+    ``family`` picks the listener: ``"unix"`` binds ``socket_path`` (required)
+    and ``"inet"`` binds ``host`` on an ephemeral port; either way the child
+    reports the actual bound address back before serving.
+    """
+
+    shard_id: str
+    family: str = "unix"
+    socket_path: str | None = None
+    host: str = "127.0.0.1"
+    epsilon: float = 0.5
+    psi: float | None = None
+    hierarchy_params: HierarchyParameters | None = None
+    cache_capacity: int = 8
+    default_plan: ExecutionPlan | None = None
+    backend_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in net_address.FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}; use one of {net_address.FAMILIES}")
+        if self.family == "unix" and not self.socket_path:
+            raise ValueError("a unix shard server needs socket_path")
+        if self.default_plan is not None and self.default_plan.parallelism == "processes":
+            raise ValueError(
+                "remote shards run as daemonic server processes and cannot fork "
+                "process pools; use parallelism='threads' in the default plan"
+            )
+
+
+async def serve_shard(config: ShardServerConfig, ready=None) -> None:
+    """Serve one shard until a ``Shutdown`` frame arrives (the child's main loop)."""
+    worker = ShardWorker(
+        config.shard_id,
+        epsilon=config.epsilon,
+        psi=config.psi,
+        hierarchy_params=config.hierarchy_params,
+        cache_capacity=config.cache_capacity,
+        default_plan=config.default_plan,
+        metrics=default_registry(),
+    )
+    instruments = NetInstruments(worker.metrics, role="shard")
+    stop = asyncio.Event()
+    # One slice at a time: the worker's service batches internally, and
+    # serialising slices keeps per-shard signatures deterministic.
+    process_lock = asyncio.Lock()
+
+    async def reply_for(message: WireMessage) -> WireMessage:
+        if isinstance(message, ShardProcessRequest):
+            async with process_lock:
+                report = await asyncio.to_thread(worker.process, message.to_queries())
+            return ShardProcessReply(report=WireBatchReport.from_report(report))
+        if isinstance(message, ShardStatsRequest):
+            return ShardStatsReply(row=dict(worker.as_row()))
+        if isinstance(message, Ping):
+            return Pong()
+        if isinstance(message, Shutdown):
+            return ShutdownAck()
+        return ErrorReply(code="unsupported", message=f"shard cannot serve {message.type!r}")
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        instruments.connection_opened()
+        try:
+            while True:
+                message = await read_frame(reader, instruments)
+                if message is None:
+                    break
+                try:
+                    reply = await reply_for(message)
+                except Exception as error:  # noqa: BLE001 - reported to the peer
+                    reply = ErrorReply(
+                        code="shard-error", message=f"{type(error).__name__}: {error}"
+                    )
+                await write_frame(writer, reply, instruments=instruments)
+                if isinstance(reply, ShutdownAck):
+                    stop.set()
+                    break
+        finally:
+            instruments.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    if config.family == "unix":
+        server = await asyncio.start_unix_server(handle, path=config.socket_path)
+        bound = ("unix", config.socket_path)
+    else:
+        server = await asyncio.start_server(handle, host=config.host, port=0)
+        bound = ("inet", config.host, server.sockets[0].getsockname()[1])
+    if ready is not None:
+        ready.send(bound)
+        ready.close()
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        worker.close()
+
+
+def _shard_server_main(config: ShardServerConfig, ready) -> None:
+    """Child-process entrypoint (module-level so ``spawn`` can import it)."""
+    asyncio.run(serve_shard(config, ready))
+
+
+class RemoteShard:
+    """The coordinator-side handle of one shard server process.
+
+    Drop-in for :class:`~repro.cluster.ShardWorker` where the coordinator is
+    concerned: ``process(items)`` ships the slice as one
+    :class:`ShardProcessRequest` and returns the decoded
+    :class:`~repro.service.BatchReport`; ``as_row()`` fetches the shard's
+    lifetime stats over the wire.  One connection, one in-flight request
+    (guarded by a lock) — the coordinator already fans out across shards, not
+    within one.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        process: multiprocessing.process.BaseProcess,
+        address: tuple,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.child = process
+        self.address = address
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._instruments = NetInstruments(self.metrics, role="coordinator")
+        self._lock = threading.Lock()
+        self._sock = None
+        self._closed = False
+
+    def _connection(self):
+        if self._sock is None:
+            self._sock = net_address.connect(self.address, timeout=READY_TIMEOUT_SECONDS)
+            self._instruments.connection_opened()
+        return self._sock
+
+    def _request(self, message: WireMessage) -> WireMessage:
+        if self._closed:
+            raise RuntimeError(f"shard {self.shard_id} handle is closed")
+        with self._lock:
+            sock = self._connection()
+            send_frame(sock, message, instruments=self._instruments)
+            reply = recv_frame(sock, instruments=self._instruments)
+        if reply is None:
+            raise ConnectionError(f"shard {self.shard_id} closed the connection")
+        if isinstance(reply, ErrorReply):
+            raise RuntimeError(f"shard {self.shard_id}: [{reply.code}] {reply.message}")
+        return reply
+
+    def ping(self) -> bool:
+        return isinstance(self._request(Ping()), Pong)
+
+    def process(self, items: list[ShardQuery]) -> BatchReport:
+        """Serve one scatter slice remotely; same contract as ``ShardWorker.process``."""
+        reply = self._request(ShardProcessRequest.from_queries(items))
+        if not isinstance(reply, ShardProcessReply):
+            raise RuntimeError(f"shard {self.shard_id} sent {reply.type!r}, expected a report")
+        return reply.report.to_report()
+
+    def as_row(self) -> dict[str, object]:
+        reply = self._request(ShardStatsRequest())
+        if not isinstance(reply, ShardStatsReply):
+            raise RuntimeError(f"shard {self.shard_id} sent {reply.type!r}, expected stats")
+        return dict(reply.row)
+
+    def close(self) -> None:
+        """Orderly shutdown: ask, close the socket, reap the child; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    send_frame(self._sock, Shutdown(), instruments=self._instruments)
+                    recv_frame(self._sock, instruments=self._instruments)
+                except (OSError, RuntimeError, ValueError):
+                    pass
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+                    self._instruments.connection_closed()
+        self.child.join(timeout=10)
+        if self.child.is_alive():  # pragma: no cover - only on a wedged child
+            self.child.terminate()
+            self.child.join(timeout=5)
+        if self.address[0] == "unix":
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+
+
+def start_shard_server(
+    config: ShardServerConfig, metrics: MetricsRegistry | None = None
+) -> RemoteShard:
+    """Spawn one shard server process and return its connected handle.
+
+    Blocks until the child reports its bound address (or
+    :data:`READY_TIMEOUT_SECONDS` pass — a child that dies during import
+    surfaces here, not as a hung dispatch).
+    """
+    context = multiprocessing.get_context("spawn")
+    parent_end, child_end = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_shard_server_main,
+        args=(config, child_end),
+        name=f"repro-shard-{config.shard_id}",
+        daemon=True,
+    )
+    process.start()
+    child_end.close()
+    deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+    while not parent_end.poll(0.1):
+        if not process.is_alive():
+            raise RuntimeError(f"shard server {config.shard_id} died before binding")
+        if time.monotonic() > deadline:
+            process.terminate()
+            raise TimeoutError(f"shard server {config.shard_id} did not bind in time")
+    bound = parent_end.recv()
+    parent_end.close()
+    return RemoteShard(config.shard_id, process, tuple(bound), metrics=metrics)

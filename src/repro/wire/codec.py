@@ -1,0 +1,122 @@
+"""Payload codecs for the wire layer: msgpack when available, JSON otherwise.
+
+A wire message body is one flat payload dict (plain strings, numbers, lists,
+and dicts — see :mod:`repro.wire.messages`); this module turns that dict into
+bytes and back.  Two codecs are defined:
+
+* ``CODEC_JSON`` — always available (the stdlib), compact separators, UTF-8;
+* ``CODEC_MSGPACK`` — used automatically when the optional ``msgpack``
+  package is importable (the container this repo targets does not bake it
+  in, so the import is gated rather than required).
+
+Every encoded frame names its codec by id (one byte on the wire — see
+:mod:`repro.net.frames`), so a JSON-only peer can always decode a JSON frame
+and a msgpack-capable peer can answer in whichever codec the request used.
+Encoding a value the codec cannot represent raises :class:`WireEncodeError`
+rather than shipping a lossy approximation — the wire schema is restricted to
+JSON-safe scalars by design (fingerprints must agree across the wire).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "WIRE_VERSION",
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "HAVE_MSGPACK",
+    "DEFAULT_CODEC",
+    "WireError",
+    "WireEncodeError",
+    "WireDecodeError",
+    "SchemaVersionError",
+    "codec_name",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: The current wire schema version.  Every message payload carries it as
+#: ``"v"``; decoding rejects any other value (rolling upgrades within one
+#: version instead rely on unknown-field tolerance).
+WIRE_VERSION = 1
+
+CODEC_JSON = 0
+CODEC_MSGPACK = 1
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack as _msgpack
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - the default in this container
+    _msgpack = None
+    HAVE_MSGPACK = False
+
+#: The codec new frames are encoded with (decoding always accepts both).
+DEFAULT_CODEC = CODEC_MSGPACK if HAVE_MSGPACK else CODEC_JSON
+
+_CODEC_NAMES = {CODEC_JSON: "json", CODEC_MSGPACK: "msgpack"}
+
+
+class WireError(Exception):
+    """Base class for every wire-layer failure."""
+
+
+class WireEncodeError(WireError):
+    """A value cannot be represented in the wire schema (not JSON-safe)."""
+
+
+class WireDecodeError(WireError):
+    """Received bytes do not decode to a valid wire payload."""
+
+
+class SchemaVersionError(WireDecodeError):
+    """The peer speaks a different wire schema version."""
+
+
+def codec_name(codec: int) -> str:
+    """Human-readable name of a codec id (for errors and reports)."""
+    return _CODEC_NAMES.get(codec, f"unknown({codec})")
+
+
+def encode_payload(payload: dict[str, Any], codec: int | None = None) -> tuple[int, bytes]:
+    """Encode one payload dict; returns ``(codec_id, body_bytes)``.
+
+    ``codec=None`` picks :data:`DEFAULT_CODEC`.  Asking for msgpack without
+    the package installed falls back to JSON (the frame records what was
+    actually used, so the peer never guesses).
+    """
+    if codec is None:
+        codec = DEFAULT_CODEC
+    if codec == CODEC_MSGPACK and HAVE_MSGPACK:  # pragma: no cover - optional dep
+        try:
+            return CODEC_MSGPACK, _msgpack.packb(payload, use_bin_type=True)
+        except (TypeError, ValueError) as error:
+            raise WireEncodeError(f"payload is not msgpack-serializable: {error}") from error
+    try:
+        body = json.dumps(payload, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise WireEncodeError(f"payload is not JSON-serializable: {error}") from error
+    return CODEC_JSON, body.encode("utf-8")
+
+
+def decode_payload(codec: int, body: bytes) -> dict[str, Any]:
+    """Decode one frame body back into its payload dict."""
+    if codec == CODEC_MSGPACK:
+        if not HAVE_MSGPACK:  # pragma: no cover - depends on the environment
+            raise WireDecodeError("received a msgpack frame but msgpack is not installed")
+        try:  # pragma: no cover - optional dep
+            payload = _msgpack.unpackb(body, raw=False)
+        except Exception as error:  # pragma: no cover - optional dep
+            raise WireDecodeError(f"invalid msgpack body: {error}") from error
+    elif codec == CODEC_JSON:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireDecodeError(f"invalid JSON body: {error}") from error
+    else:
+        raise WireDecodeError(f"unknown codec id {codec}")
+    if not isinstance(payload, dict):
+        raise WireDecodeError(f"wire payload must be a dict, got {type(payload).__name__}")
+    return payload

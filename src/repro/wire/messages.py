@@ -1,0 +1,1125 @@
+"""Versioned, transport-neutral message dataclasses for the cluster tier.
+
+Before this module the coordinator, the shard workers, and every report
+consumer exchanged *live Python objects* (``ShardQuery`` carrying an
+``nx.Graph``, ``BatchReport`` carrying backend-native result objects) — fine
+inside one interpreter, impossible across a socket.  The wire layer redraws
+that API: every message that crosses a layer boundary has a transport-neutral
+dataclass here with
+
+* an explicit ``schema_version`` field (payloads carry it as ``"v"``; a
+  mismatched version is rejected at decode time with
+  :class:`~repro.wire.codec.SchemaVersionError`);
+* ``to_wire()`` / ``from_wire()`` — bytes via the msgpack-or-JSON codecs of
+  :mod:`repro.wire.codec` (one codec id byte + body; framing lives in
+  :mod:`repro.net.frames`);
+* **unknown-field tolerance** — ``from_payload`` reads only the fields it
+  knows, so a same-version peer that has grown extra fields (a rolling
+  upgrade) still interoperates.
+
+Two groups of messages are defined:
+
+1. **Schema mirrors** of the in-process serving types —
+   :class:`WireGraph`, :class:`WireRequest`, :class:`WirePlan`,
+   :class:`WireShardQuery`, :class:`WireRouteResult`,
+   :class:`WireQueryResult`, :class:`WireBatchReport`,
+   :class:`WireAdmissionStats`, :class:`WireClusterReport` — each with
+   ``from_*``/``to_*`` converters.  The mirrors preserve every field that
+   :meth:`~repro.service.BatchReport.signature` and
+   :meth:`~repro.cluster.ClusterReport.signature` cover, which is what makes
+   signatures byte-identical across ``transport="local"`` and
+   ``transport="tcp"`` (``raw`` backend objects and non-scalar ``extra``
+   diagnostics are deliberately dropped — they are process-local).
+2. **Protocol messages** for the transports in :mod:`repro.net` — shard RPC
+   (:class:`ShardProcessRequest` / :class:`ShardProcessReply`), the gateway's
+   client API (:class:`SubmitRequest` .. :class:`DispatchDoneReply`), and the
+   control plane (:class:`Ping`, :class:`Shutdown`, :class:`ErrorReply`).
+
+Wire values are restricted to JSON-safe trees (str keys; str / int / float /
+bool / None leaves; nested lists and dicts).  Graph vertices and edge data
+must be JSON-safe scalars — every graph the generators produce qualifies, and
+the restriction is what guarantees the *reconstructed* graph has the same
+canonical fingerprint as the original (the parity the placement layer needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Mapping, Sequence, TypeVar
+
+import networkx as nx
+
+from repro.cluster.admission import AdmissionStats
+from repro.cluster.worker import ShardQuery
+from repro.core.tokens import RoutingRequest
+from repro.planner import ExecutionPlan
+from repro.service.service import BatchReport, QueryResult
+from repro.wire.codec import (
+    WIRE_VERSION,
+    SchemaVersionError,
+    WireDecodeError,
+    WireEncodeError,
+    decode_payload,
+    encode_payload,
+)
+
+__all__ = [
+    "WireMessage",
+    "decode_message",
+    "message_from_wire",
+    "WireGraph",
+    "WireRequest",
+    "WirePlan",
+    "WireShardQuery",
+    "WireRouteResult",
+    "WireQueryResult",
+    "WireBatchReport",
+    "WireAdmissionStats",
+    "WireClusterReport",
+    "Ping",
+    "Pong",
+    "Shutdown",
+    "ShutdownAck",
+    "ErrorReply",
+    "ShardProcessRequest",
+    "ShardProcessReply",
+    "ShardStatsRequest",
+    "ShardStatsReply",
+    "SubmitRequest",
+    "SubmitReply",
+    "DispatchRequest",
+    "DispatchShardReply",
+    "DispatchDoneReply",
+    "StatsRequest",
+    "StatsReply",
+]
+
+_SCALARS = (str, int, float, bool)
+
+
+def _scalar(value: Any, what: str) -> Any:
+    """``value`` as a JSON-safe scalar (unwraps numpy scalars), or raise."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    item = getattr(value, "item", None)  # numpy scalar -> python scalar
+    if callable(item):
+        unwrapped = item()
+        if unwrapped is None or isinstance(unwrapped, _SCALARS):
+            return unwrapped
+    raise WireEncodeError(f"{what} {value!r} ({type(value).__name__}) is not wire-safe")
+
+
+def _tree(value: Any, what: str) -> Any:
+    """``value`` as a JSON-safe tree (scalars, lists, str-keyed dicts)."""
+    if isinstance(value, (list, tuple)):
+        return [_tree(entry, what) for entry in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise WireEncodeError(f"{what} key {key!r} is not a string")
+            out[key] = _tree(entry, what)
+        return out
+    return _scalar(value, what)
+
+
+def _safe_tree(value: Any) -> tuple[bool, Any]:
+    """Best-effort :func:`_tree`; ``(ok, encoded)`` instead of raising."""
+    try:
+        return True, _tree(value, "value")
+    except WireEncodeError:
+        return False, None
+
+
+_M = TypeVar("_M", bound="WireMessage")
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """Base class: version checking, the type registry, and the byte codecs.
+
+    Subclasses declare a unique ``type`` tag, implement ``to_payload`` /
+    ``_fields_from_payload``, and are registered via :func:`_register` so
+    :func:`decode_message` can dispatch on the tag.
+    """
+
+    type: ClassVar[str] = ""
+
+    def _envelope(self) -> dict[str, Any]:
+        return {"type": self.type, "v": self.schema_version}
+
+    def to_payload(self) -> dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """The constructor kwargs encoded in ``payload`` (known fields only)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    @classmethod
+    def from_payload(cls: type[_M], payload: Mapping[str, Any]) -> _M:
+        """Decode one payload dict (version-checked, unknown fields ignored)."""
+        version = payload.get("v")
+        if version != WIRE_VERSION:
+            raise SchemaVersionError(
+                f"{cls.type or cls.__name__}: wire schema v{version!r} is not "
+                f"supported (this peer speaks v{WIRE_VERSION})"
+            )
+        declared = payload.get("type")
+        if declared is not None and cls.type and declared != cls.type:
+            raise WireDecodeError(f"expected message type {cls.type!r}, got {declared!r}")
+        try:
+            return cls(schema_version=version, **cls._fields_from_payload(payload))
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise WireDecodeError(f"malformed {cls.type!r} payload: {error}") from error
+
+    def to_wire(self, codec: int | None = None) -> bytes:
+        """This message as bytes: one codec id byte followed by the body."""
+        codec_id, body = encode_payload(self.to_payload(), codec)
+        return bytes((codec_id,)) + body
+
+    @classmethod
+    def from_wire(cls: type[_M], data: bytes) -> _M:
+        """Decode :meth:`to_wire` bytes; subclasses additionally check the type."""
+        if not data:
+            raise WireDecodeError("empty wire message")
+        message = decode_message(decode_payload(data[0], data[1:]))
+        if cls is not WireMessage and not isinstance(message, cls):
+            raise WireDecodeError(
+                f"expected a {cls.type!r} message, got {message.type!r}"
+            )
+        return message
+
+
+_MESSAGE_TYPES: dict[str, type[WireMessage]] = {}
+
+
+def _register(cls: type[_M]) -> type[_M]:
+    if not cls.type or cls.type in _MESSAGE_TYPES:
+        raise ValueError(f"wire message type {cls.type!r} is missing or duplicated")
+    _MESSAGE_TYPES[cls.type] = cls
+    return cls
+
+
+def decode_message(payload: Mapping[str, Any]) -> WireMessage:
+    """Dispatch one decoded payload dict to its registered message class."""
+    tag = payload.get("type")
+    cls = _MESSAGE_TYPES.get(tag)
+    if cls is None:
+        raise WireDecodeError(f"unknown wire message type {tag!r}")
+    return cls.from_payload(payload)
+
+
+def message_from_wire(data: bytes) -> WireMessage:
+    """Decode any registered message from :meth:`WireMessage.to_wire` bytes."""
+    return WireMessage.from_wire(data)
+
+
+# -- schema mirrors ----------------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class WireGraph(WireMessage):
+    """A graph as plain data: vertex list plus ``(u, v, data)`` edge rows.
+
+    Vertices and edge-data values must be JSON-safe scalars; the reconstructed
+    graph then produces the *same canonical fingerprint payload* as the
+    original, so placement keys and cache keys agree across the wire.
+    """
+
+    type: ClassVar[str] = "graph"
+
+    nodes: tuple = ()
+    edges: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "WireGraph":
+        nodes = tuple(_scalar(node, "graph vertex") for node in graph.nodes())
+        edges = tuple(
+            (
+                _scalar(u, "graph vertex"),
+                _scalar(v, "graph vertex"),
+                {str(key): _scalar(value, "edge data") for key, value in data.items()},
+            )
+            for u, v, data in graph.edges(data=True)
+        )
+        return cls(nodes=nodes, edges=edges)
+
+    def to_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        for u, v, data in self.edges:
+            graph.add_edge(u, v, **data)
+        return graph
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["nodes"] = list(self.nodes)
+        payload["edges"] = [[u, v, dict(data)] for u, v, data in self.edges]
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "nodes": tuple(payload["nodes"]),
+            "edges": tuple((u, v, dict(data)) for u, v, data in payload["edges"]),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireRequest(WireMessage):
+    """One routing request (source, destination, optional scalar payload)."""
+
+    type: ClassVar[str] = "request"
+
+    source: Any = None
+    destination: Any = None
+    payload: Any = None
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_request(cls, request: RoutingRequest) -> "WireRequest":
+        return cls(
+            source=_scalar(request.source, "request source"),
+            destination=_scalar(request.destination, "request destination"),
+            payload=_tree(request.payload, "request payload"),
+        )
+
+    def to_request(self) -> RoutingRequest:
+        return RoutingRequest(
+            source=self.source, destination=self.destination, payload=self.payload
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["source"] = self.source
+        payload["destination"] = self.destination
+        payload["payload"] = self.payload
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "source": payload["source"],
+            "destination": payload["destination"],
+            "payload": payload.get("payload"),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WirePlan(WireMessage):
+    """An :class:`~repro.planner.ExecutionPlan` as plain data.
+
+    Every field of the plan is carried — including placement and provenance —
+    so the reconstructed plan is ``==`` to the original and its
+    ``semantic_id`` / ``plan_id`` hashes are byte-identical (backend
+    parameters are JSON-safe scalars, whose ``repr`` survives the round
+    trip).
+    """
+
+    type: ClassVar[str] = "plan"
+
+    backend: str = ""
+    backend_params: dict = field(default_factory=dict)
+    kernel: str = "numpy"
+    parallelism: str = "threads"
+    max_workers: int | None = None
+    chunk_size: int | None = None
+    shard_hint: str | None = None
+    policy: str = "fixed"
+    reason: str = ""
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_plan(cls, plan: ExecutionPlan) -> "WirePlan":
+        return cls(
+            backend=plan.backend,
+            backend_params=_tree(dict(plan.backend_params), "backend params"),
+            kernel=plan.kernel,
+            parallelism=plan.parallelism,
+            max_workers=plan.max_workers,
+            chunk_size=plan.chunk_size,
+            shard_hint=plan.shard_hint,
+            policy=plan.policy,
+            reason=plan.reason,
+        )
+
+    def to_plan(self) -> ExecutionPlan:
+        return ExecutionPlan(
+            backend=self.backend,
+            backend_params=dict(self.backend_params),
+            kernel=self.kernel,
+            parallelism=self.parallelism,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            shard_hint=self.shard_hint,
+            policy=self.policy,
+            reason=self.reason,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["backend"] = self.backend
+        payload["backend_params"] = dict(self.backend_params)
+        payload["kernel"] = self.kernel
+        payload["parallelism"] = self.parallelism
+        payload["max_workers"] = self.max_workers
+        payload["chunk_size"] = self.chunk_size
+        payload["shard_hint"] = self.shard_hint
+        payload["policy"] = self.policy
+        payload["reason"] = self.reason
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "backend": payload["backend"],
+            "backend_params": dict(payload.get("backend_params") or {}),
+            "kernel": payload.get("kernel", "numpy"),
+            "parallelism": payload.get("parallelism", "threads"),
+            "max_workers": payload.get("max_workers"),
+            "chunk_size": payload.get("chunk_size"),
+            "shard_hint": payload.get("shard_hint"),
+            "policy": payload.get("policy", "fixed"),
+            "reason": payload.get("reason", ""),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireShardQuery(WireMessage):
+    """The coordinator→shard hand-off (:class:`~repro.cluster.ShardQuery`) on the wire."""
+
+    type: ClassVar[str] = "shard-query"
+
+    fingerprint: str = ""
+    graph: WireGraph = field(default_factory=WireGraph)
+    requests: tuple = ()
+    load: int | None = None
+    backend: str = ""
+    backend_params: dict = field(default_factory=dict)
+    workload: str = ""
+    plan: WirePlan | None = None
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_shard_query(cls, query: ShardQuery) -> "WireShardQuery":
+        return cls(
+            fingerprint=query.fingerprint,
+            graph=WireGraph.from_graph(query.graph),
+            requests=tuple(WireRequest.from_request(request) for request in query.requests),
+            load=query.load,
+            backend=query.backend,
+            backend_params=_tree(dict(query.backend_params), "backend params"),
+            workload=query.workload,
+            plan=WirePlan.from_plan(query.plan) if query.plan is not None else None,
+        )
+
+    def to_shard_query(self) -> ShardQuery:
+        return ShardQuery(
+            fingerprint=self.fingerprint,
+            graph=self.graph.to_graph(),
+            requests=tuple(request.to_request() for request in self.requests),
+            load=self.load,
+            backend=self.backend,
+            backend_params=dict(self.backend_params),
+            workload=self.workload,
+            plan=self.plan.to_plan() if self.plan is not None else None,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["fingerprint"] = self.fingerprint
+        payload["graph"] = self.graph.to_payload()
+        payload["requests"] = [request.to_payload() for request in self.requests]
+        payload["load"] = self.load
+        payload["backend"] = self.backend
+        payload["backend_params"] = dict(self.backend_params)
+        payload["workload"] = self.workload
+        payload["plan"] = self.plan.to_payload() if self.plan is not None else None
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        plan = payload.get("plan")
+        return {
+            "fingerprint": payload["fingerprint"],
+            "graph": WireGraph.from_payload(payload["graph"]),
+            "requests": tuple(
+                WireRequest.from_payload(entry) for entry in payload.get("requests", [])
+            ),
+            "load": payload.get("load"),
+            "backend": payload["backend"],
+            "backend_params": dict(payload.get("backend_params") or {}),
+            "workload": payload.get("workload", ""),
+            "plan": WirePlan.from_payload(plan) if plan is not None else None,
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireRouteResult(WireMessage):
+    """The shared :class:`~repro.backends.RouteResult` schema on the wire.
+
+    ``raw`` (the backend-native outcome object) never crosses the wire, and
+    ``extra`` keeps only its JSON-safe entries — both are diagnostics; every
+    field the batch signature covers is preserved exactly.
+    """
+
+    type: ClassVar[str] = "route-result"
+
+    backend: str = ""
+    delivered: int = 0
+    total_tokens: int = 0
+    query_rounds: int = 0
+    preprocess_rounds: int = 0
+    load: int = 1
+    extra: dict = field(default_factory=dict)
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_result(cls, result) -> "WireRouteResult":
+        extra = {}
+        for key, value in getattr(result, "extra", {}).items():
+            ok, encoded = _safe_tree(value)
+            if ok:
+                extra[str(key)] = encoded
+        return cls(
+            backend=result.backend,
+            delivered=int(result.delivered),
+            total_tokens=int(result.total_tokens),
+            query_rounds=int(result.query_rounds),
+            preprocess_rounds=int(result.preprocess_rounds),
+            load=int(result.load),
+            extra=extra,
+        )
+
+    def to_result(self):
+        from repro.backends.base import RouteResult
+
+        return RouteResult(
+            backend=self.backend,
+            delivered=self.delivered,
+            total_tokens=self.total_tokens,
+            query_rounds=self.query_rounds,
+            preprocess_rounds=self.preprocess_rounds,
+            load=self.load,
+            extra=dict(self.extra),
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["backend"] = self.backend
+        payload["delivered"] = self.delivered
+        payload["total_tokens"] = self.total_tokens
+        payload["query_rounds"] = self.query_rounds
+        payload["preprocess_rounds"] = self.preprocess_rounds
+        payload["load"] = self.load
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "backend": payload["backend"],
+            "delivered": int(payload["delivered"]),
+            "total_tokens": int(payload["total_tokens"]),
+            "query_rounds": int(payload["query_rounds"]),
+            "preprocess_rounds": int(payload["preprocess_rounds"]),
+            "load": int(payload.get("load", 1)),
+            "extra": dict(payload.get("extra") or {}),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireQueryResult(WireMessage):
+    """One :class:`~repro.service.QueryResult` on the wire."""
+
+    type: ClassVar[str] = "query-result"
+
+    query_id: int = 0
+    fingerprint: str = ""
+    backend: str = ""
+    outcome: WireRouteResult = field(default_factory=WireRouteResult)
+    cache_hit: bool = False
+    seconds: float = 0.0
+    workload: str = ""
+    plan: WirePlan | None = None
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_result(cls, result: QueryResult) -> "WireQueryResult":
+        return cls(
+            query_id=int(result.query_id),
+            fingerprint=result.fingerprint,
+            backend=result.backend,
+            outcome=WireRouteResult.from_result(result.outcome),
+            cache_hit=bool(result.cache_hit),
+            seconds=float(result.seconds),
+            workload=result.workload,
+            plan=WirePlan.from_plan(result.plan) if result.plan is not None else None,
+        )
+
+    def to_result(self) -> QueryResult:
+        return QueryResult(
+            query_id=self.query_id,
+            fingerprint=self.fingerprint,
+            backend=self.backend,
+            outcome=self.outcome.to_result(),
+            cache_hit=self.cache_hit,
+            seconds=self.seconds,
+            workload=self.workload,
+            plan=self.plan.to_plan() if self.plan is not None else None,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["query_id"] = self.query_id
+        payload["fingerprint"] = self.fingerprint
+        payload["backend"] = self.backend
+        payload["outcome"] = self.outcome.to_payload()
+        payload["cache_hit"] = self.cache_hit
+        payload["seconds"] = self.seconds
+        payload["workload"] = self.workload
+        payload["plan"] = self.plan.to_payload() if self.plan is not None else None
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        plan = payload.get("plan")
+        return {
+            "query_id": int(payload["query_id"]),
+            "fingerprint": payload["fingerprint"],
+            "backend": payload["backend"],
+            "outcome": WireRouteResult.from_payload(payload["outcome"]),
+            "cache_hit": bool(payload["cache_hit"]),
+            "seconds": float(payload.get("seconds", 0.0)),
+            "workload": payload.get("workload", ""),
+            "plan": WirePlan.from_payload(plan) if plan is not None else None,
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireBatchReport(WireMessage):
+    """A shard's reply — :class:`~repro.service.BatchReport` — on the wire.
+
+    ``from_report(report).to_report().signature() == report.signature()``
+    byte for byte: every count, round total, and per-result field the
+    signature covers is carried exactly.
+    """
+
+    type: ClassVar[str] = "batch-report"
+
+    results: tuple = ()
+    distinct_graphs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    preprocess_rounds_incurred: int = 0
+    preprocess_rounds_reused: int = 0
+    preprocess_seconds: float = 0.0
+    route_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_report(cls, report: BatchReport) -> "WireBatchReport":
+        return cls(
+            results=tuple(WireQueryResult.from_result(result) for result in report.results),
+            distinct_graphs=int(report.distinct_graphs),
+            cache_hits=int(report.cache_hits),
+            cache_misses=int(report.cache_misses),
+            preprocess_rounds_incurred=int(report.preprocess_rounds_incurred),
+            preprocess_rounds_reused=int(report.preprocess_rounds_reused),
+            preprocess_seconds=float(report.preprocess_seconds),
+            route_seconds=float(report.route_seconds),
+            wall_seconds=float(report.wall_seconds),
+        )
+
+    def to_report(self) -> BatchReport:
+        return BatchReport(
+            results=[result.to_result() for result in self.results],
+            distinct_graphs=self.distinct_graphs,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            preprocess_rounds_incurred=self.preprocess_rounds_incurred,
+            preprocess_rounds_reused=self.preprocess_rounds_reused,
+            preprocess_seconds=self.preprocess_seconds,
+            route_seconds=self.route_seconds,
+            wall_seconds=self.wall_seconds,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["results"] = [result.to_payload() for result in self.results]
+        payload["distinct_graphs"] = self.distinct_graphs
+        payload["cache_hits"] = self.cache_hits
+        payload["cache_misses"] = self.cache_misses
+        payload["preprocess_rounds_incurred"] = self.preprocess_rounds_incurred
+        payload["preprocess_rounds_reused"] = self.preprocess_rounds_reused
+        payload["preprocess_seconds"] = self.preprocess_seconds
+        payload["route_seconds"] = self.route_seconds
+        payload["wall_seconds"] = self.wall_seconds
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "results": tuple(
+                WireQueryResult.from_payload(entry) for entry in payload.get("results", [])
+            ),
+            "distinct_graphs": int(payload.get("distinct_graphs", 0)),
+            "cache_hits": int(payload.get("cache_hits", 0)),
+            "cache_misses": int(payload.get("cache_misses", 0)),
+            "preprocess_rounds_incurred": int(payload.get("preprocess_rounds_incurred", 0)),
+            "preprocess_rounds_reused": int(payload.get("preprocess_rounds_reused", 0)),
+            "preprocess_seconds": float(payload.get("preprocess_seconds", 0.0)),
+            "route_seconds": float(payload.get("route_seconds", 0.0)),
+            "wall_seconds": float(payload.get("wall_seconds", 0.0)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireAdmissionStats(WireMessage):
+    """The admission ledger (:class:`~repro.cluster.AdmissionStats`) on the wire."""
+
+    type: ClassVar[str] = "admission-stats"
+
+    offered: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_stats(cls, stats: AdmissionStats) -> "WireAdmissionStats":
+        return cls(
+            offered=int(stats.offered),
+            accepted=int(stats.accepted),
+            rejected=int(stats.rejected),
+            shed=int(stats.shed),
+        )
+
+    def to_stats(self) -> AdmissionStats:
+        return AdmissionStats(
+            offered=self.offered,
+            accepted=self.accepted,
+            rejected=self.rejected,
+            shed=self.shed,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["offered"] = self.offered
+        payload["accepted"] = self.accepted
+        payload["rejected"] = self.rejected
+        payload["shed"] = self.shed
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "offered": int(payload.get("offered", 0)),
+            "accepted": int(payload.get("accepted", 0)),
+            "rejected": int(payload.get("rejected", 0)),
+            "shed": int(payload.get("shed", 0)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class WireClusterReport(WireMessage):
+    """A merged dispatch cycle (:class:`~repro.cluster.ClusterReport`) on the wire."""
+
+    type: ClassVar[str] = "cluster-report"
+
+    shard_reports: dict = field(default_factory=dict)
+    dispatch_seconds: float = 0.0
+    admission: WireAdmissionStats = field(default_factory=WireAdmissionStats)
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_report(cls, report) -> "WireClusterReport":
+        return cls(
+            shard_reports={
+                shard_id: WireBatchReport.from_report(shard_report)
+                for shard_id, shard_report in report.shard_reports.items()
+            },
+            dispatch_seconds=float(report.dispatch_seconds),
+            admission=WireAdmissionStats.from_stats(report.admission),
+        )
+
+    def to_report(self):
+        from repro.cluster.coordinator import ClusterReport
+
+        return ClusterReport(
+            shard_reports={
+                shard_id: wire_report.to_report()
+                for shard_id, wire_report in self.shard_reports.items()
+            },
+            dispatch_seconds=self.dispatch_seconds,
+            admission=self.admission.to_stats(),
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["shard_reports"] = {
+            shard_id: report.to_payload() for shard_id, report in self.shard_reports.items()
+        }
+        payload["dispatch_seconds"] = self.dispatch_seconds
+        payload["admission"] = self.admission.to_payload()
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "shard_reports": {
+                shard_id: WireBatchReport.from_payload(entry)
+                for shard_id, entry in (payload.get("shard_reports") or {}).items()
+            },
+            "dispatch_seconds": float(payload.get("dispatch_seconds", 0.0)),
+            "admission": WireAdmissionStats.from_payload(
+                payload.get("admission") or WireAdmissionStats().to_payload()
+            ),
+        }
+
+
+# -- protocol messages -------------------------------------------------------------
+
+
+def _simple(type_tag: str, doc: str) -> Callable[[type], type]:
+    """Decorator factory for field-less control messages."""
+
+    def wrap(cls: type) -> type:
+        cls.type = type_tag
+        cls.__doc__ = doc
+        cls.to_payload = WireMessage._envelope
+        cls._fields_from_payload = classmethod(lambda _cls, _payload: {})
+        return _register(dataclass(frozen=True)(cls))
+
+    return wrap
+
+
+@_simple("ping", "Liveness probe.")
+class Ping(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_simple("pong", "Liveness reply.")
+class Pong(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_simple("shutdown", "Orderly server shutdown request.")
+class Shutdown(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_simple("shutdown-ack", "The server acknowledges shutdown and will stop.")
+class ShutdownAck(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_simple("shard-stats-request", "Ask a shard server for its lifetime stats row.")
+class ShardStatsRequest(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_simple("stats-request", "Ask the gateway for cluster-level admission/queue stats.")
+class StatsRequest(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_register
+@dataclass(frozen=True)
+class ErrorReply(WireMessage):
+    """A request-level failure (``code`` is machine-readable, e.g. ``deadline``)."""
+
+    type: ClassVar[str] = "error"
+
+    code: str = "error"
+    message: str = ""
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["code"] = self.code
+        payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"code": payload.get("code", "error"), "message": payload.get("message", "")}
+
+
+@_register
+@dataclass(frozen=True)
+class ShardProcessRequest(WireMessage):
+    """Coordinator → shard server: serve one scatter slice as a batch."""
+
+    type: ClassVar[str] = "shard-process"
+
+    queries: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    @classmethod
+    def from_queries(cls, queries: Sequence[ShardQuery]) -> "ShardProcessRequest":
+        return cls(queries=tuple(WireShardQuery.from_shard_query(query) for query in queries))
+
+    def to_queries(self) -> list[ShardQuery]:
+        return [query.to_shard_query() for query in self.queries]
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["queries"] = [query.to_payload() for query in self.queries]
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "queries": tuple(
+                WireShardQuery.from_payload(entry) for entry in payload.get("queries", [])
+            )
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class ShardProcessReply(WireMessage):
+    """Shard server → coordinator: the slice's :class:`WireBatchReport`."""
+
+    type: ClassVar[str] = "shard-report"
+
+    report: WireBatchReport = field(default_factory=WireBatchReport)
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["report"] = self.report.to_payload()
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"report": WireBatchReport.from_payload(payload["report"])}
+
+
+@_register
+@dataclass(frozen=True)
+class ShardStatsReply(WireMessage):
+    """Shard server → coordinator: the shard's lifetime serving row."""
+
+    type: ClassVar[str] = "shard-stats"
+
+    row: dict = field(default_factory=dict)
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["row"] = dict(self.row)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"row": dict(payload.get("row") or {})}
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitRequest(WireMessage):
+    """Client → gateway: plan, place, and enqueue one routing query.
+
+    ``deadline`` is a *relative* budget in seconds (client and server clocks
+    never compare absolute times); the gateway stamps arrival and refuses the
+    submit once the budget has lapsed.
+    """
+
+    type: ClassVar[str] = "submit"
+
+    graph: WireGraph = field(default_factory=WireGraph)
+    requests: tuple = ()
+    load: int | None = None
+    backend: str | None = None
+    backend_params: dict | None = None
+    workload: str = ""
+    deadline: float | None = None
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["graph"] = self.graph.to_payload()
+        payload["requests"] = [request.to_payload() for request in self.requests]
+        payload["load"] = self.load
+        payload["backend"] = self.backend
+        payload["backend_params"] = (
+            dict(self.backend_params) if self.backend_params is not None else None
+        )
+        payload["workload"] = self.workload
+        payload["deadline"] = self.deadline
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        params = payload.get("backend_params")
+        return {
+            "graph": WireGraph.from_payload(payload["graph"]),
+            "requests": tuple(
+                WireRequest.from_payload(entry) for entry in payload.get("requests", [])
+            ),
+            "load": payload.get("load"),
+            "backend": payload.get("backend"),
+            "backend_params": dict(params) if params is not None else None,
+            "workload": payload.get("workload", ""),
+            "deadline": payload.get("deadline"),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitReply(WireMessage):
+    """Gateway → client: the admission outcome of one submit."""
+
+    type: ClassVar[str] = "submit-reply"
+
+    shard_id: str = ""
+    accepted: bool = False
+    shed: int = 0
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["shard_id"] = self.shard_id
+        payload["accepted"] = self.accepted
+        payload["shed"] = self.shed
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "shard_id": payload.get("shard_id", ""),
+            "accepted": bool(payload.get("accepted", False)),
+            "shed": int(payload.get("shed", 0)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class DispatchRequest(WireMessage):
+    """Client → gateway: drain the queues and scatter/gather once.
+
+    The gateway *streams* one :class:`DispatchShardReply` per busy shard as
+    each completes, then a :class:`DispatchDoneReply`.  ``deadline`` is a
+    relative budget; shards not started by the deadline have their admitted
+    work requeued (never lost) and are listed in the done frame.
+    """
+
+    type: ClassVar[str] = "dispatch"
+
+    deadline: float | None = None
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["deadline"] = self.deadline
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"deadline": payload.get("deadline")}
+
+
+@_register
+@dataclass(frozen=True)
+class DispatchShardReply(WireMessage):
+    """Gateway → client: one shard's batch report, streamed on completion."""
+
+    type: ClassVar[str] = "dispatch-shard"
+
+    shard_id: str = ""
+    report: WireBatchReport = field(default_factory=WireBatchReport)
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["shard_id"] = self.shard_id
+        payload["report"] = self.report.to_payload()
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "shard_id": payload.get("shard_id", ""),
+            "report": WireBatchReport.from_payload(payload["report"]),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class DispatchDoneReply(WireMessage):
+    """Gateway → client: the dispatch cycle is complete.
+
+    ``expired`` lists shards whose slice hit the request deadline before it
+    was started; their work was requeued, not lost.
+    """
+
+    type: ClassVar[str] = "dispatch-done"
+
+    dispatch_seconds: float = 0.0
+    admission: WireAdmissionStats = field(default_factory=WireAdmissionStats)
+    expired: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["dispatch_seconds"] = self.dispatch_seconds
+        payload["admission"] = self.admission.to_payload()
+        payload["expired"] = list(self.expired)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "dispatch_seconds": float(payload.get("dispatch_seconds", 0.0)),
+            "admission": WireAdmissionStats.from_payload(
+                payload.get("admission") or WireAdmissionStats().to_payload()
+            ),
+            "expired": tuple(payload.get("expired", ())),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class StatsReply(WireMessage):
+    """Gateway → client: cluster-level admission totals and queue depths."""
+
+    type: ClassVar[str] = "stats-reply"
+
+    admission: WireAdmissionStats = field(default_factory=WireAdmissionStats)
+    queue_depths: dict = field(default_factory=dict)
+    shard_count: int = 0
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["admission"] = self.admission.to_payload()
+        payload["queue_depths"] = dict(self.queue_depths)
+        payload["shard_count"] = self.shard_count
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "admission": WireAdmissionStats.from_payload(
+                payload.get("admission") or WireAdmissionStats().to_payload()
+            ),
+            "queue_depths": {
+                shard_id: int(depth)
+                for shard_id, depth in (payload.get("queue_depths") or {}).items()
+            },
+            "shard_count": int(payload.get("shard_count", 0)),
+        }

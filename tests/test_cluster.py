@@ -10,6 +10,7 @@ from repro.cluster import (
 )
 from repro.graphs.generators import circulant_expander, random_regular_expander
 from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
 from repro.workloads import permutation_workload
 
 
@@ -22,7 +23,7 @@ def _coordinator(**overrides):
     defaults = dict(
         shard_count=4,
         cache_capacity=4,
-        shard_max_workers=2,
+        default_plan=ExecutionPlan(backend="deterministic", max_workers=2),
         metrics=MetricsRegistry(),
     )
     defaults.update(overrides)

@@ -326,18 +326,22 @@ def test_service_explain_requires_planner(graph):
 
 
 def test_cluster_default_plan_replaces_knob_plumbing(graph):
-    with ClusterCoordinator(
-        shard_count=2,
-        shard_parallelism="threads",
-        shard_max_workers=2,
-        metrics=MetricsRegistry(),
-    ) as coordinator:
-        # The legacy kwargs collapsed into one plan object shared by every
-        # shard worker (no per-argument re-forwarding).
+    # The legacy kwargs are deprecated shims now: they still collapse into
+    # one plan object shared by every shard worker, but warn on the way.
+    with pytest.warns(DeprecationWarning, match="default_plan"):
+        coordinator = ClusterCoordinator(
+            shard_count=2,
+            shard_parallelism="threads",
+            shard_max_workers=2,
+            metrics=MetricsRegistry(),
+        )
+    with coordinator:
         assert coordinator.default_plan.parallelism == "threads"
         assert coordinator.default_plan.max_workers == 2
-        assert coordinator.shard_parallelism == "threads"
-        assert coordinator.shard_max_workers == 2
+        with pytest.warns(DeprecationWarning, match="default_plan.parallelism"):
+            assert coordinator.shard_parallelism == "threads"
+        with pytest.warns(DeprecationWarning, match="default_plan.max_workers"):
+            assert coordinator.shard_max_workers == 2
         for worker in coordinator.workers.values():
             assert worker.default_plan is coordinator.default_plan
             assert worker.service.parallelism == "threads"

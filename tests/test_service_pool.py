@@ -16,6 +16,7 @@ import pytest
 from repro.cluster import ClusterCoordinator
 from repro.graphs.generators import random_regular_expander
 from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
 from repro.service import RoutingService
 from repro.workloads import hotspot_workload, permutation_workload
 
@@ -135,8 +136,7 @@ def test_cluster_coordinator_parallelism_passthrough_and_close(graphs):
     with ClusterCoordinator(
         shard_count=2,
         cache_capacity=4,
-        shard_max_workers=2,
-        shard_parallelism="threads",
+        default_plan=ExecutionPlan(backend="deterministic", parallelism="threads", max_workers=2),
         metrics=MetricsRegistry(),
     ) as coordinator:
         for graph in (g1, g2):
