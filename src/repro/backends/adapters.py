@@ -33,7 +33,7 @@ from repro.backends.base import (
     register_backend,
 )
 from repro.baselines.cs20_model import RebuildPerQueryRouter
-from repro.baselines.direct_routing import route_directly
+from repro.baselines.direct_routing import route_directly, route_directly_many
 from repro.baselines.randomized_gks import route_randomized
 from repro.core.router import ExpanderRouter, PreprocessArtifact
 from repro.core.tokens import RoutingRequest
@@ -148,6 +148,47 @@ class DeterministicBackend:
         )
         return _observe_route(self.name, result, started)
 
+    # -- fused batch capability (detected by the serving layer) ---------------
+
+    def route_many(
+        self,
+        request_groups: Sequence[Sequence[RoutingRequest]],
+        loads: Sequence[int | None] | None = None,
+    ) -> list[RouteResult]:
+        """Route several queries through one fused recursion (identical results).
+
+        Wraps :meth:`ExpanderRouter.route_many`: all groups share one walk of
+        the hierarchy with batched dispersion kernels, and every
+        :class:`RouteResult` matches what :meth:`route` returns for that
+        group alone.
+        """
+        started = time.perf_counter()
+        outcomes = self.router.route_many(request_groups, loads)
+        elapsed = time.perf_counter() - started
+        results = []
+        # Wall-clock is a batch-level measurement; attribute an equal share
+        # per query so the per-backend histograms stay comparable.
+        per_query = elapsed / max(1, len(outcomes))
+        for outcome in outcomes:
+            result = RouteResult(
+                backend=self.name,
+                delivered=outcome.delivered,
+                total_tokens=outcome.total_tokens,
+                query_rounds=outcome.query_rounds,
+                preprocess_rounds=outcome.preprocessing_rounds,
+                load=outcome.load,
+                extra={
+                    "max_intermediate_part_load": outcome.max_intermediate_part_load,
+                    "dispersion_window_fraction": outcome.dispersion_window_fraction,
+                    "fallback_assignments": outcome.fallback_assignments,
+                },
+                raw=outcome,
+            )
+            results.append(
+                _observe_route(self.name, result, time.perf_counter() - per_query)
+            )
+        return results
+
     # -- artifact capability (detected by the serving layer) ------------------
 
     def export_artifact(self, fingerprint: str | None = None) -> PreprocessArtifact:
@@ -257,6 +298,34 @@ class DirectBackend:
             raw=outcome,
         )
         return _observe_route(self.name, result, started)
+
+    def route_many(
+        self,
+        request_groups: Sequence[Sequence[RoutingRequest]],
+        loads: Sequence[int | None] | None = None,
+    ) -> list[RouteResult]:
+        """Route several groups through one stacked scheduler pass."""
+        if loads is None:
+            loads = [None] * len(request_groups)
+        started = time.perf_counter()
+        outcomes = route_directly_many(self.graph, request_groups)
+        per_query = (time.perf_counter() - started) / max(1, len(outcomes))
+        results = []
+        for requests, load, outcome in zip(request_groups, loads, outcomes):
+            result = RouteResult(
+                backend=self.name,
+                delivered=outcome.delivered,
+                total_tokens=len(requests),
+                query_rounds=outcome.rounds,
+                preprocess_rounds=0,
+                load=load if load is not None else infer_load(requests),
+                extra={"congestion": outcome.congestion, "dilation": outcome.dilation},
+                raw=outcome,
+            )
+            results.append(
+                _observe_route(self.name, result, time.perf_counter() - per_query)
+            )
+        return results
 
 
 register_backend(DeterministicBackend.name, DeterministicBackend)

@@ -49,6 +49,7 @@ __all__ = [
     "backend_factory",
     "available_backends",
     "supports_artifacts",
+    "supports_fusion",
     "canonical_backend_params",
 ]
 
@@ -198,6 +199,17 @@ def supports_artifacts(backend: RoutingBackend | Callable[..., RoutingBackend]) 
     neither, so their backends bypass the artifact cache entirely.
     """
     return hasattr(backend, "export_artifact") and hasattr(backend, "from_artifact")
+
+
+def supports_fusion(backend: RoutingBackend | Callable[..., RoutingBackend]) -> bool:
+    """True when the backend (instance or factory class) can route fused batches.
+
+    Fusion-capable backends expose ``route_many(request_groups, loads)``
+    returning one :class:`RouteResult` per group, result-identical to calling
+    ``route`` per group.  The serving layer checks this before honoring
+    ``ExecutionPlan.fused`` on a same-fingerprint query group.
+    """
+    return callable(getattr(backend, "route_many", None))
 
 
 def canonical_backend_params(params: Mapping[str, Any] | None) -> tuple[tuple[str, str], ...]:

@@ -16,10 +16,14 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
-from repro.congest.scheduler import ScheduledToken, schedule_tokens_along_paths
+from repro.congest.scheduler import (
+    ScheduledToken,
+    schedule_token_batches,
+    schedule_tokens_along_paths,
+)
 from repro.core.tokens import RoutingRequest
 
-__all__ = ["DirectRoutingOutcome", "route_directly"]
+__all__ = ["DirectRoutingOutcome", "route_directly", "route_directly_many"]
 
 
 @dataclass
@@ -67,3 +71,51 @@ def route_directly(graph: nx.Graph, requests: Sequence[RoutingRequest]) -> Direc
         delivered=len(tokens),
         final_positions=final_positions,
     )
+
+
+def _scheduled_tokens(
+    graph: nx.Graph,
+    requests: Sequence[RoutingRequest],
+    paths_from: dict[Hashable, dict[Hashable, list]],
+) -> list[ScheduledToken]:
+    """The request group's scheduler tokens, sharing one BFS-tree memo."""
+    ordered = sorted(
+        requests, key=lambda request: (repr(request.source), repr(request.destination))
+    )
+    tokens: list[ScheduledToken] = []
+    for index, request in enumerate(ordered):
+        if request.source not in paths_from:
+            paths_from[request.source] = nx.single_source_shortest_path(graph, request.source)
+        path = paths_from[request.source][request.destination]
+        tokens.append(ScheduledToken(token_id=index, path=tuple(path)))
+    return tokens
+
+
+def route_directly_many(
+    graph: nx.Graph, request_groups: Sequence[Sequence[RoutingRequest]]
+) -> list[DirectRoutingOutcome]:
+    """Route several same-graph request groups through one fused schedule.
+
+    The fused twin of calling :func:`route_directly` per group: BFS trees are
+    shared across groups, and every group's edge conflicts are resolved in a
+    single stacked scheduler pass
+    (:func:`~repro.congest.scheduler.schedule_token_batches`).  Outcomes per
+    group are identical to the solo calls.
+    """
+    paths_from: dict[Hashable, dict[Hashable, list]] = {}
+    token_batches = [
+        _scheduled_tokens(graph, requests, paths_from) for requests in request_groups
+    ]
+    schedules = schedule_token_batches(token_batches)
+    outcomes: list[DirectRoutingOutcome] = []
+    for tokens, schedule in zip(token_batches, schedules):
+        outcomes.append(
+            DirectRoutingOutcome(
+                rounds=schedule.rounds,
+                congestion=schedule.congestion,
+                dilation=schedule.dilation,
+                delivered=len(tokens),
+                final_positions={token.token_id: token.path[-1] for token in tokens},
+            )
+        )
+    return outcomes

@@ -32,7 +32,7 @@ from repro.cluster.admission import (
 from repro.cluster.coordinator import TRANSPORTS, ClusterCoordinator, ClusterReport
 from repro.cluster.loadgen import DEFAULT_WORKLOAD_MIX, OpenLoopLoadGenerator, SLOReport
 from repro.cluster.ring import ConsistentHashRing, RebalanceStats
-from repro.cluster.worker import ShardQuery, ShardWorker
+from repro.cluster.worker import ShardQuery, ShardWorker, WarmHandoff
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -49,4 +49,5 @@ __all__ = [
     "ShardQuery",
     "ShardWorker",
     "TRANSPORTS",
+    "WarmHandoff",
 ]

@@ -17,7 +17,10 @@
 4. **Scale** — :meth:`add_shard` / :meth:`remove_shard` rebalance the ring
    and report how much artifact locality the change cost
    (:class:`~repro.cluster.ring.RebalanceStats` over every fingerprint the
-   coordinator has seen).
+   coordinator has seen).  Under the local transport, warm artifacts whose
+   placement moved are handed to their new owners through the shared-memory
+   plane (:mod:`repro.service.shm`) instead of being rebuilt — counted by
+   ``repro_cluster_warm_handoffs_total``.
 
 Placement, admission, and per-shard serving are all deterministic given the
 same submissions and configuration — :meth:`ClusterReport.signature`
@@ -211,9 +214,9 @@ class ClusterCoordinator:
         default_plan: the cluster's execution defaults as **one**
             :class:`~repro.planner.ExecutionPlan` — pool mode and width for
             every shard service, and the template fixed submissions execute
-            under.  This replaces the old per-argument
-            ``shard_max_workers`` / ``shard_parallelism`` plumbing (both are
-            kept as shims that synthesize this plan).
+            under.  The old per-argument ``shard_max_workers`` /
+            ``shard_parallelism`` constructor plumbing is gone; only the
+            deprecated read-only properties remain (one more release).
         policy: central planning policy — ``"fixed"`` (default) executes the
             default plan / explicit kwargs, ``"cost"`` / ``"adaptive"``
             attach a :class:`~repro.planner.QueryPlanner` whose cost model
@@ -221,10 +224,6 @@ class ClusterCoordinator:
             the same model).
         planner: inject a preconfigured planner instead (wins over
             ``policy``).
-        shard_max_workers: deprecated shim for ``default_plan.max_workers``
-            (emits :class:`DeprecationWarning`).
-        shard_parallelism: deprecated shim for ``default_plan.parallelism``
-            (emits :class:`DeprecationWarning`).
         metrics: shared registry (default: the process-wide one).
         transport: ``"local"`` (default) keeps every shard in process;
             ``"tcp"`` runs each shard as a spawned server process behind the
@@ -253,8 +252,6 @@ class ClusterCoordinator:
         default_plan: ExecutionPlan | None = None,
         policy: str | None = None,
         planner: QueryPlanner | None = None,
-        shard_max_workers: int | None = None,
-        shard_parallelism: str | None = None,
         metrics: MetricsRegistry | None = None,
         transport: str = "local",
         net_family: str = "unix",
@@ -272,20 +269,10 @@ class ClusterCoordinator:
         self._socket_dir: str | None = None
         self._closed = False
         self.metrics = metrics if metrics is not None else default_registry()
-        if shard_max_workers is not None or shard_parallelism is not None:
-            warnings.warn(
-                "shard_max_workers/shard_parallelism are deprecated; pass "
-                "default_plan=ExecutionPlan(parallelism=..., max_workers=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         if default_plan is None:
-            # The legacy kwargs collapse into the one shared plan object.
             default_plan = ExecutionPlan(
                 backend=DEFAULT_BACKEND,
                 kernel=active_kernel(),
-                parallelism=shard_parallelism if shard_parallelism is not None else "threads",
-                max_workers=shard_max_workers,
                 policy="fixed",
                 reason="cluster execution defaults",
             )
@@ -318,6 +305,11 @@ class ClusterCoordinator:
         )
         self._m_dispatch_seconds = self.metrics.histogram(
             "repro_cluster_dispatch_seconds", "Wall-clock per scatter/gather cycle."
+        )
+        self._m_warm_handoffs = self.metrics.counter(
+            "repro_cluster_warm_handoffs_total",
+            "Warm artifacts migrated during rebalances, by carrier plane.",
+            labels=("path",),
         )
         for _ in range(shard_count):
             self.add_shard()
@@ -379,6 +371,7 @@ class ClusterCoordinator:
         before_count = len(self.ring)
         self.ring.add_shard(shard_id)
         self.workers[shard_id] = self._make_worker(shard_id)
+        self._migrate_warm(before)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         expected = 1.0 / len(self.ring) if before_count else 1.0
         return RebalanceStats(total=len(seen), moved=moved, expected_fraction=expected)
@@ -397,7 +390,11 @@ class ClusterCoordinator:
         before = self.ring.placement(seen)
         stranded = self.admission.drain(shard_id)
         self.ring.remove_shard(shard_id)
-        self.workers.pop(shard_id).close()
+        departing = self.workers.pop(shard_id)
+        # The departing shard's warm artifacts migrate to their new owners
+        # (shm plane when available) before its pools and segments go away.
+        self._migrate_warm(before, departed={shard_id: departing})
+        departing.close()
         by_owner: dict[str, list[ShardQuery]] = {}
         for item in stranded:
             owner = self.ring.assign(item.fingerprint)
@@ -410,6 +407,37 @@ class ClusterCoordinator:
         return RebalanceStats(
             total=len(seen), moved=moved, expected_fraction=1.0 / (len(self.ring) + 1)
         )
+
+    def _migrate_warm(
+        self,
+        before: Mapping[str, str],
+        departed: Mapping[str, ShardWorker] | None = None,
+    ) -> int:
+        """Hand warm artifacts whose placement moved to their new owners.
+
+        ``before`` maps each seen fingerprint to its pre-rebalance shard;
+        ``departed`` supplies workers already removed from :attr:`workers`
+        (still open, about to close).  Shard-server proxies under the tcp
+        transport expose no handoff API, so those pairs are skipped — the
+        artifact is simply rebuilt on first use, exactly as before.  Returns
+        how many artifacts migrated.
+        """
+        migrated = 0
+        for fingerprint, old_owner in before.items():
+            new_owner = self.ring.assign(fingerprint)
+            if new_owner == old_owner:
+                continue
+            source = (departed or {}).get(old_owner) or self.workers.get(old_owner)
+            target = self.workers.get(new_owner)
+            if not hasattr(source, "export_artifact") or not hasattr(target, "adopt_artifact"):
+                continue
+            handoff = source.export_artifact(fingerprint)
+            if handoff is None:
+                continue
+            if target.adopt_artifact(handoff):
+                self._m_warm_handoffs.labels(path=handoff.path).inc()
+                migrated += 1
+        return migrated
 
     # -- compat shims ----------------------------------------------------------
 

@@ -31,14 +31,36 @@ from typing import Any, Mapping, Sequence
 
 import networkx as nx
 
+from repro.core.router import PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.hierarchy.builder import HierarchyParameters
 from repro.metrics import MetricsRegistry, default_registry
 from repro.planner import ExecutionPlan, QueryPlanner
 from repro.service.cache import ArtifactCache
 from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
+from repro.service.shm import attach as shm_attach
+from repro.service.shm import shm_available, shm_enabled
 
-__all__ = ["ShardQuery", "ShardWorker"]
+__all__ = ["ShardQuery", "ShardWorker", "WarmHandoff"]
+
+
+@dataclass(frozen=True)
+class WarmHandoff:
+    """One warm artifact in flight between shards during a rebalance.
+
+    Either ``segment`` names a shared-memory segment the adopter attaches
+    zero-copy, or ``artifact`` carries the object directly (the fallback when
+    the shm plane is disabled or unavailable).  Exactly one is set.
+    """
+
+    fingerprint: str
+    segment: str | None = None
+    artifact: PreprocessArtifact | None = None
+
+    @property
+    def path(self) -> str:
+        """Which plane carries the bytes: ``"shm"`` or ``"direct"``."""
+        return "shm" if self.segment is not None else "direct"
 
 
 @dataclass(frozen=True)
@@ -158,6 +180,42 @@ class ShardWorker:
         for result in report.results:
             self._m_seconds.labels(shard=self.shard_id).observe(result.seconds)
         return report
+
+    # -- warm-key handoff ------------------------------------------------------
+
+    def warm_keys(self) -> list[str]:
+        """Fingerprints this shard holds warm in memory (coldest first)."""
+        return self.service.cache.fingerprints()
+
+    def export_artifact(self, fingerprint: str) -> WarmHandoff | None:
+        """Hand one warm artifact off for adoption elsewhere, or ``None``.
+
+        Prefers the shared-memory plane (the adopter attaches the published
+        segment zero-copy); when shm is disabled or publishing fails the
+        handoff degrades to carrying the artifact object directly, which is
+        still copy-free for the in-process local transport.
+        """
+        artifact = self.service.cache.peek(fingerprint)
+        if artifact is None:
+            return None
+        if shm_enabled() and shm_available():
+            info = self.service.publish_segment(fingerprint, artifact)
+            if info is not None:
+                return WarmHandoff(fingerprint=fingerprint, segment=info.name)
+        return WarmHandoff(fingerprint=fingerprint, artifact=artifact)
+
+    def adopt_artifact(self, handoff: WarmHandoff) -> bool:
+        """Adopt a handoff into this shard's cache; ``True`` on success."""
+        artifact = handoff.artifact
+        if artifact is None and handoff.segment is not None:
+            try:
+                artifact = shm_attach(handoff.segment, metrics=self.metrics)
+            except (FileNotFoundError, ValueError):
+                artifact = None
+        if artifact is None:
+            return False
+        self.service.cache.adopt(handoff.fingerprint, artifact)
+        return True
 
     def close(self) -> None:
         """Release the shard service's worker pools; idempotent by design so

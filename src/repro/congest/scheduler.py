@@ -19,7 +19,12 @@ from typing import Hashable, Sequence
 
 from repro.kernels import use_numpy
 
-__all__ = ["ScheduledToken", "ScheduleResult", "schedule_tokens_along_paths"]
+__all__ = [
+    "ScheduledToken",
+    "ScheduleResult",
+    "schedule_tokens_along_paths",
+    "schedule_token_batches",
+]
 
 
 @dataclass
@@ -148,3 +153,29 @@ def schedule_tokens_along_paths(tokens: Sequence[ScheduledToken]) -> ScheduleRes
         dilation=dilation,
         arrival_round=arrival,
     )
+
+
+def schedule_token_batches(
+    batches: Sequence[Sequence[ScheduledToken]],
+) -> list[ScheduleResult]:
+    """Schedule several independent instances, resolving conflicts in one pass.
+
+    The fused twin of calling :func:`schedule_tokens_along_paths` once per
+    batch: instances never share edges (each batch is its own path
+    collection), so the vectorized kernel offsets their edge codes into
+    disjoint ranges and settles every batch's contested edges with a single
+    first-occurrence scan per round
+    (:func:`repro.kernels.batched.schedule_token_batches_numpy`).  Results
+    per batch — rounds, congestion, dilation, arrival rounds — are identical
+    to the solo calls.
+    """
+    if len(batches) > 1 and use_numpy():
+        from repro.kernels.batched import schedule_token_batches_numpy
+
+        try:
+            return schedule_token_batches_numpy(batches)
+        except OverflowError:
+            # Edge-code offsets exhausted (gigantic batch collections):
+            # fall through to per-batch scheduling.
+            pass
+    return [schedule_tokens_along_paths(batch) for batch in batches]

@@ -28,7 +28,7 @@ from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
 from repro.cutmatching.shuffler import Shuffler
 from repro.kernels import use_numpy
 
-__all__ = ["DispersionState", "DispersionStats", "disperse"]
+__all__ = ["DispersionState", "DispersionStats", "disperse", "disperse_many"]
 
 
 @dataclass
@@ -231,3 +231,34 @@ def disperse(
             if lower - slack <= count <= upper + slack:
                 stats.within_window += 1
     return stats
+
+
+def disperse_many(
+    states: Sequence[DispersionState],
+    shuffler: Shuffler,
+    part_sizes: Sequence[int],
+    loads: Sequence[int],
+    flatten_quality: int,
+) -> list[DispersionStats]:
+    """Disperse several independent states through one shuffler replay.
+
+    The fused twin of calling :func:`disperse` once per state (no ledger —
+    callers charge ``stats.rounds`` themselves): every state's token
+    movements, statistics, and round counts are identical to its solo run,
+    but under the numpy kernel all states share one transfer-planning pass
+    per matching (:func:`repro.kernels.batched.disperse_many_numpy`), which
+    is what makes warm same-graph query batches cheap.
+    """
+    if not states:
+        return []
+    t = states[0].part_count
+    if any(state.part_count != t for state in states):
+        raise ValueError("disperse_many requires states over the same partition")
+    if t <= 1 or len(shuffler) == 0 or not use_numpy():
+        return [
+            disperse(state, shuffler, part_sizes, load, flatten_quality, ledger=None)
+            for state, load in zip(states, loads)
+        ]
+    from repro.kernels.batched import disperse_many_numpy
+
+    return disperse_many_numpy(states, shuffler, part_sizes, flatten_quality)

@@ -25,13 +25,13 @@ from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
-from repro.core.dispersion import DispersionState, DispersionStats, disperse
+from repro.core.dispersion import DispersionState, DispersionStats, disperse, disperse_many
 from repro.core.tokens import Token
 from repro.cutmatching.shuffler import Shuffler
 from repro.hierarchy.node import HierarchyNode
 from repro.kernels import use_numpy
 
-__all__ = ["Task3Result", "solve_task3"]
+__all__ = ["Task3Result", "solve_task3", "solve_task3_many"]
 
 
 @dataclass
@@ -174,55 +174,166 @@ def solve_task3(
         result.real_stats = disperse(
             real_state, shuffler, part_sizes, load, flatten_quality, ledger, phase="real-disperse"
         )
-
-        # -- 2. disperse the dummy tokens -----------------------------------
-        dummy_state, result.dummy_stats = _dispersed_dummies(
-            node, shuffler, parts, part_sizes, dummies_per_vertex, flatten_quality
+        _finish_task3(
+            node,
+            shuffler,
+            parts,
+            part_sizes,
+            t,
+            load,
+            ledger,
+            dummies_per_vertex,
+            flatten_quality,
+            real_state,
+            result,
         )
-        if len(shuffler) > 0:
-            # disperse() would have charged this phase itself had it been
-            # handed the ledger; charging here keeps the replay cacheable.
-            ledger.charge("dummy-disperse", result.dummy_stats.rounds)
-
-        # -- 3. pair real and dummy tokens inside every part ----------------
-        per_vertex_load: dict[Hashable, int] = {}
-        merge_rounds = 0
-        for part_index in range(t):
-            marks_here = set(real_state.queues[part_index].keys())
-            part_load = real_state.part_load(part_index) + dummy_state.part_load(part_index)
-            merge_rounds = max(
-                merge_rounds,
-                sort_round_cost(
-                    part_sizes[part_index],
-                    max(1, math.ceil(part_load / max(1, part_sizes[part_index]))),
-                    flatten_quality,
-                ),
-            )
-            for mark in sorted(marks_here, key=repr):
-                reals = real_state.items(part_index, mark)
-                dummies = dummy_state.items(part_index, mark)
-                for position, token in enumerate(reals):
-                    if position < len(dummies):
-                        destination_vertex = dummies[position]
-                    else:
-                        # Rounding left this cell short of dummies; place the
-                        # token round-robin over the marked part directly.
-                        target_part = parts[mark]
-                        destination_vertex = target_part[
-                            result.fallback_assignments % len(target_part)
-                        ]
-                        result.fallback_assignments += 1
-                    result.assignments[token.token_id] = destination_vertex
-                    per_vertex_load[destination_vertex] = (
-                        per_vertex_load.get(destination_vertex, 0) + 1
-                    )
-        # Walking each paired token back along the dummy's dispersion route
-        # costs one more pass over the shuffler paths.
-        walk_back = send_round_cost(
-            max(1, 2 * load), shuffler.quality * max(1, flatten_quality)
-        )
-        merge_rounds += walk_back
-        ledger.charge("merge", merge_rounds)
-        result.rounds = result.real_stats.rounds + result.dummy_stats.rounds + merge_rounds
-        result.max_vertex_load = max(per_vertex_load.values(), default=0)
     return result
+
+
+def _finish_task3(
+    node: HierarchyNode,
+    shuffler: Shuffler,
+    parts: list[list],
+    part_sizes: list[int],
+    t: int,
+    load: int,
+    ledger: CostLedger,
+    dummies_per_vertex: int,
+    flatten_quality: int,
+    real_state: DispersionState,
+    result: Task3Result,
+) -> None:
+    """Steps 2-3 of Task 3 (dummy dispersion + pairing), after the reals moved.
+
+    Shared between :func:`solve_task3` and :func:`solve_task3_many`; the
+    caller holds the ``"task3"`` ledger phase open and has already set (and
+    charged) ``result.real_stats``.
+    """
+    # -- 2. disperse the dummy tokens -----------------------------------
+    dummy_state, result.dummy_stats = _dispersed_dummies(
+        node, shuffler, parts, part_sizes, dummies_per_vertex, flatten_quality
+    )
+    if len(shuffler) > 0:
+        # disperse() would have charged this phase itself had it been
+        # handed the ledger; charging here keeps the replay cacheable.
+        ledger.charge("dummy-disperse", result.dummy_stats.rounds)
+
+    # -- 3. pair real and dummy tokens inside every part ----------------
+    per_vertex_load: dict[Hashable, int] = {}
+    merge_rounds = 0
+    for part_index in range(t):
+        marks_here = set(real_state.queues[part_index].keys())
+        part_load = real_state.part_load(part_index) + dummy_state.part_load(part_index)
+        merge_rounds = max(
+            merge_rounds,
+            sort_round_cost(
+                part_sizes[part_index],
+                max(1, math.ceil(part_load / max(1, part_sizes[part_index]))),
+                flatten_quality,
+            ),
+        )
+        for mark in sorted(marks_here, key=repr):
+            reals = real_state.items(part_index, mark)
+            dummies = dummy_state.items(part_index, mark)
+            for position, token in enumerate(reals):
+                if position < len(dummies):
+                    destination_vertex = dummies[position]
+                else:
+                    # Rounding left this cell short of dummies; place the
+                    # token round-robin over the marked part directly.
+                    target_part = parts[mark]
+                    destination_vertex = target_part[
+                        result.fallback_assignments % len(target_part)
+                    ]
+                    result.fallback_assignments += 1
+                result.assignments[token.token_id] = destination_vertex
+                per_vertex_load[destination_vertex] = (
+                    per_vertex_load.get(destination_vertex, 0) + 1
+                )
+    # Walking each paired token back along the dummy's dispersion route
+    # costs one more pass over the shuffler paths.
+    walk_back = send_round_cost(
+        max(1, 2 * load), shuffler.quality * max(1, flatten_quality)
+    )
+    merge_rounds += walk_back
+    ledger.charge("merge", merge_rounds)
+    result.rounds = result.real_stats.rounds + result.dummy_stats.rounds + merge_rounds
+    result.max_vertex_load = max(per_vertex_load.values(), default=0)
+
+
+def solve_task3_many(
+    node: HierarchyNode,
+    token_groups: Sequence[Sequence[Token]],
+    loads: Sequence[int],
+    ledgers: Sequence[CostLedger],
+    dummies_per_vertex: int | None = None,
+) -> list[Task3Result]:
+    """Solve one Task 3 instance per token group through a single dispersion.
+
+    The fused twin of calling :func:`solve_task3` once per group: the real
+    tokens of all groups disperse through one batched shuffler replay
+    (:func:`~repro.core.dispersion.disperse_many`), the cached dummy
+    configuration is shared as before, and the pairing, charges, and results
+    per group are identical to the solo runs — each group's rounds land on
+    its own ledger.
+    """
+    if node.shuffler is None:
+        raise RuntimeError("node has no shuffler; run preprocessing before routing queries")
+    shuffler: Shuffler = node.shuffler
+    parts = _part_vertices(node)
+    part_sizes = [len(vertices) for vertices in parts]
+    t = len(parts)
+    part_of = _part_of_vertex(node)
+    flatten_quality = node.flatten_quality()
+
+    results = [Task3Result() for _ in token_groups]
+    if t == 0:
+        return results
+    if t == 1:
+        # Single part: every token already sits in its marked part.
+        for result, tokens in zip(results, token_groups):
+            for token in tokens:
+                result.assignments[token.token_id] = token.current_vertex
+        return results
+
+    real_states: list[DispersionState] = []
+    for tokens in token_groups:
+        real_state = DispersionState(t)
+        for token in tokens:
+            origin_part = part_of.get(token.current_vertex)
+            if origin_part is None:
+                raise ValueError(
+                    f"token {token.token_id} is not located on a vertex of this node"
+                )
+            if token.part_mark is None:
+                raise ValueError(f"token {token.token_id} has no part mark")
+            real_state.add(origin_part, token.part_mark, token)
+        real_states.append(real_state)
+    real_stats_list = disperse_many(
+        real_states, shuffler, part_sizes, list(loads), flatten_quality
+    )
+
+    for index, result in enumerate(results):
+        ledger = ledgers[index]
+        load = loads[index]
+        per_query_dummies = (
+            dummies_per_vertex if dummies_per_vertex is not None else 2 * max(1, load)
+        )
+        with ledger.phase("task3"):
+            result.real_stats = real_stats_list[index]
+            if len(shuffler) > 0:
+                ledger.charge("real-disperse", result.real_stats.rounds)
+            _finish_task3(
+                node,
+                shuffler,
+                parts,
+                part_sizes,
+                t,
+                load,
+                ledger,
+                per_query_dummies,
+                flatten_quality,
+                real_states[index],
+                result,
+            )
+    return results

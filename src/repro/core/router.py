@@ -21,6 +21,7 @@ components are finished with the precomputed sorting network (Lemma 6.5).
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import ClassVar, Hashable, Sequence
 
@@ -28,7 +29,7 @@ import networkx as nx
 
 from repro.core.cost import CostLedger, send_round_cost, sort_round_cost
 from repro.core.leaf import route_in_leaf
-from repro.core.merge import solve_task3
+from repro.core.merge import solve_task3, solve_task3_many
 from repro.core.tasks import Task1Instance
 from repro.core.tokens import RoutingRequest, Token, tokens_from_requests
 from repro.cutmatching.game import CutMatchingGame
@@ -429,7 +430,250 @@ class ExpanderRouter:
             tokens=tokens,
         )
 
+    def route_many(
+        self,
+        request_groups: Sequence[Sequence[RoutingRequest]],
+        loads: Sequence[int | None] | None = None,
+    ) -> list[RoutingOutcome]:
+        """Answer several routing queries through one fused recursion.
+
+        The fused twin of calling :meth:`route` once per group: all queries
+        walk the hierarchy together, and at every internal node their Task 3
+        dispersions run as one batched kernel call
+        (:func:`~repro.core.merge.solve_task3_many`) instead of a per-query
+        Python loop.  Every outcome — deliveries, traces, per-phase round
+        breakdowns, diagnostics — is identical to the sequential result;
+        only the wall-clock cost is amortized.  Under the reference kernel
+        (or for a single group) this simply loops over :meth:`route`.
+        """
+        from repro.kernels import use_numpy
+
+        if loads is None:
+            loads = [None] * len(request_groups)
+        if len(loads) != len(request_groups):
+            raise ValueError("loads must match request_groups in length")
+        if not use_numpy() or len(request_groups) <= 1:
+            return [
+                self.route(requests, load)
+                for requests, load in zip(request_groups, loads)
+            ]
+        if not self.preprocessed:
+            self.preprocess()
+        assert self.decomposition is not None and self.best_index is not None
+
+        # Per-query setup, exactly as in route().
+        token_groups: list[list[Token]] = []
+        resolved_loads: list[int] = []
+        for requests, load in zip(request_groups, loads):
+            tokens = tokens_from_requests(requests)
+            if load is None:
+                source_counts: dict[Hashable, int] = {}
+                destination_counts: dict[Hashable, int] = {}
+                for token in tokens:
+                    source_counts[token.source] = source_counts.get(token.source, 0) + 1
+                    destination_counts[token.destination] = (
+                        destination_counts.get(token.destination, 0) + 1
+                    )
+                load = max(
+                    max(source_counts.values(), default=1),
+                    max(destination_counts.values(), default=1),
+                )
+            instance = Task1Instance(
+                vertices=sorted(self.graph.nodes()), tokens=tokens, load=load
+            )
+            problems = instance.validate()
+            if problems:
+                raise ValueError("invalid Task 1 instance: " + "; ".join(problems))
+            token_groups.append(tokens)
+            resolved_loads.append(load)
+
+        ledgers = [CostLedger() for _ in token_groups]
+        stats_list = [_QueryStats() for _ in token_groups]
+        root = self.decomposition.root
+        best_index = self.best_index
+        id_translation_by_load: dict[int, int] = {}
+        with ExitStack() as stack:
+            for ledger in ledgers:
+                stack.enter_context(ledger.phase("query"))
+            for index, tokens in enumerate(token_groups):
+                load = resolved_loads[index]
+                if load not in id_translation_by_load:
+                    id_translation_by_load[load] = sort_round_cost(
+                        root.size, load, root.flatten_quality()
+                    )
+                ledgers[index].charge("id-translation", id_translation_by_load[load])
+                for token in tokens:
+                    delegate = best_index.delegate_of[token.destination]
+                    token.destination_marker = best_index.rank_of[delegate]
+            self._solve_task2_many(
+                root,
+                [
+                    (index, tokens)
+                    for index, tokens in enumerate(token_groups)
+                    if tokens
+                ],
+                resolved_loads,
+                ledgers,
+                stats_list,
+            )
+            for index, tokens in enumerate(token_groups):
+                needs_reversal = [
+                    token for token in tokens if token.current_vertex != token.destination
+                ]
+                if needs_reversal:
+                    per_best: dict[Hashable, int] = {}
+                    for token in needs_reversal:
+                        per_best[token.current_vertex] = (
+                            per_best.get(token.current_vertex, 0) + 1
+                        )
+                    max_per_best = max(per_best.values(), default=1)
+                    reversal_quality = max(
+                        (leaf.flatten_quality() for leaf in self.decomposition.leaves()),
+                        default=1,
+                    )
+                    ledgers[index].charge(
+                        "delegation-reversal",
+                        send_round_cost(max_per_best, reversal_quality),
+                    )
+                    for token in needs_reversal:
+                        token.move_to(token.destination, phase="delegation-reversal")
+
+        preprocessing_rounds = self.preprocess_ledger.total("preprocess")
+        return [
+            RoutingOutcome(
+                delivered=sum(1 for token in tokens if token.delivered),
+                total_tokens=len(tokens),
+                query_rounds=ledgers[index].total("query"),
+                preprocessing_rounds=preprocessing_rounds,
+                load=resolved_loads[index],
+                max_intermediate_part_load=stats_list[index].max_part_load,
+                dispersion_window_fraction=stats_list[index].window_fraction(),
+                fallback_assignments=stats_list[index].fallbacks,
+                breakdown=ledgers[index].breakdown(),
+                tokens=tokens,
+            )
+            for index, tokens in enumerate(token_groups)
+        ]
+
     # -- the Task 2 recursion ---------------------------------------------------
+
+    def _solve_task2_many(
+        self,
+        node: HierarchyNode,
+        groups: list[tuple[int, list[Token]]],
+        loads: Sequence[int],
+        ledgers: Sequence[CostLedger],
+        stats_list: Sequence["_QueryStats"],
+    ) -> None:
+        """Fused :meth:`_solve_task2`: every query's tokens walk ``node`` together.
+
+        ``groups`` carries ``(query_index, tokens)`` pairs with non-empty
+        token lists; ``loads``/``ledgers``/``stats_list`` are indexed by the
+        query index.  Per query, the moves and charges are exactly those of
+        the solo recursion — queries never interact (tokens, ledgers, and
+        diagnostics are all per-query; the shared node-level caches are
+        deterministic pure functions of the node), the batching only stacks
+        the Task 3 dispersions into single kernel calls.
+        """
+        if not groups:
+            return
+        if node.is_leaf:
+            for index, tokens in groups:
+                result = route_in_leaf(node, tokens, loads[index], ledgers[index])
+                for token in tokens:
+                    token.move_to(result.placements[token.token_id], phase="leaf")
+            return
+
+        # Rewrite destination markers into (part mark, next-level marker).
+        next_marker: dict[int, dict[int, int]] = {}
+        for index, tokens in groups:
+            markers = next_marker[index] = {}
+            for token in tokens:
+                marker = token.destination_marker
+                if marker is None:
+                    raise ValueError(f"token {token.token_id} has no destination marker")
+                part_index, remainder = locate_best_rank(node, marker)
+                token.part_mark = part_index
+                markers[token.token_id] = remainder
+
+        # Task 3, batched: one dispersion kernel call for every query at once.
+        task3_results = solve_task3_many(
+            node,
+            [tokens for _, tokens in groups],
+            [loads[index] for index, _ in groups],
+            [ledgers[index] for index, _ in groups],
+        )
+        for (index, tokens), task3 in zip(groups, task3_results):
+            stats_list[index].absorb_task3(task3)
+            for token in tokens:
+                if token.token_id in task3.assignments:
+                    token.move_to(
+                        task3.assignments[token.token_id], phase=f"task3-L{node.level}"
+                    )
+
+        # Property 3.1(3): walk tokens off the bad vertices into the good child.
+        matching_quality = max(1, node.part_matching_embedding.quality) * max(
+            1, node.flatten_quality()
+        )
+        for index, tokens in groups:
+            moved_off_bad = 0
+            for part in node.parts:
+                if not part.bad_vertices:
+                    continue
+                for token in tokens:
+                    if (
+                        token.part_mark == part.index
+                        and token.current_vertex in part.bad_vertices
+                    ):
+                        mate = part.matching.get(token.current_vertex)
+                        if mate is None:
+                            mate = min(part.good_vertices)
+                        token.move_to(mate, phase=f"bad-to-good-L{node.level}")
+                        moved_off_bad += 1
+            if moved_off_bad:
+                ledgers[index].charge(
+                    f"bad-to-good-L{node.level}",
+                    send_round_cost(2 * loads[index], matching_quality),
+                )
+
+        # Recurse into every part's good child, all queries together.  The
+        # children run on disjoint subgraphs (per query, the level costs its
+        # slowest child), so per query we charge the max child-ledger total —
+        # identical to the solo recursion's accounting.
+        tokens_by_part: dict[int, dict[int, list[Token]]] = {}
+        for index, tokens in groups:
+            by_part = tokens_by_part[index] = {}
+            for token in tokens:
+                by_part.setdefault(token.part_mark, []).append(token)
+        child_costs: dict[int, list[int]] = {index: [] for index, _ in groups}
+        child_loads = list(loads)
+        for index, _ in groups:
+            child_loads[index] = 4 * loads[index]
+        for part in node.parts:
+            child = part.child
+            if child is None:
+                continue
+            child_groups: list[tuple[int, list[Token]]] = []
+            child_ledgers: dict[int, CostLedger] = {}
+            for index, _ in groups:
+                child_tokens = tokens_by_part[index].get(part.index, [])
+                if not child_tokens:
+                    continue
+                for token in child_tokens:
+                    token.destination_marker = next_marker[index][token.token_id]
+                child_groups.append((index, child_tokens))
+                child_ledgers[index] = CostLedger()
+            if not child_groups:
+                continue
+            ledger_vector = [
+                child_ledgers.get(index, ledgers[index]) for index in range(len(ledgers))
+            ]
+            self._solve_task2_many(child, child_groups, child_loads, ledger_vector, stats_list)
+            for index, _ in child_groups:
+                child_costs[index].append(child_ledgers[index].total())
+        for index, _ in groups:
+            if child_costs[index]:
+                ledgers[index].charge(f"children-L{node.level + 1}", max(child_costs[index]))
 
     def _solve_task2(
         self,

@@ -1,0 +1,355 @@
+"""Fused cross-query batch kernels — one stacked call for many queries.
+
+The numpy kernels of :mod:`repro.kernels.dispersion` and
+:mod:`repro.kernels.scheduler` removed the per-*token* Python loops, but the
+serving layer still ran one full kernel invocation per query: a warm batch of
+``B`` same-graph queries paid ``B`` times the fixed per-call cost (counts
+matrix setup, per-origin partner loops, the scheduler's round loop).  This
+module gives those kernels a *batch axis*:
+
+* :func:`plan_transfers_batched` plans one shuffler iteration for ``B``
+  dispersion states at once — the counts matrix grows a leading batch
+  dimension and the largest-remainder rounding, tie-breaking, and emission
+  order are reproduced per batch entry bit for bit (the batch index becomes
+  the outermost ``lexsort`` key, so each entry's block orders exactly as the
+  single-query kernel orders it);
+* :func:`disperse_many_numpy` replays a whole shuffler on ``B`` states with
+  one planning pass per matching, using a *union* mark axis.  Marks a state
+  does not hold occupy all-zero columns, and zero columns are inert under the
+  rounding rule (zero amounts, zero floors, zero remainders — bumps are
+  confined to each ``(batch, mark)`` block), so every state's transfers,
+  statistics, and charged rounds are identical to a solo
+  :func:`~repro.kernels.dispersion.disperse_numpy` run;
+* :func:`schedule_token_batches_numpy` resolves edge conflicts for ``B``
+  independent scheduler instances in a single pending loop — per-batch edge
+  codes are offset into disjoint ranges, so the one ``np.unique`` winner
+  scan per round settles every batch's contested edges simultaneously.
+
+``tests/test_fused.py`` asserts the equivalences with hypothesis over random
+expanders and the workload catalog.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congest.scheduler import ScheduledToken, ScheduleResult
+    from repro.core.dispersion import DispersionState, DispersionStats
+    from repro.cutmatching.shuffler import Shuffler
+
+__all__ = [
+    "plan_transfers_batched",
+    "disperse_many_numpy",
+    "schedule_token_batches_numpy",
+]
+
+
+def plan_transfers_batched(counts: np.ndarray, matching) -> list[list[tuple[int, int, int, int]]]:
+    """One iteration's transfers for every batch entry at once.
+
+    Args:
+        counts: int64 array of shape ``(B, t, m)`` — per batch entry, the
+            per-(part, mark) token counts snapshot.
+        matching: the shuffler matching being replayed.
+
+    Returns:
+        Per batch entry, the ``(origin, target, mark_index, amount)`` list in
+        exactly the order :func:`repro.kernels.dispersion._plan_transfers`
+        produces for that entry's counts alone.
+    """
+    from repro.kernels.dispersion import _partner_table
+
+    batch = counts.shape[0]
+    transfers: list[list[tuple[int, int, int, int]]] = [[] for _ in range(batch)]
+    for origin, (half_values, targets, target_order, sorted_targets) in _partner_table(
+        matching
+    ).items():
+        rows = counts[:, origin, :]
+        if targets.size == 1:
+            # One partner: allocation is the plain floor (see the solo kernel).
+            allocation = np.floor(half_values[0] * rows).astype(np.int64)
+            target = int(targets[0])
+            for entry, mark_index in np.argwhere(allocation > 0):
+                transfers[entry].append(
+                    (origin, target, int(mark_index), int(allocation[entry, mark_index]))
+                )
+            continue
+
+        group_size = targets.size
+        mark_count = rows.shape[1]
+        amounts = half_values[None, :, None] * rows[:, None, :]
+        floors = np.floor(amounts)
+        allocation = floors.astype(np.int64)
+        # Sequential accumulation over partners, matching the reference's
+        # builtins.sum order bit for bit (independent per batch entry).
+        totals = amounts[:, 0, :].copy()
+        for i in range(1, group_size):
+            totals += amounts[:, i, :]
+        budget = np.minimum(rows, np.floor(totals).astype(np.int64))
+        remaining = budget - allocation.sum(axis=1)
+        if (remaining > 0).any():
+            fractions = amounts - floors
+            # The batch index is the outermost lexsort key: within one
+            # entry's block the order is exactly the solo kernel's
+            # (mark, -fraction, target) order.
+            mark_key = np.tile(np.repeat(np.arange(mark_count), group_size), batch)
+            batch_key = np.repeat(np.arange(batch), mark_count * group_size)
+            fraction_key = fractions.transpose(0, 2, 1).ravel()
+            target_key = np.tile(targets, batch * mark_count)
+            order = np.lexsort((target_key, -fraction_key, mark_key, batch_key))
+            position_in_mark = np.arange(batch * mark_count * group_size) % group_size
+            bump = position_in_mark < np.repeat(remaining.ravel(), group_size)
+            flat = allocation.transpose(0, 2, 1).copy().ravel()
+            flat[order[bump]] += 1
+            allocation = flat.reshape(batch, mark_count, group_size).transpose(0, 2, 1)
+        emitted = allocation[:, target_order, :]
+        for entry, mark_index, target_position in np.argwhere(emitted.transpose(0, 2, 1) > 0):
+            transfers[entry].append(
+                (
+                    origin,
+                    int(sorted_targets[target_position]),
+                    int(mark_index),
+                    int(emitted[entry, target_position, mark_index]),
+                )
+            )
+    return transfers
+
+
+def disperse_many_numpy(
+    states: Sequence["DispersionState"],
+    shuffler: "Shuffler",
+    part_sizes,
+    flatten_quality: int,
+) -> list["DispersionStats"]:
+    """Replay the shuffler on every state with one planning pass per matching.
+
+    Token movements, statistics, and round counts per state are identical to
+    calling :func:`~repro.kernels.dispersion.disperse_numpy` on each state
+    alone; the batching only amortizes the per-iteration planning work.
+    """
+    from repro.core.cost import send_round_cost, sort_round_cost
+    from repro.core.dispersion import DispersionStats
+
+    batch = len(states)
+    if batch == 0:
+        return []
+    t = states[0].part_count
+
+    own_marks = [state.marks() for state in states]
+    union_marks = sorted(set().union(*[set(marks) for marks in own_marks]), key=repr)
+    mark_column = {mark: column for column, mark in enumerate(union_marks)}
+    counts = np.zeros((batch, t, max(len(union_marks), 1)), dtype=np.int64)
+    for entry, state in enumerate(states):
+        for part, per_mark in state.queues.items():
+            for mark, items in per_mark.items():
+                if items:
+                    counts[entry, part, mark_column[mark]] = len(items)
+
+    stats_list = [DispersionStats() for _ in range(batch)]
+    max_part_size = max(part_sizes) if part_sizes else 1
+    part_of = shuffler.part_of
+    rounds = [0] * batch
+    for matching in shuffler.matchings:
+        planned = (
+            plan_transfers_batched(counts, matching)
+            if union_marks
+            else [[] for _ in range(batch)]
+        )
+        for entry, state in enumerate(states):
+            stats = stats_list[entry]
+            stats.iterations += 1
+            outgoing: dict[tuple[int, int], int] = {}
+            for origin, target, mark_index, amount in planned[entry]:
+                mark = union_marks[mark_index]
+                items = state.pop_front(origin, mark, amount)
+                state.push_back(target, mark, items)
+                moved = len(items)
+                counts[entry, origin, mark_index] -= moved
+                counts[entry, target, mark_index] += moved
+                outgoing[(origin, target)] = outgoing.get((origin, target), 0) + moved
+
+            # -- round accounting for this iteration (Lemma 6.7) -------------
+            current_max_load = int(counts[entry].sum(axis=1).max(initial=0))
+            stats.max_part_load = max(stats.max_part_load, current_max_load)
+            per_part_load = max(1, math.ceil(current_max_load / max(1, max_part_size)))
+            portal_sort = sort_round_cost(max_part_size, per_part_load, flatten_quality)
+            tokens_per_portal = 1
+            for (origin, target), amount in outgoing.items():
+                portal_pairs = max(1, matching.portal_pair_count(part_of, origin, target))
+                tokens_per_portal = max(tokens_per_portal, math.ceil(amount / portal_pairs))
+            send = send_round_cost(tokens_per_portal, matching.quality * max(1, flatten_quality))
+            rounds[entry] += portal_sort + send
+
+    # -- Definition 6.1 window check, per state over its own marks -------------
+    total_vertices = sum(part_sizes) if part_sizes else t
+    for entry, state in enumerate(states):
+        stats = stats_list[entry]
+        stats.rounds = rounds[entry]
+        for mark in own_marks[entry]:
+            column = mark_column[mark]
+            total = int(counts[entry, :, column].sum())
+            stats.mark_totals[mark] = total
+            lower = 0.9 * total / t - 0.1 * total_vertices / (t * t)
+            upper = 1.1 * total / t + 0.1 * total_vertices / (t * t)
+            slack = stats.iterations * 1.0
+            for part in range(t):
+                count = int(counts[entry, part, column])
+                stats.final_counts[(part, mark)] = count
+                stats.total_cells += 1
+                if lower - slack <= count <= upper + slack:
+                    stats.within_window += 1
+    return stats_list
+
+
+def _interned_paths(tokens: Sequence["ScheduledToken"]):
+    """Flat vertex array + per-token lengths for one scheduler instance.
+
+    Mirrors the interning of :func:`repro.kernels.scheduler.schedule_tokens_numpy`
+    (wholesale integer conversion with a dict-intern fallback).
+    """
+    path_lengths = np.fromiter(
+        (len(token.path) for token in tokens), dtype=np.int64, count=len(tokens)
+    )
+    flat_list = [vertex for token in tokens for vertex in token.path]
+    try:
+        flat = np.asarray(flat_list)
+        if flat.ndim != 1 or not np.issubdtype(flat.dtype, np.integer):
+            raise TypeError("non-integer vertex ids")
+        flat = flat.astype(np.int64)
+        if flat.size and int(flat.min()) < 0:
+            raise ValueError("negative vertex ids; intern instead")
+        vertex_count = int(flat.max()) + 1 if flat.size else 1
+        if vertex_count >= 2**31:
+            raise ValueError("vertex id range too wide for direct edge codes")
+    except (TypeError, ValueError, OverflowError):
+        vertex_index: dict = {}
+        flat = np.empty(len(flat_list), dtype=np.int64)
+        for position, vertex in enumerate(flat_list):
+            index = vertex_index.get(vertex)
+            if index is None:
+                index = vertex_index[vertex] = len(vertex_index)
+            flat[position] = index
+        vertex_count = len(vertex_index)
+    return flat, path_lengths, max(vertex_count, 1)
+
+
+def schedule_token_batches_numpy(
+    batches: Sequence[Sequence["ScheduledToken"]],
+) -> list["ScheduleResult"]:
+    """Schedule ``B`` independent instances through one conflict-resolution loop.
+
+    Per-batch edge codes are offset into disjoint integer ranges, so batches
+    can never contend for the same code and the single first-occurrence scan
+    per round resolves every batch's conflicts exactly as a solo run would.
+    Rounds, congestion, dilation, and arrival rounds per batch are identical
+    to :func:`~repro.kernels.scheduler.schedule_tokens_numpy` on that batch.
+    """
+    from repro.congest.scheduler import ScheduleResult
+
+    results: list[ScheduleResult | None] = [None] * len(batches)
+    code_parts: list[np.ndarray] = []
+    length_parts: list[np.ndarray] = []
+    token_meta: list[tuple[int, int]] = []  # flat token index -> (batch, token_id)
+    congestions: list[int] = []
+    dilations: list[int] = []
+    round_limits: list[int] = []
+    code_base = 0
+    for batch_index, tokens in enumerate(batches):
+        if not tokens:
+            results[batch_index] = ScheduleResult(rounds=0, congestion=0, dilation=0)
+            congestions.append(0)
+            dilations.append(0)
+            round_limits.append(1)
+            continue
+        flat, path_lengths, vertex_count = _interned_paths(tokens)
+        lengths = path_lengths - 1
+        dilation = int(lengths.max(initial=0))
+        offsets = np.zeros(len(tokens) + 1, dtype=np.int64)
+        np.cumsum(path_lengths, out=offsets[1:])
+        if flat.size >= 2:
+            hop_mask = np.ones(flat.size - 1, dtype=bool)
+            boundaries = offsets[1:-1] - 1
+            hop_mask[boundaries[boundaries < hop_mask.size]] = False
+            u, v = flat[:-1][hop_mask], flat[1:][hop_mask]
+            flat_codes = np.minimum(u, v) * vertex_count + np.maximum(u, v)
+        else:
+            flat_codes = np.empty(0, dtype=np.int64)
+        congestion = 0
+        if flat_codes.size:
+            congestion = int(np.bincount(np.unique(flat_codes, return_inverse=True)[1]).max())
+        congestions.append(congestion)
+        dilations.append(dilation)
+        round_limits.append(max(1, congestion * dilation + dilation + 1))
+        code_span = vertex_count * vertex_count + 1
+        if code_base > 2**62 - code_span:
+            # Offset range exhausted (absurdly large batches): the caller
+            # falls back to per-batch scheduling.
+            raise OverflowError("edge-code offset range exhausted")
+        code_parts.append(flat_codes + code_base)
+        code_base += code_span
+        length_parts.append(lengths)
+        # Per-batch token-id order is preserved under one global sort by
+        # keying (batch, token_id); batches share no edge codes, so the
+        # cross-batch interleave cannot change any winner.
+        token_ids = np.fromiter(
+            (token.token_id for token in tokens), dtype=np.int64, count=len(tokens)
+        )
+        token_meta.extend((batch_index, int(token_id)) for token_id in token_ids)
+    all_codes = (
+        np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.int64)
+    )
+    all_lengths = (
+        np.concatenate(length_parts) if length_parts else np.empty(0, dtype=np.int64)
+    )
+    token_batch = np.fromiter((b for b, _ in token_meta), dtype=np.int64, count=len(token_meta))
+    token_id_of = np.fromiter((t for _, t in token_meta), dtype=np.int64, count=len(token_meta))
+    offsets = np.zeros(len(token_meta) + 1, dtype=np.int64)
+    np.cumsum(all_lengths, out=offsets[1:])
+
+    arrivals: list[dict[int, int]] = [dict() for _ in batches]
+    for index in range(len(token_meta)):
+        if all_lengths[index] == 0:
+            arrivals[int(token_batch[index])][int(token_id_of[index])] = 0
+
+    # Pending token indices sorted by (batch, token_id): within each batch the
+    # order matches the solo kernel's sorted-by-token-id pending array.
+    order_key = np.lexsort((token_id_of, token_batch))
+    pending = order_key[all_lengths[order_key] > 0]
+    position = np.zeros(len(token_meta), dtype=np.int64)
+    max_rounds = [0] * len(batches)
+
+    rounds = 0
+    round_limit = max(round_limits, default=1)
+    while pending.size and rounds < round_limit:
+        rounds += 1
+        codes = all_codes[offsets[pending] + position[pending]]
+        _, first = np.unique(codes, return_index=True)
+        advanced = np.zeros(pending.size, dtype=bool)
+        advanced[first] = True
+        movers = pending[advanced]
+        position[movers] += 1
+        done = position[movers] == all_lengths[movers]
+        for index in movers[done]:
+            entry = int(token_batch[index])
+            arrivals[entry][int(token_id_of[index])] = rounds
+            max_rounds[entry] = max(max_rounds[entry], rounds)
+        finished = np.zeros(pending.size, dtype=bool)
+        finished[np.flatnonzero(advanced)[done]] = True
+        pending = pending[~finished]
+    if pending.size:
+        raise RuntimeError("scheduler failed to deliver all tokens within the round limit")
+
+    for batch_index, tokens in enumerate(batches):
+        if results[batch_index] is not None:
+            continue
+        results[batch_index] = ScheduleResult(
+            rounds=max_rounds[batch_index],
+            congestion=congestions[batch_index],
+            dilation=dilations[batch_index],
+            arrival_round=arrivals[batch_index],
+        )
+    return [result for result in results if result is not None]

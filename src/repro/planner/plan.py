@@ -34,10 +34,13 @@ from typing import Any, Mapping
 
 from repro.backends.base import canonical_backend_params
 
-__all__ = ["EXECUTION_MODES", "ExecutionPlan"]
+__all__ = ["EXECUTION_MODES", "ARTIFACT_TRANSPORTS", "ExecutionPlan"]
 
 #: The execution modes a plan may select for batch fan-out.
 EXECUTION_MODES = ("threads", "processes")
+
+#: How a preprocessed artifact reaches process-pool workers.
+ARTIFACT_TRANSPORTS = ("pickle", "shm")
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,15 @@ class ExecutionPlan:
         chunk_size: how many same-fingerprint queries one thread-pool task
             routes (``None``/1 = one task per query; larger values amortize
             task overhead for sub-millisecond queries).
+        fused: route same-fingerprint query groups through the backend's
+            fused batch kernel (``route_many``) when it has one.  Physical:
+            fused results are identical to sequential by construction
+            (``BatchReport.signature()`` parity), only wall-clock changes.
+        artifact_transport: how the artifact reaches process workers —
+            ``"pickle"`` (spill directory) or ``"shm"`` (zero-copy
+            shared-memory segments, see :mod:`repro.service.shm`).  Physical;
+            ignored by thread-mode slices, and the service falls back to the
+            spill path whenever shared memory is unavailable.
         shard_hint: the cluster shard the coordinator placed this plan on
             (``None`` outside the cluster tier; excluded from identity).
         policy: which planner policy produced the plan (``fixed`` plans come
@@ -76,6 +88,8 @@ class ExecutionPlan:
     parallelism: str = "threads"
     max_workers: int | None = None
     chunk_size: int | None = None
+    fused: bool = False
+    artifact_transport: str = "pickle"
     shard_hint: str | None = None
     policy: str = "fixed"
     reason: str = ""
@@ -88,6 +102,11 @@ class ExecutionPlan:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1 (or None)")
+        if self.artifact_transport not in ARTIFACT_TRANSPORTS:
+            raise ValueError(
+                f"unknown artifact_transport {self.artifact_transport!r}; "
+                f"expected one of {', '.join(ARTIFACT_TRANSPORTS)}"
+            )
 
     # -- identities ----------------------------------------------------------
 
@@ -122,6 +141,8 @@ class ExecutionPlan:
                 "parallelism": self.parallelism,
                 "max_workers": self.max_workers,
                 "chunk_size": self.chunk_size,
+                "fused": self.fused,
+                "artifact_transport": self.artifact_transport,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -147,6 +168,8 @@ class ExecutionPlan:
             "parallelism": self.parallelism,
             "max_workers": self.max_workers,
             "chunk_size": self.chunk_size,
+            "fused": self.fused,
+            "artifact_transport": self.artifact_transport,
             "shard_hint": self.shard_hint,
             "policy": self.policy,
             "reason": self.reason,
@@ -171,6 +194,10 @@ class ExecutionPlan:
             bits.append(f"max_workers={self.max_workers}")
         if self.effective_chunk_size != 1:
             bits.append(f"chunk={self.effective_chunk_size}")
+        if self.fused:
+            bits.append("fused")
+        if self.artifact_transport != "pickle":
+            bits.append(f"transport={self.artifact_transport}")
         if self.shard_hint is not None:
             bits.append(f"shard={self.shard_hint}")
         bits.append(f"policy={self.policy}")

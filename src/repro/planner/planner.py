@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.reporting import format_kv, format_table
-from repro.backends.base import available_backends
+from repro.backends.base import available_backends, backend_factory, supports_fusion
 from repro.kernels import active_kernel
 from repro.metrics import MetricsRegistry, default_registry
 from repro.planner.cost import CostEstimate, CostModel, size_bucket
@@ -361,6 +361,8 @@ class QueryPlanner:
         )
         parallelism = self._pick_parallelism(chosen_estimate, notes)
         chunk = self._pick_chunk(chosen_estimate, notes)
+        fused = self._pick_fused(chosen_name, notes)
+        transport = self._pick_transport(parallelism, notes)
         plan = ExecutionPlan(
             backend=chosen_name,
             backend_params=dict(backend_params or {}),
@@ -368,6 +370,8 @@ class QueryPlanner:
             parallelism=parallelism,
             max_workers=self.max_workers,
             chunk_size=chunk,
+            fused=fused,
+            artifact_transport=transport,
             policy=policy,
             reason=reason,
         )
@@ -401,6 +405,36 @@ class QueryPlanner:
             return "processes"
         return "threads"
 
+    def _pick_fused(self, backend: str, notes: list[str]) -> bool:
+        """Fuse same-fingerprint batches whenever the backend has a batch kernel.
+
+        Fused results are identical to sequential by construction, so the
+        only cost of enabling fusion is nothing at batch size 1 (the service
+        fuses groups of >= 2 only) — there is no tradeoff to model.
+        """
+        try:
+            capable = supports_fusion(backend_factory(backend))
+        except ValueError:
+            capable = False
+        if capable:
+            notes.append(
+                f"backend {backend} exposes route_many -> fused batch kernels enabled"
+            )
+        return capable
+
+    def _pick_transport(self, parallelism: str, notes: list[str]) -> str:
+        """Ship artifacts to process workers over shared memory when available."""
+        if parallelism != "processes":
+            return "pickle"
+        try:
+            from repro.service.shm import shm_enabled
+        except ImportError:  # pragma: no cover - shm module always ships
+            return "pickle"
+        if shm_enabled():
+            notes.append("process workers attach artifacts over shared memory")
+            return "shm"
+        return "pickle"
+
     def _pick_chunk(self, estimate: CostEstimate, notes: list[str]) -> int | None:
         if (
             self.chunk_size > 1
@@ -421,6 +455,14 @@ class QueryPlanner:
     ) -> None:
         """Fold one observed per-query wall-clock back into the cost model."""
         self.cost_model.observe_query(
+            plan.backend, plan.kernel, n, seconds, workload=workload
+        )
+
+    def record_fused_query(
+        self, plan: ExecutionPlan, n: int, seconds: float, workload: str = ""
+    ) -> None:
+        """Fold one fused-batch per-query wall-clock into the fused curve."""
+        self.cost_model.observe_fused_query(
             plan.backend, plan.kernel, n, seconds, workload=workload
         )
 

@@ -162,6 +162,21 @@ class ArtifactCache:
             self._record_lookup("miss")
             return None
 
+    def peek(self, fingerprint: str) -> PreprocessArtifact | None:
+        """The in-memory entry without stats, LRU, or disk side effects.
+
+        The cluster's warm-key handoff uses this to export artifacts during
+        rebalances — an administrative read that should not distort the
+        hit-rate the operators watch.
+        """
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def fingerprints(self) -> list[str]:
+        """Every in-memory fingerprint, coldest first (LRU order)."""
+        with self._lock:
+            return list(self._entries)
+
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
             if fingerprint in self._entries:
@@ -186,6 +201,18 @@ class ArtifactCache:
         # Disk write outside the lock: the atomic tmp-file rename keeps
         # concurrent writers of the same fingerprint consistent.
         self._store_to_disk(fingerprint, artifact)
+
+    def adopt(self, fingerprint: str, artifact: PreprocessArtifact) -> None:
+        """Insert an artifact handed off from another cache, memory tier only.
+
+        Unlike :meth:`put` this neither counts as a store nor writes the disk
+        tier: adopted artifacts arrive via the shared-memory plane during
+        cluster rebalances, and re-pickling a zero-copy view to disk would
+        duplicate exactly the bytes the handoff avoided copying.
+        """
+        artifact.fingerprint = fingerprint
+        with self._lock:
+            self._insert(fingerprint, artifact)
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop every in-memory entry (and the disk tier too if ``disk``)."""

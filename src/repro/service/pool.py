@@ -41,7 +41,16 @@ from repro.core.router import PreprocessArtifact
 from repro.core.tokens import RoutingRequest
 from repro.kernels import kernel
 
-__all__ = ["BuildTask", "RouteTask", "build_in_worker", "route_in_worker", "spill_path"]
+__all__ = [
+    "BuildTask",
+    "RouteTask",
+    "FusedRouteTask",
+    "build_in_worker",
+    "route_in_worker",
+    "route_group_in_worker",
+    "runner_cache_limit",
+    "spill_path",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,29 @@ class RouteTask:
     params: Mapping[str, Any] = field(default_factory=dict)
     spill_dir: str | None = None
     kernel: str = "numpy"
+    shm_segment: str | None = None
+
+
+@dataclass(frozen=True)
+class FusedRouteTask:
+    """Several same-fingerprint queries shipped to one worker as a fused batch.
+
+    The worker routes every group through the backend's ``route_many`` (one
+    stacked kernel pass) when the backend supports fusion, falling back to
+    per-group ``route`` calls otherwise; per-group results are identical
+    either way.  Artifact transport matches :class:`RouteTask` — shared
+    memory first (``shm_segment``), spill directory second.
+    """
+
+    fingerprint: str
+    graph: nx.Graph | None
+    request_groups: tuple[tuple[RoutingRequest, ...], ...]
+    loads: tuple[int | None, ...]
+    backend: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    spill_dir: str | None = None
+    kernel: str = "numpy"
+    shm_segment: str | None = None
 
 
 def spill_path(spill_dir: str | Path, fingerprint: str) -> Path:
@@ -91,6 +123,16 @@ _RUNNERS: dict[str, RoutingBackend] = {}
 #: Most runners a worker process retains; the parent's ArtifactCache bounds
 #: memory in the coordinator process and this bounds it in the workers.
 _RUNNER_CACHE_LIMIT = max(1, int(os.environ.get("REPRO_POOL_RUNNER_CACHE", "16")))
+
+
+def runner_cache_limit() -> int:
+    """How many runners each worker process retains (``REPRO_POOL_RUNNER_CACHE``).
+
+    The parent mirrors worker runner caches with the same bound to decide
+    when re-spilling an artifact would be redundant (see
+    ``RoutingService._route_batch_processes``).
+    """
+    return _RUNNER_CACHE_LIMIT
 
 
 def _cache_runner(fingerprint: str, runner: RoutingBackend) -> None:
@@ -131,7 +173,7 @@ def build_in_worker(
     return info, artifact
 
 
-def _runner_for(task: RouteTask) -> tuple[RoutingBackend, bool]:
+def _runner_for(task: RouteTask | FusedRouteTask) -> tuple[RoutingBackend, bool]:
     """The query-ready runner for ``task`` plus whether it was already warm."""
     runner = _RUNNERS.pop(task.fingerprint, None)
     if runner is not None:
@@ -139,7 +181,16 @@ def _runner_for(task: RouteTask) -> tuple[RoutingBackend, bool]:
         return runner, True
     factory = backend_factory(task.backend)
     artifact = None
-    if task.spill_dir is not None and supports_artifacts(factory):
+    if task.shm_segment is not None and supports_artifacts(factory):
+        # Zero-copy path: the parent published the artifact to a shared
+        # segment; the rebuilt artifact's arrays are views into shared pages.
+        try:
+            from repro.service.shm import attach
+
+            artifact = attach(task.shm_segment)
+        except (FileNotFoundError, ValueError):
+            artifact = None  # segment gone or unreadable: fall back to spill
+    if artifact is None and task.spill_dir is not None and supports_artifacts(factory):
         path = spill_path(task.spill_dir, task.fingerprint)
         if path.exists():
             with open(path, "rb") as handle:
@@ -171,3 +222,26 @@ def route_in_worker(task: RouteTask) -> tuple[RouteResult, float, bool]:
         start = time.perf_counter()
         outcome = runner.route(list(task.requests), load=task.load)
         return outcome, time.perf_counter() - start, warm
+
+
+def route_group_in_worker(
+    task: FusedRouteTask,
+) -> tuple[list[RouteResult], float, bool]:
+    """Route a fused batch in this worker; returns (outcomes, seconds, warm).
+
+    ``seconds`` is the whole fused pass (the parent attributes an equal share
+    per query, matching the adapters' fused timing convention).
+    """
+    with kernel(task.kernel):
+        runner, warm = _runner_for(task)
+        groups = [list(group) for group in task.request_groups]
+        start = time.perf_counter()
+        route_many = getattr(runner, "route_many", None)
+        if callable(route_many):
+            outcomes = route_many(groups, list(task.loads))
+        else:
+            outcomes = [
+                runner.route(group, load=load)
+                for group, load in zip(groups, task.loads)
+            ]
+        return outcomes, time.perf_counter() - start, warm

@@ -1,0 +1,505 @@
+"""Zero-copy shared-memory artifact plane (``REPRO_SHM``).
+
+Process-mode serving used to ship every :class:`~repro.core.router.PreprocessArtifact`
+to the workers through pickle + a disk spill: one full serialize on the
+parent, one disk write, then one full parse *per worker*.  This module
+replaces that copy chain with one ``multiprocessing.shared_memory`` segment
+per fingerprint:
+
+* :meth:`ShmArtifactStore.publish` flattens the artifact once — a pickle-5
+  *skeleton* whose numpy payloads (CSR adjacency of every graph, partner
+  tables, portal tables, hierarchy caches) are carried as out-of-band raw
+  buffers — and lays skeleton + buffer table + aligned buffers out in a
+  single named segment;
+* :func:`attach` maps the segment and rebuilds the artifact with
+  ``pickle.loads(..., buffers=...)`` over memoryviews *into the segment*:
+  the heavy arrays are zero-copy views of shared pages, never duplicated
+  per worker;
+* the store keeps a refcounted registry per fingerprint with
+  ``create → attach → unlink`` lifecycle, finalizer-backed leak protection
+  (a dropped store unlinks its segments), and ``repro_shm_*`` metrics
+  (segments, bytes, attaches, unlink latency).
+
+``REPRO_SHM=0`` (or an unavailable ``/dev/shm``) disables the plane and the
+serving layer falls back to the existing spill path;
+``tests/test_shm.py`` asserts round-trip equality, unlink-on-close, and the
+fallback.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "SHM_ENV",
+    "SEGMENT_PREFIX",
+    "shm_available",
+    "shm_enabled",
+    "flatten_artifact",
+    "unflatten_artifact",
+    "attach",
+    "ShmArtifactStore",
+    "ShmSegmentInfo",
+    "leaked_segments",
+]
+
+SHM_ENV = "REPRO_SHM"
+SEGMENT_PREFIX = "repro-shm"
+_MAGIC = b"RSHM"
+_LAYOUT_VERSION = 1
+_ALIGN = 64
+_FALSY = {"0", "false", "off", "no"}
+
+
+def _shared_memory_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+_available: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether named shared-memory segments work on this platform (probed once)."""
+    global _available
+    if _available is None:
+        try:
+            shared_memory = _shared_memory_module()
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            try:
+                probe.buf[:4] = _MAGIC
+            finally:
+                probe.close()
+                probe.unlink()
+            _available = True
+        except Exception:
+            _available = False
+    return _available
+
+
+def shm_enabled() -> bool:
+    """The ``REPRO_SHM`` gate: enabled by default wherever shm is available."""
+    if os.environ.get(SHM_ENV, "1").strip().lower() in _FALSY:
+        return False
+    return shm_available()
+
+
+# -- flattening -----------------------------------------------------------------
+
+
+def _graph_is_plain(graph: nx.Graph) -> bool:
+    """True for undirected simple graphs with no node/edge/graph attributes."""
+    if graph.is_directed() or graph.is_multigraph() or graph.graph:
+        return False
+    if any(data for _, data in graph.nodes(data=True)):
+        return False
+    return not any(data for _, _, data in graph.edges(data=True))
+
+
+def _rebuild_plain_graph(nodes: Any, indptr: Any, indices: Any) -> nx.Graph:
+    """Inverse of the CSR reduction in :class:`_ArtifactPickler`."""
+    import numpy as np
+
+    node_list = nodes.tolist() if hasattr(nodes, "tolist") else list(nodes)
+    graph = nx.Graph()
+    graph.add_nodes_from(node_list)
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    edges = []
+    for position, u in enumerate(node_list):
+        for slot in range(int(indptr[position]), int(indptr[position + 1])):
+            edges.append((u, node_list[int(indices[slot])]))
+    graph.add_edges_from(edges)
+    return graph
+
+
+class _ArtifactPickler(pickle.Pickler):
+    """Protocol-5 pickler that lowers plain graphs to CSR numpy arrays.
+
+    Vertex identity and the edge set are preserved exactly (nodes in sorted
+    order, neighbors in sorted-index order — every query-path consumer orders
+    vertices itself); the payoff is that adjacency ships as two int64 arrays
+    in the shared segment instead of nested python dicts in the skeleton.
+    """
+
+    def reducer_override(self, obj):  # noqa: D102 - pickle protocol hook
+        if type(obj) is nx.Graph and _graph_is_plain(obj):
+            import numpy as np
+
+            nodes = sorted(obj.nodes(), key=repr)
+            index = {vertex: position for position, vertex in enumerate(nodes)}
+            indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+            flat: list[int] = []
+            for position, vertex in enumerate(nodes):
+                neighbors = sorted(index[other] for other in obj.neighbors(vertex))
+                flat.extend(neighbors)
+                indptr[position + 1] = len(flat)
+            indices = np.asarray(flat, dtype=np.int64)
+            try:
+                node_payload = np.asarray(nodes)
+                if node_payload.dtype == object:
+                    node_payload = nodes
+            except Exception:
+                node_payload = nodes
+            return (_rebuild_plain_graph, (node_payload, indptr, indices))
+        return NotImplemented
+
+
+def _prewarm(artifact: Any) -> None:
+    """Materialize the deterministic numpy-mode caches before flattening.
+
+    Partner tables, sorted-part caches, and the dummy-dispersion replay are
+    pure functions of the artifact; building them on the publisher side turns
+    them into shared out-of-band arrays every attaching worker reuses instead
+    of recomputing per process.
+    """
+    try:
+        from repro.kernels import use_numpy
+        from repro.kernels.dispersion import _partner_table
+
+        if not use_numpy():
+            return
+        decomposition = getattr(artifact, "decomposition", None)
+        if decomposition is None:
+            return
+        for node in decomposition.all_nodes():
+            shuffler = getattr(node, "shuffler", None)
+            if shuffler is None:
+                continue
+            for matching in shuffler.matchings:
+                _partner_table(matching)
+                matching.sorted_fractional()
+    except Exception:
+        # Pre-warming is a best-effort optimization; publishing an artifact
+        # without warmed caches is still correct.
+        pass
+
+
+def flatten_artifact(artifact: Any, prewarm: bool = True) -> tuple[bytes, list[memoryview]]:
+    """One artifact as (skeleton pickle, out-of-band buffers)."""
+    if prewarm:
+        _prewarm(artifact)
+    buffers: list[memoryview] = []
+
+    def _collect(buffer: pickle.PickleBuffer) -> bool:
+        view = buffer.raw()
+        buffers.append(view)
+        return False  # keep out-of-band
+
+    sink = io.BytesIO()
+    pickler = _ArtifactPickler(sink, protocol=5, buffer_callback=_collect)
+    pickler.dump(artifact)
+    return sink.getvalue(), buffers
+
+
+def unflatten_artifact(skeleton: bytes, buffers: Iterable[memoryview]) -> Any:
+    """Inverse of :func:`flatten_artifact` (buffers in original order)."""
+    return pickle.loads(skeleton, buffers=list(buffers))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _segment_layout(skeleton: bytes, buffers: list[memoryview]) -> tuple[int, list[int]]:
+    """Total segment size and per-buffer offsets for the header layout."""
+    header = len(_MAGIC) + 4 + 8 + 8 + 8 * len(buffers)
+    offset = _aligned(header + len(skeleton))
+    offsets = []
+    for view in buffers:
+        offsets.append(offset)
+        offset = _aligned(offset + view.nbytes)
+    return max(offset, 1), offsets
+
+
+def _write_segment(buf: memoryview, skeleton: bytes, buffers: list[memoryview]) -> None:
+    cursor = 0
+    buf[cursor : cursor + 4] = _MAGIC
+    cursor += 4
+    struct.pack_into("<I", buf, cursor, _LAYOUT_VERSION)
+    cursor += 4
+    struct.pack_into("<Q", buf, cursor, len(skeleton))
+    cursor += 8
+    struct.pack_into("<Q", buf, cursor, len(buffers))
+    cursor += 8
+    for view in buffers:
+        struct.pack_into("<Q", buf, cursor, view.nbytes)
+        cursor += 8
+    buf[cursor : cursor + len(skeleton)] = skeleton
+    _, offsets = _segment_layout(skeleton, buffers)
+    for view, offset in zip(buffers, offsets):
+        flat = view.cast("B") if view.ndim != 1 or view.format != "B" else view
+        buf[offset : offset + view.nbytes] = flat
+
+def _parse_segment(buf: memoryview) -> tuple[bytes, list[memoryview]]:
+    """Skeleton bytes + zero-copy buffer views of one mapped segment."""
+    if bytes(buf[:4]) != _MAGIC:
+        raise ValueError("not a repro shm artifact segment")
+    cursor = 4
+    (version,) = struct.unpack_from("<I", buf, cursor)
+    cursor += 4
+    if version != _LAYOUT_VERSION:
+        raise ValueError(f"unsupported shm segment layout version {version}")
+    (skeleton_len,) = struct.unpack_from("<Q", buf, cursor)
+    cursor += 8
+    (buffer_count,) = struct.unpack_from("<Q", buf, cursor)
+    cursor += 8
+    sizes = [struct.unpack_from("<Q", buf, cursor + 8 * i)[0] for i in range(buffer_count)]
+    cursor += 8 * buffer_count
+    skeleton = bytes(buf[cursor : cursor + skeleton_len])
+    offset = _aligned(cursor + skeleton_len)
+    views: list[memoryview] = []
+    for size in sizes:
+        views.append(buf[offset : offset + size])
+        offset = _aligned(offset + size)
+    return skeleton, views
+
+
+@dataclass(frozen=True)
+class ShmSegmentInfo:
+    """One published segment: its name (the attach key) and byte size."""
+
+    name: str
+    nbytes: int
+    buffer_count: int
+
+
+# Segment names created by *this* process's stores.  An attach of a locally
+# published segment must not unregister it from the resource tracker — the
+# tracker holds one entry per name, and that entry belongs to the publisher.
+_locally_published: set[str] = set()
+
+
+def _close_quietly(shm) -> None:
+    """Unmap an attached segment, tolerating late-GC buffer exports.
+
+    Artifacts hold numpy views *into* the mapping; at interpreter shutdown
+    the finalizer can fire while those views are still alive, making
+    ``close()`` raise ``BufferError``.  Leaving the mapping to the process
+    teardown is harmless — skipping the close must never crash shutdown.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        # The mapping object is kept alive by the surviving views and is
+        # unmapped when they go away; drop our handle so ``__del__`` does not
+        # retry the failing close, and release the descriptor now.
+        shm._mmap = None
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def _untrack(shm) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Python < 3.13 registers every attach with the multiprocessing resource
+    tracker, which unlinks "leaked" segments at process exit — for a worker
+    that merely mapped a publisher-owned segment, that would tear the
+    artifact out from under every other process.  The publisher keeps its
+    own registration (that is the leak protection); attachers must not.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython internal
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def attach(name: str, metrics: MetricsRegistry | None = None) -> Any:
+    """Map a published segment and rebuild the artifact over its buffers.
+
+    The returned artifact's numpy payloads are views *into* the shared
+    segment (no copy); the mapping handle stays open for the artifact's
+    lifetime and closes when the artifact is garbage collected.
+    """
+    shared_memory = _shared_memory_module()
+    started = time.perf_counter()
+    shm = shared_memory.SharedMemory(name=name)
+    if name not in _locally_published:
+        _untrack(shm)
+    try:
+        skeleton, views = _parse_segment(shm.buf)
+        artifact = unflatten_artifact(skeleton, views)
+    except Exception:
+        shm.close()
+        raise
+    # Keep the mapping alive exactly as long as the artifact; a finalizer
+    # (rather than __del__) so interpreter shutdown cannot resurrect it.
+    weakref.finalize(artifact, _close_quietly, shm)
+    registry = metrics if metrics is not None else default_registry()
+    registry.counter(
+        "repro_shm_attaches_total", "Artifact attaches from shared-memory segments."
+    ).inc()
+    registry.histogram(
+        "repro_shm_attach_seconds", "Wall-clock per shm artifact attach."
+    ).observe(time.perf_counter() - started)
+    return artifact
+
+
+def _cleanup_segments(segments: dict[str, Any]) -> None:
+    """Finalizer target: unlink everything a dropped store still owns."""
+    for shm in list(segments.values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+    segments.clear()
+
+
+class ShmArtifactStore:
+    """Publisher-side refcounted registry of shared-memory artifact segments.
+
+    One store per serving process (the :class:`~repro.service.RoutingService`
+    owns one).  ``publish`` is idempotent per fingerprint and bumps a
+    refcount; ``release`` drops it and unlinks at zero; ``close`` unlinks
+    everything.  A ``weakref.finalize`` on the store guarantees the segments
+    are unlinked even when the owner forgets to close (leak protection) —
+    and :func:`leaked_segments` lets harnesses audit ``/dev/shm`` anyway.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._segments: dict[str, Any] = {}  # segment name -> SharedMemory
+        self._by_fingerprint: dict[str, ShmSegmentInfo] = {}
+        self._refcounts: dict[str, int] = {}
+        self._counter = 0
+        self._finalizer = weakref.finalize(self, _cleanup_segments, self._segments)
+        self._m_segments = self.metrics.gauge(
+            "repro_shm_segments", "Shared-memory artifact segments currently published."
+        )
+        self._m_bytes = self.metrics.gauge(
+            "repro_shm_bytes", "Total bytes of published shared-memory segments."
+        )
+        self._m_published = self.metrics.counter(
+            "repro_shm_published_total", "Segments published over the store's lifetime."
+        )
+        self._m_publish_seconds = self.metrics.histogram(
+            "repro_shm_publish_seconds", "Wall-clock per artifact publish."
+        )
+        self._m_unlink_seconds = self.metrics.histogram(
+            "repro_shm_unlink_seconds", "Wall-clock per segment unlink."
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def segment_for(self, fingerprint: str) -> ShmSegmentInfo | None:
+        """The published segment for ``fingerprint`` (``None`` if absent)."""
+        return self._by_fingerprint.get(fingerprint)
+
+    def publish(self, fingerprint: str, artifact: Any) -> ShmSegmentInfo:
+        """Flatten ``artifact`` into a named segment (idempotent per fingerprint)."""
+        info = self._by_fingerprint.get(fingerprint)
+        if info is not None:
+            self._refcounts[fingerprint] += 1
+            return info
+        shared_memory = _shared_memory_module()
+        started = time.perf_counter()
+        skeleton, buffers = flatten_artifact(artifact)
+        total, _ = _segment_layout(skeleton, buffers)
+        self._counter += 1
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{self._counter}-{fingerprint[:8]}"
+        shm = shared_memory.SharedMemory(create=True, size=total, name=name)
+        try:
+            _write_segment(shm.buf, skeleton, buffers)
+        except Exception:
+            shm.close()
+            shm.unlink()
+            raise
+        info = ShmSegmentInfo(name=shm.name, nbytes=total, buffer_count=len(buffers))
+        _locally_published.add(shm.name)
+        self._segments[shm.name] = shm
+        self._by_fingerprint[fingerprint] = info
+        self._refcounts[fingerprint] = 1
+        self._m_published.inc()
+        self._m_segments.set(len(self._segments))
+        self._m_bytes.set(sum(entry.nbytes for entry in self._by_fingerprint.values()))
+        self._m_publish_seconds.observe(time.perf_counter() - started)
+        return info
+
+    def release(self, fingerprint: str) -> bool:
+        """Drop one reference; unlink the segment when the count reaches zero."""
+        if fingerprint not in self._by_fingerprint:
+            return False
+        self._refcounts[fingerprint] -= 1
+        if self._refcounts[fingerprint] > 0:
+            return False
+        self._unlink(fingerprint)
+        return True
+
+    def _unlink(self, fingerprint: str) -> None:
+        info = self._by_fingerprint.pop(fingerprint)
+        self._refcounts.pop(fingerprint, None)
+        shm = self._segments.pop(info.name, None)
+        _locally_published.discard(info.name)
+        if shm is None:
+            return
+        started = time.perf_counter()
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external interference
+            pass
+        self._m_unlink_seconds.observe(time.perf_counter() - started)
+        self._m_segments.set(len(self._segments))
+        self._m_bytes.set(sum(entry.nbytes for entry in self._by_fingerprint.values()))
+
+    def trim(self, cap: int, keep: Iterable[str] = ()) -> int:
+        """Unlink the oldest segments until at most ``cap`` remain.
+
+        Fingerprints in ``keep`` (e.g. the current batch's keys) are never
+        evicted.  Unlinking while workers still hold attached views is safe:
+        the mapping survives the unlink and the pages free once the last
+        attach closes.  Returns how many segments were unlinked.
+        """
+        protected = set(keep)
+        unlinked = 0
+        for fingerprint in list(self._by_fingerprint):
+            if len(self._by_fingerprint) <= max(cap, len(protected)):
+                break
+            if fingerprint in protected:
+                continue
+            self._unlink(fingerprint)
+            unlinked += 1
+        return unlinked
+
+    def close(self) -> None:
+        """Unlink every published segment; idempotent."""
+        for fingerprint in list(self._by_fingerprint):
+            self._unlink(fingerprint)
+
+    def __enter__(self) -> "ShmArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of repro segments still present in ``/dev/shm`` (harness audit).
+
+    Returns an empty list on platforms without a ``/dev/shm`` filesystem —
+    the audit is then simply inconclusive rather than failing.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        entry for entry in os.listdir(root) if entry.startswith(prefix)
+    )

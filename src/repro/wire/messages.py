@@ -329,6 +329,8 @@ class WirePlan(WireMessage):
     parallelism: str = "threads"
     max_workers: int | None = None
     chunk_size: int | None = None
+    fused: bool = False
+    artifact_transport: str = "pickle"
     shard_hint: str | None = None
     policy: str = "fixed"
     reason: str = ""
@@ -343,6 +345,8 @@ class WirePlan(WireMessage):
             parallelism=plan.parallelism,
             max_workers=plan.max_workers,
             chunk_size=plan.chunk_size,
+            fused=plan.fused,
+            artifact_transport=plan.artifact_transport,
             shard_hint=plan.shard_hint,
             policy=plan.policy,
             reason=plan.reason,
@@ -356,6 +360,8 @@ class WirePlan(WireMessage):
             parallelism=self.parallelism,
             max_workers=self.max_workers,
             chunk_size=self.chunk_size,
+            fused=self.fused,
+            artifact_transport=self.artifact_transport,
             shard_hint=self.shard_hint,
             policy=self.policy,
             reason=self.reason,
@@ -369,6 +375,8 @@ class WirePlan(WireMessage):
         payload["parallelism"] = self.parallelism
         payload["max_workers"] = self.max_workers
         payload["chunk_size"] = self.chunk_size
+        payload["fused"] = self.fused
+        payload["artifact_transport"] = self.artifact_transport
         payload["shard_hint"] = self.shard_hint
         payload["policy"] = self.policy
         payload["reason"] = self.reason
@@ -383,6 +391,11 @@ class WirePlan(WireMessage):
             "parallelism": payload.get("parallelism", "threads"),
             "max_workers": payload.get("max_workers"),
             "chunk_size": payload.get("chunk_size"),
+            # Peers one schema behind omit the fused/transport knobs; their
+            # plans execute un-fused over the spill path, which is always
+            # result-identical.
+            "fused": bool(payload.get("fused", False)),
+            "artifact_transport": payload.get("artifact_transport", "pickle"),
             "shard_hint": payload.get("shard_hint"),
             "policy": payload.get("policy", "fixed"),
             "reason": payload.get("reason", ""),

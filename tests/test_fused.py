@@ -1,0 +1,196 @@
+"""Fused batch kernels are result-identical to sequential execution.
+
+The fused paths (``ExpanderRouter.route_many``, ``disperse_many``,
+``schedule_token_batches``, and the service's fused batch dispatch) exist
+purely for wall-clock: every observable output — deliveries, round counts,
+per-phase breakdowns, token traces, batch signatures — must match what the
+per-query sequential code produces.  Hypothesis drives random expanders and
+workloads through both paths and compares exhaustively.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.scheduler import (
+    ScheduledToken,
+    schedule_token_batches,
+    schedule_tokens_along_paths,
+)
+from repro.core.router import ExpanderRouter
+from repro.core.tokens import RoutingRequest
+from repro.kernels import set_kernel
+from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
+from repro.service import RoutingService
+
+settings.register_profile(
+    "repro-fused", deadline=None, max_examples=12, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro-fused")
+
+
+@pytest.fixture(scope="module")
+def router():
+    """One preprocessed router shared by every drawn workload batch."""
+    graph = nx.random_regular_graph(4, 48, seed=11)
+    r = ExpanderRouter(graph, epsilon=0.5)
+    r.preprocess()
+    return r
+
+
+def _outcome_facts(outcome):
+    """Every deterministic field of a RoutingOutcome, traces included."""
+    return (
+        outcome.delivered,
+        outcome.total_tokens,
+        outcome.query_rounds,
+        outcome.preprocessing_rounds,
+        outcome.load,
+        outcome.max_intermediate_part_load,
+        outcome.fallback_assignments,
+        tuple(sorted(outcome.breakdown.items())),
+        tuple(
+            (t.source, t.destination, t.current_vertex, tuple(t.trace))
+            for t in sorted(outcome.tokens, key=lambda t: t.token_id)
+        ),
+    )
+
+
+def _draw_groups(data, nodes, max_groups=3):
+    group_count = data.draw(st.integers(min_value=2, max_value=max_groups))
+    groups = []
+    for index in range(group_count):
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        rng = random.Random(seed)
+        size = data.draw(st.integers(min_value=2, max_value=len(nodes)))
+        sources = rng.sample(nodes, size)
+        destinations = sources[:]
+        rng.shuffle(destinations)
+        groups.append(
+            [RoutingRequest(source=s, destination=d) for s, d in zip(sources, destinations)]
+        )
+    return groups
+
+
+@given(st.data())
+def test_route_many_matches_sequential(router, data):
+    nodes = sorted(router.graph.nodes())
+    groups = _draw_groups(data, nodes)
+    set_kernel("numpy")
+    try:
+        fused = router.route_many(groups)
+        sequential = [router.route(group) for group in groups]
+    finally:
+        set_kernel(None)
+    assert [_outcome_facts(o) for o in fused] == [_outcome_facts(o) for o in sequential]
+
+
+@given(st.data())
+def test_route_many_matches_reference_kernel(router, data):
+    """The fused numpy recursion agrees with the pure-python reference."""
+    nodes = sorted(router.graph.nodes())
+    groups = _draw_groups(data, nodes, max_groups=2)
+    set_kernel("numpy")
+    try:
+        fused = router.route_many(groups)
+    finally:
+        set_kernel(None)
+    set_kernel("reference")
+    try:
+        reference = [router.route(group) for group in groups]
+    finally:
+        set_kernel(None)
+    assert [_outcome_facts(o) for o in fused] == [_outcome_facts(o) for o in reference]
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=2,
+        max_size=5,
+    )
+)
+def test_schedule_token_batches_matches_solo(batches_raw):
+    batches = []
+    for raw_batch in batches_raw:
+        tokens = []
+        for index, raw in enumerate(raw_batch):
+            path = [raw[0]]
+            for vertex in raw[1:]:
+                if vertex != path[-1]:
+                    path.append(vertex)
+            tokens.append(ScheduledToken(token_id=index, path=tuple(path)))
+        batches.append(tokens)
+    set_kernel("numpy")
+    try:
+        fused = schedule_token_batches(batches)
+    finally:
+        set_kernel(None)
+    solo = [schedule_tokens_along_paths(batch) for batch in batches]
+    for got, expected in zip(fused, solo):
+        assert got.rounds == expected.rounds
+        assert got.congestion == expected.congestion
+        assert got.dilation == expected.dilation
+        assert got.arrival_round == expected.arrival_round
+
+
+def _submit_all(service, graph, workloads, plan):
+    for requests in workloads:
+        service.submit(graph, requests, plan=plan)
+    return service.route_batch()
+
+
+def _service_signatures(plan, graph, workloads):
+    with RoutingService(metrics=MetricsRegistry()) as service:
+        warm = _submit_all(service, graph, workloads, plan)
+        repeat = _submit_all(service, graph, workloads, plan)
+    return warm.signature(), repeat.signature()
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        ExecutionPlan(backend="deterministic", fused=True),
+        ExecutionPlan(backend="deterministic", parallelism="processes", fused=True),
+        ExecutionPlan(
+            backend="deterministic",
+            parallelism="processes",
+            fused=True,
+            artifact_transport="shm",
+        ),
+    ],
+    ids=["threads-fused", "processes-fused", "processes-fused-shm"],
+)
+def test_service_fused_signature_parity(variant):
+    """BatchReport.signature() is identical across fused/sequential and transports."""
+    graph = nx.random_regular_graph(4, 48, seed=5)
+    nodes = sorted(graph.nodes())
+    workloads = []
+    for seed in range(3):
+        rng = random.Random(seed)
+        destinations = nodes[:]
+        rng.shuffle(destinations)
+        workloads.append(
+            [RoutingRequest(source=s, destination=d) for s, d in zip(nodes, destinations)]
+        )
+    baseline = ExecutionPlan(backend="deterministic")
+    expected = _service_signatures(baseline, graph, workloads)
+    assert _service_signatures(variant, graph, workloads) == expected
+
+
+def test_fused_plan_is_physical_not_semantic():
+    """Fusion and transport change the physical plan id only."""
+    plain = ExecutionPlan(backend="deterministic")
+    fused = ExecutionPlan(backend="deterministic", fused=True, artifact_transport="shm")
+    assert plain.semantic_id == fused.semantic_id
+    assert plain.plan_id != fused.plan_id

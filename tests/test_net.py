@@ -312,19 +312,21 @@ def test_net_metric_families_render(gateway, graphs):
 # -- deprecation shims and lifecycle satellites ------------------------------------
 
 
-def test_legacy_parallelism_kwargs_warn_but_work():
-    with pytest.warns(DeprecationWarning, match="default_plan"):
-        coordinator = ClusterCoordinator(
+def test_legacy_parallelism_kwargs_are_gone():
+    # The constructor pass-through was deleted; only the read-only property
+    # shims survive one more release.
+    with pytest.raises(TypeError):
+        ClusterCoordinator(
             shard_count=1,
             shard_parallelism="threads",
             shard_max_workers=2,
             metrics=MetricsRegistry(),
         )
-    with coordinator:
+    with ClusterCoordinator(shard_count=1, default_plan=PLAN, metrics=MetricsRegistry()) as coord:
         with pytest.warns(DeprecationWarning, match="default_plan.parallelism"):
-            assert coordinator.shard_parallelism == "threads"
+            assert coord.shard_parallelism == "threads"
         with pytest.warns(DeprecationWarning, match="default_plan.max_workers"):
-            assert coordinator.shard_max_workers == 2
+            assert coord.shard_max_workers == 2
 
 
 def test_worker_shim_properties_warn():

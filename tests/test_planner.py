@@ -326,15 +326,17 @@ def test_service_explain_requires_planner(graph):
 
 
 def test_cluster_default_plan_replaces_knob_plumbing(graph):
-    # The legacy kwargs are deprecated shims now: they still collapse into
-    # one plan object shared by every shard worker, but warn on the way.
-    with pytest.warns(DeprecationWarning, match="default_plan"):
-        coordinator = ClusterCoordinator(
-            shard_count=2,
-            shard_parallelism="threads",
-            shard_max_workers=2,
-            metrics=MetricsRegistry(),
-        )
+    # The legacy shard_parallelism/shard_max_workers constructor kwargs are
+    # gone; one plan object shared by every shard worker is the only spelling.
+    with pytest.raises(TypeError):
+        ClusterCoordinator(shard_count=2, shard_parallelism="threads")
+    coordinator = ClusterCoordinator(
+        shard_count=2,
+        default_plan=ExecutionPlan(
+            backend="deterministic", parallelism="threads", max_workers=2
+        ),
+        metrics=MetricsRegistry(),
+    )
     with coordinator:
         assert coordinator.default_plan.parallelism == "threads"
         assert coordinator.default_plan.max_workers == 2

@@ -1,0 +1,184 @@
+"""The shared-memory artifact plane: round-trips, lifecycle, and fallback.
+
+``repro.service.shm`` flattens a :class:`PreprocessArtifact` into one pickle
+skeleton plus out-of-band numpy buffers, publishes the pair in a
+``multiprocessing.shared_memory`` segment, and reattaches it zero-copy.  The
+tests here pin the three guarantees the serving tier builds on: an attached
+view routes identically to the original, segments are unlinked when released
+(no ``/dev/shm`` leaks), and everything degrades to the pickle/spill path
+when shm is disabled or unavailable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.router import ExpanderRouter
+from repro.core.tokens import RoutingRequest
+from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
+from repro.service import RoutingService, leaked_segments, shm_available, shm_enabled
+from repro.service.shm import (
+    ShmArtifactStore,
+    attach,
+    flatten_artifact,
+    unflatten_artifact,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    graph = nx.random_regular_graph(4, 48, seed=9)
+    router = ExpanderRouter(graph, epsilon=0.5)
+    router.preprocess()
+    return router.export_artifact(fingerprint="f" * 16)
+
+
+def _workload(graph, seed):
+    nodes = sorted(graph.nodes())
+    rng = random.Random(seed)
+    destinations = nodes[:]
+    rng.shuffle(destinations)
+    return [RoutingRequest(source=s, destination=d) for s, d in zip(nodes, destinations)]
+
+
+def _route_facts(artifact, seed=0):
+    graph = artifact.decomposition.graph
+    router = ExpanderRouter.from_artifact(graph, artifact)
+    outcome = router.route(_workload(graph, seed))
+    return (
+        outcome.delivered,
+        outcome.total_tokens,
+        outcome.query_rounds,
+        outcome.preprocessing_rounds,
+        tuple(sorted(outcome.breakdown.items())),
+    )
+
+
+def test_flatten_unflatten_round_trip(artifact):
+    skeleton, buffers = flatten_artifact(artifact)
+    clone = unflatten_artifact(skeleton, buffers)
+    assert clone is not artifact
+    assert clone.fingerprint == artifact.fingerprint
+    assert clone.epsilon == artifact.epsilon
+    assert _route_facts(clone) == _route_facts(artifact)
+
+
+def test_publish_attach_round_trip(artifact):
+    with ShmArtifactStore(metrics=MetricsRegistry()) as store:
+        info = store.publish("f" * 16, artifact)
+        assert info.nbytes > 0
+        assert info.buffer_count > 0
+        # Idempotent: a second publish reuses the segment.
+        assert store.publish("f" * 16, artifact).name == info.name
+        assert store.segment_for("f" * 16).name == info.name
+        attached = attach(info.name)
+        assert _route_facts(attached, seed=1) == _route_facts(artifact, seed=1)
+    assert leaked_segments() == []
+
+
+def test_release_unlinks_at_zero(artifact):
+    store = ShmArtifactStore()
+    info = store.publish("a" * 16, artifact)
+    store.publish("a" * 16, artifact)  # refcount 2
+    assert store.release("a" * 16) is False  # still held
+    assert store.segment_for("a" * 16) is not None
+    assert store.release("a" * 16) is True  # unlinked
+    assert store.segment_for("a" * 16) is None
+    with pytest.raises(FileNotFoundError):
+        attach(info.name)
+    assert leaked_segments() == []
+
+
+def test_trim_protects_kept_fingerprints(artifact):
+    store = ShmArtifactStore()
+    for index in range(4):
+        store.publish(f"{index:016d}", artifact)
+    unlinked = store.trim(2, keep={"0000000000000003"})
+    assert unlinked == 2
+    assert store.segment_for("0000000000000003") is not None
+    assert len(store) == 2
+    store.close()
+    assert leaked_segments() == []
+
+
+def test_store_close_unlinks_everything(artifact):
+    store = ShmArtifactStore()
+    store.publish("b" * 16, artifact)
+    store.publish("c" * 16, artifact)
+    store.close()
+    assert len(store) == 0
+    assert leaked_segments() == []
+
+
+def test_env_gate_disables_shm(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "0")
+    assert shm_enabled() is False
+    monkeypatch.setenv("REPRO_SHM", "1")
+    assert shm_enabled() is True
+    monkeypatch.delenv("REPRO_SHM")
+    assert shm_enabled() is True  # default on
+
+
+def test_service_falls_back_when_shm_disabled(monkeypatch):
+    """A plan asking for shm transport still routes with REPRO_SHM=0."""
+    monkeypatch.setenv("REPRO_SHM", "0")
+    graph = nx.random_regular_graph(4, 48, seed=2)
+    plan = ExecutionPlan(
+        backend="deterministic", parallelism="processes", artifact_transport="shm"
+    )
+    metrics = MetricsRegistry()
+    with RoutingService(metrics=metrics) as service:
+        for seed in range(2):
+            service.submit(graph, _workload(graph, seed), plan=plan)
+        report = service.route_batch()
+    assert report.all_delivered
+    assert metrics.get("repro_shm_published_total") is None
+    assert leaked_segments() == []
+
+
+def test_service_shm_transport_skips_spill():
+    graph = nx.random_regular_graph(4, 48, seed=4)
+    plan = ExecutionPlan(
+        backend="deterministic", parallelism="processes", artifact_transport="shm"
+    )
+    metrics = MetricsRegistry()
+    with RoutingService(metrics=metrics) as service:
+        for round_index in range(2):
+            for seed in range(2):
+                service.submit(graph, _workload(graph, seed), plan=plan)
+            assert service.route_batch().all_delivered
+        snapshot = metrics.as_dict()
+    assert snapshot["repro_shm_published_total"][""] == 1.0
+    assert snapshot["repro_service_pool_spill_skipped_total"]["reason=shm"] >= 1.0
+    assert leaked_segments() == []
+
+
+def test_cluster_warm_handoff_uses_shm_plane():
+    """Rebalanced warm keys migrate via shm and keep serving as cache hits."""
+    from repro.cluster import ClusterCoordinator
+    from repro.workloads import make_workload
+
+    graphs = [nx.random_regular_graph(4, 48, seed=s) for s in range(3)]
+    metrics = MetricsRegistry()
+    with ClusterCoordinator(shard_count=2, metrics=metrics) as coordinator:
+        for graph in graphs:
+            coordinator.submit(graph, make_workload("permutation", graph, shift=1))
+        coordinator.dispatch()
+        coordinator.add_shard()
+        for graph in graphs:
+            coordinator.submit(graph, make_workload("permutation", graph, shift=2))
+        report = coordinator.dispatch()
+        assert report.cache_hits == report.query_count
+        assert report.preprocess_rounds_incurred == 0
+        handoffs = metrics.as_dict().get("repro_cluster_warm_handoffs_total", {})
+        moved = sum(handoffs.values())
+        assert handoffs.get("path=shm", 0.0) == moved
+    assert leaked_segments() == []
