@@ -1,0 +1,192 @@
+"""E8: elasticity — a bursty scale-out/in cycle under chaos, and R=2 hot reads.
+
+Two measurements, one JSON artifact (``bench-elastic.json``):
+
+* **Bursty autoscale + seeded crash.**  An open-loop bursty arrival process
+  drives a queue-depth autoscaler between 2 and 6 shards while a seeded
+  :class:`~repro.elastic.FaultPlan` kills and rejoins a shard mid-run.  The
+  headline assertions are the ISSUE acceptance bar: the scaler both grows to
+  its ceiling and returns to its floor (2 → 6 → 2), and the kill/rejoin cycle
+  loses **zero** batches — every admitted batch is served exactly once.
+* **Hot-key replication read throughput.**  One hotspot fingerprint hammered
+  through a ``transport="tcp"`` cluster (real shard server processes, so the
+  replica adds a second OS process of genuine parallelism, not a second
+  GIL-bound thread).  With ``replication_factor=2`` the coordinator publishes
+  the hot artifact to a replica and round-robins reads across both owners;
+  the bar is >= 1.5x the R=1 read throughput on the same traffic.  The
+  throughput bar needs at least two CPU cores to be physically expressible
+  (two server processes cannot run concurrently on one core), so on a
+  single-core host the benchmark keeps the structural assertions — reads
+  spread, replica warm, all hits, zero lost — and reports the ratio without
+  gating on it.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import QUICK
+
+from repro.analysis.reporting import format_table
+from repro.cluster import ClusterCoordinator, OpenLoopLoadGenerator
+from repro.elastic import Autoscaler, AutoscalerConfig, FaultPlan
+from repro.graphs.generators import random_regular_expander
+from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
+from repro.workloads import permutation_workload
+
+BENCH_N = 48 if QUICK else 64
+BURST_RATE = 240.0 if QUICK else 360.0
+BURST_DURATION = 1.2 if QUICK else 2.0
+HOT_CLIENTS = 8  # hot submissions per dispatch round
+HOT_ROUNDS = 4 if QUICK else 8
+PLAN = ExecutionPlan(backend="deterministic", max_workers=2)
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "bench-elastic.json"
+
+
+def _graphs(count=3):
+    return [random_regular_expander(BENCH_N, degree=6, seed=seed) for seed in range(count)]
+
+
+def _bursty_chaos_row():
+    graphs = _graphs()
+    coordinator = ClusterCoordinator(
+        shard_count=2,
+        cache_capacity=8,
+        default_plan=PLAN,
+        metrics=MetricsRegistry(),
+    )
+    generator = OpenLoopLoadGenerator(
+        graphs,
+        rate=BURST_RATE,
+        duration=BURST_DURATION,
+        arrival="bursty",
+        burst_factor=3.0,
+        burst_period=0.4,
+        burst_fraction=0.3,
+        dispatch_interval=0.05,
+        seed=11,
+    )
+    autoscaler = Autoscaler(
+        coordinator,
+        AutoscalerConfig(
+            policy="queue-depth",
+            min_shards=2,
+            max_shards=6,
+            scale_up_depth=2.5,
+            scale_down_depth=1.0,
+            evaluate_interval=0.05,
+            cooldown=0.05,
+            scale_step=2,
+        ),
+    )
+    plan = FaultPlan.kill_and_rejoin(
+        "shard-1", kill_at=BURST_DURATION * 0.4, rejoin_at=BURST_DURATION * 0.7
+    )
+    with coordinator:
+        report = generator.run(coordinator, fault_plan=plan, autoscaler=autoscaler)
+        final_shards = coordinator.shard_count
+    peak = max((event["to_shards"] for event in report.scale_events), default=2)
+    floor = min((event["to_shards"] for event in report.scale_events), default=2)
+    return report, {
+        "experiment": "bursty-autoscale-chaos",
+        "n": BENCH_N,
+        "offered": report.offered,
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "lost_batches": report.lost_batches,
+        "requeued_batches": report.requeued_batches,
+        "failovers": report.failovers,
+        "scale_events": len(report.scale_events),
+        "peak_shards": peak,
+        "floor_shards": floor,
+        "final_shards": final_shards,
+        "p99_seconds": report.latency_quantile(0.99),
+        "clean_p99_seconds": report.clean_latency_quantile(0.99),
+        "failover_p99_seconds": report.failover_latency_quantile(0.99),
+        "quick": QUICK,
+    }
+
+
+def _hotspot_row(replication_factor):
+    graph = _graphs(count=1)[0]
+    workload = permutation_workload(graph, shift=3)
+    coordinator = ClusterCoordinator(
+        shard_count=2,
+        cache_capacity=4,
+        default_plan=PLAN,
+        metrics=MetricsRegistry(),
+        transport="tcp",
+        replication_factor=replication_factor,
+        hot_key_threshold=1.0,
+    )
+    with coordinator:
+        # Warm-up: build the artifact, mark the key hot, publish the replica.
+        for _ in range(2):
+            for _ in range(HOT_CLIENTS):
+                coordinator.submit(graph, workload)
+            coordinator.dispatch()
+        started = time.perf_counter()
+        reports = []
+        for _ in range(HOT_ROUNDS):
+            for _ in range(HOT_CLIENTS):
+                coordinator.submit(graph, workload)
+            reports.append(coordinator.dispatch())
+        seconds = time.perf_counter() - started
+        replicated = len(coordinator.replicated_keys())
+    queries = sum(report.query_count for report in reports)
+    assert all(report.all_delivered for report in reports)
+    assert all(report.lost_batches == 0 for report in reports)
+    served = {shard for report in reports for shard in report.shard_reports}
+    return {
+        "experiment": "hotspot-read-throughput",
+        "n": BENCH_N,
+        "replication_factor": replication_factor,
+        "queries": queries,
+        "seconds": seconds,
+        "throughput_qps": queries / seconds,
+        "serving_shards": len(served),
+        "replicated_keys": replicated,
+        "cache_hit_rate": sum(r.cache_hits for r in reports) / queries,
+        "quick": QUICK,
+    }
+
+
+def test_elastic_cluster(benchmark):
+    rows = []
+
+    def sweep():
+        report, chaos_row = _bursty_chaos_row()
+        rows.append(chaos_row)
+        for replication_factor in (1, 2):
+            rows.append(_hotspot_row(replication_factor))
+        return report
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2, default=str) + "\n")
+
+    print(f"\n[E8] elastic cluster on n={BENCH_N} (quick={QUICK})")
+    print(format_table(rows))
+    print(f"wrote {len(rows)} rows to {RESULTS_PATH.name}")
+
+    chaos = rows[0]
+    # Zero-lost-batch failover under a bursty autoscaling run with a real
+    # kill/rejoin cycle: every admitted batch served, exactly once.
+    assert chaos["lost_batches"] == 0
+    assert chaos["completed"] == chaos["admitted"]
+    assert chaos["failovers"] >= 1
+    assert report.all_delivered
+    # The 2 -> 6 -> 2 elasticity cycle actually happened.
+    assert chaos["peak_shards"] == 6
+    assert chaos["final_shards"] == 2
+
+    by_r = {row["replication_factor"]: row for row in rows[1:]}
+    assert by_r[2]["serving_shards"] == 2  # reads really spread
+    assert by_r[2]["replicated_keys"] == 1
+    assert by_r[1]["cache_hit_rate"] == by_r[2]["cache_hit_rate"] == 1.0
+    speedup = by_r[2]["throughput_qps"] / by_r[1]["throughput_qps"]
+    cores = os.cpu_count() or 1
+    print(f"hotspot read throughput R=2 vs R=1: {speedup:.2f}x on {cores} cores")
+    if cores >= 2:
+        assert speedup >= 1.5

@@ -17,7 +17,9 @@ instrumented end to end and validated under generated load.
   scatter/gather, and merge into a :class:`ClusterReport`;
 * :mod:`repro.cluster.loadgen` — seeded open-loop traffic (Poisson or
   bursty) that drives the coordinator and emits an :class:`SLOReport` with
-  latency percentiles, shed rate, and per-shard cache hit rates.
+  latency percentiles, shed rate, and per-shard cache hit rates — and can
+  carry a :class:`~repro.elastic.FaultPlan` and
+  :class:`~repro.elastic.Autoscaler` for chaos and elasticity runs.
 
 See ``examples/cluster_load_test.py`` for the end-to-end tour and
 ``benchmarks/bench_cluster.py`` for the shard-scaling measurement.
@@ -32,7 +34,7 @@ from repro.cluster.admission import (
 from repro.cluster.coordinator import TRANSPORTS, ClusterCoordinator, ClusterReport
 from repro.cluster.loadgen import DEFAULT_WORKLOAD_MIX, OpenLoopLoadGenerator, SLOReport
 from repro.cluster.ring import ConsistentHashRing, RebalanceStats
-from repro.cluster.worker import ShardQuery, ShardWorker, WarmHandoff
+from repro.cluster.worker import FAULT_KINDS, ShardCrashed, ShardQuery, ShardWorker, WarmHandoff
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -43,9 +45,11 @@ __all__ = [
     "ClusterReport",
     "ConsistentHashRing",
     "DEFAULT_WORKLOAD_MIX",
+    "FAULT_KINDS",
     "OpenLoopLoadGenerator",
     "RebalanceStats",
     "SLOReport",
+    "ShardCrashed",
     "ShardQuery",
     "ShardWorker",
     "TRANSPORTS",

@@ -33,7 +33,6 @@ from __future__ import annotations
 import shutil
 import tempfile
 import time
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
@@ -71,11 +70,18 @@ class ClusterReport:
         dispatch_seconds: wall-clock of the whole scatter/gather.
         admission: snapshot of the coordinator's lifetime admission totals at
             gather time (offered/accepted/rejected/shed).
+        lost_batches: snapshot of the coordinator's lifetime count of admitted
+            batches that vanished (a shard died with no surviving shard to
+            re-own its work) — the number every failover test pins at zero.
+        requeued_batches: snapshot of the lifetime count of admitted batches
+            re-owned by another shard (planned rebalances and failovers).
     """
 
     shard_reports: dict[str, BatchReport] = field(default_factory=dict)
     dispatch_seconds: float = 0.0
     admission: AdmissionStats = field(default_factory=AdmissionStats)
+    lost_batches: int = 0
+    requeued_batches: int = 0
 
     @property
     def query_count(self) -> int:
@@ -190,6 +196,8 @@ class ClusterReport:
             "p99_seconds": self.query_seconds_quantile(0.99),
             "dispatch_seconds": self.dispatch_seconds,
             "dropped": self.admission.dropped,
+            "lost_batches": self.lost_batches,
+            "requeued_batches": self.requeued_batches,
         }
 
     def render(self) -> str:
@@ -211,12 +219,20 @@ class ClusterCoordinator:
         queue_capacity: per-shard admission queue bound (``None`` =
             unbounded).
         admission_policy: ``"reject"`` or ``"shed-oldest"``.
+        replication_factor: ring owners per *hot* fingerprint (``1`` = no
+            replication).  Keys whose traffic crosses the hot-key threshold
+            are published to this many owners and reads round-robin across
+            them — the hotspot workload's scaling knob.
+        hot_key_threshold: smoothed submissions-per-dispatch above which a
+            fingerprint counts as hot.
+        hot_key_alpha: EWMA smoothing factor for the hot-key rate (``1`` =
+            only the latest cycle counts).
         default_plan: the cluster's execution defaults as **one**
             :class:`~repro.planner.ExecutionPlan` — pool mode and width for
             every shard service, and the template fixed submissions execute
-            under.  The old per-argument ``shard_max_workers`` /
-            ``shard_parallelism`` constructor plumbing is gone; only the
-            deprecated read-only properties remain (one more release).
+            under.  (The deprecated ``shard_parallelism`` /
+            ``shard_max_workers`` property shims are gone as of this
+            release; read the plan.)
         policy: central planning policy — ``"fixed"`` (default) executes the
             default plan / explicit kwargs, ``"cost"`` / ``"adaptive"``
             attach a :class:`~repro.planner.QueryPlanner` whose cost model
@@ -249,6 +265,9 @@ class ClusterCoordinator:
         cache_capacity: int = 8,
         queue_capacity: int | None = None,
         admission_policy: str = "reject",
+        replication_factor: int = 1,
+        hot_key_threshold: float = 4.0,
+        hot_key_alpha: float = 0.5,
         default_plan: ExecutionPlan | None = None,
         policy: str | None = None,
         planner: QueryPlanner | None = None,
@@ -260,6 +279,12 @@ class ClusterCoordinator:
             raise ValueError("a cluster needs at least one shard")
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; use one of {TRANSPORTS}")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be at least 1")
+        if hot_key_threshold <= 0:
+            raise ValueError("hot_key_threshold must be positive")
+        if not 0.0 < hot_key_alpha <= 1.0:
+            raise ValueError("hot_key_alpha must be in (0, 1]")
         self.epsilon = epsilon
         self.psi = psi
         self.hierarchy_params = hierarchy_params
@@ -293,6 +318,17 @@ class ClusterCoordinator:
         self.workers: dict[str, ShardWorker] = {}
         self._next_shard_index = 0
         self._seen_fingerprints: set[str] = set()
+        # -- elasticity state: hot-key replication and failover accounting.
+        self.replication_factor = replication_factor
+        self.hot_key_threshold = hot_key_threshold
+        self.hot_key_alpha = hot_key_alpha
+        self.lost_batches = 0
+        self.requeued_batches = 0
+        self.failovers = 0
+        self._hot_ewma: dict[str, float] = {}
+        self._window_counts: dict[str, int] = {}
+        self._replicas: dict[str, tuple[str, ...]] = {}
+        self._replica_rr: dict[str, int] = {}
         # The coordinator fingerprints with the same parameters the shard
         # services use, so placement keys and cache keys agree; its own cache
         # is never filled (placement never routes).
@@ -310,6 +346,39 @@ class ClusterCoordinator:
             "repro_cluster_warm_handoffs_total",
             "Warm artifacts migrated during rebalances, by carrier plane.",
             labels=("path",),
+        )
+        self._m_requeued = self.metrics.counter(
+            "repro_cluster_requeued_batches_total",
+            "Admitted batches re-owned by another shard, by cause.",
+            labels=("reason",),
+        )
+        self._m_lost = self.metrics.counter(
+            "repro_cluster_lost_batches_total",
+            "Admitted batches lost because no shard survived to re-own them.",
+        )
+        self._m_failovers = self.metrics.counter(
+            "repro_cluster_failovers_total",
+            "Shards marked dead and removed outside a planned rebalance.",
+            labels=("shard",),
+        )
+        self._m_heartbeat_failures = self.metrics.counter(
+            "repro_cluster_heartbeat_failures_total",
+            "Health checks that found a shard unreachable.",
+            labels=("shard",),
+        )
+        self._m_replica_publishes = self.metrics.counter(
+            "repro_cluster_replica_publishes_total",
+            "Hot artifacts published to replica shards, by carrier plane.",
+            labels=("path",),
+        )
+        self._m_replica_reads = self.metrics.counter(
+            "repro_cluster_replica_reads_total",
+            "Reads load-balanced across a replicated key's owners, by shard.",
+            labels=("shard",),
+        )
+        self._m_hot_keys = self.metrics.gauge(
+            "repro_cluster_replica_hot_keys",
+            "Fingerprints currently above the hot-key EWMA threshold.",
         )
         for _ in range(shard_count):
             self.add_shard()
@@ -371,6 +440,7 @@ class ClusterCoordinator:
         before_count = len(self.ring)
         self.ring.add_shard(shard_id)
         self.workers[shard_id] = self._make_worker(shard_id)
+        self._replicas.clear()  # replica sets are recomputed against the new ring
         self._migrate_warm(before)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         expected = 1.0 / len(self.ring) if before_count else 1.0
@@ -391,18 +461,12 @@ class ClusterCoordinator:
         stranded = self.admission.drain(shard_id)
         self.ring.remove_shard(shard_id)
         departing = self.workers.pop(shard_id)
+        self._replicas.clear()
         # The departing shard's warm artifacts migrate to their new owners
         # (shm plane when available) before its pools and segments go away.
         self._migrate_warm(before, departed={shard_id: departing})
         departing.close()
-        by_owner: dict[str, list[ShardQuery]] = {}
-        for item in stranded:
-            owner = self.ring.assign(item.fingerprint)
-            if item.plan is not None and item.plan.shard_hint != owner:
-                item = replace(item, plan=item.plan.with_shard(owner))
-            by_owner.setdefault(owner, []).append(item)
-        for owner, items in by_owner.items():
-            self.admission.requeue(owner, items)
+        self._requeue_items(stranded, reason="rebalance")
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         return RebalanceStats(
             total=len(seen), moved=moved, expected_fraction=1.0 / (len(self.ring) + 1)
@@ -417,10 +481,11 @@ class ClusterCoordinator:
 
         ``before`` maps each seen fingerprint to its pre-rebalance shard;
         ``departed`` supplies workers already removed from :attr:`workers`
-        (still open, about to close).  Shard-server proxies under the tcp
-        transport expose no handoff API, so those pairs are skipped — the
-        artifact is simply rebuilt on first use, exactly as before.  Returns
-        how many artifacts migrated.
+        (still open, about to close).  Local workers hand the artifact over
+        in-process; shard servers publish/attach a shared-memory segment via
+        the artifact-handoff wire messages, so the tcp transport rides the
+        same plane (with shm disabled a remote pair rebuilds instead).
+        Returns how many artifacts migrated.
         """
         migrated = 0
         for fingerprint, old_owner in before.items():
@@ -431,37 +496,184 @@ class ClusterCoordinator:
             target = self.workers.get(new_owner)
             if not hasattr(source, "export_artifact") or not hasattr(target, "adopt_artifact"):
                 continue
-            handoff = source.export_artifact(fingerprint)
+            try:
+                handoff = source.export_artifact(fingerprint)
+            except (ConnectionError, OSError):
+                continue  # an unreachable source cannot hand off; rebuild instead
             if handoff is None:
                 continue
-            if target.adopt_artifact(handoff):
+            try:
+                adopted = target.adopt_artifact(handoff)
+            except (ConnectionError, OSError):
+                adopted = False
+            if adopted:
                 self._m_warm_handoffs.labels(path=handoff.path).inc()
                 migrated += 1
         return migrated
 
-    # -- compat shims ----------------------------------------------------------
+    # -- failover: health checks and unplanned shard loss ----------------------
 
-    @property
-    def shard_parallelism(self) -> str:
-        """Deprecated view of :attr:`default_plan`'s execution mode."""
-        warnings.warn(
-            "ClusterCoordinator.shard_parallelism is deprecated; read "
-            "default_plan.parallelism instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.default_plan.parallelism
+    def heartbeat(self) -> dict[str, bool]:
+        """One liveness probe per shard, in shard-id order (no side effects)."""
+        status: dict[str, bool] = {}
+        for shard_id in sorted(self.workers):
+            worker = self.workers[shard_id]
+            try:
+                status[shard_id] = bool(worker.healthy())
+            except (ConnectionError, OSError, RuntimeError):
+                status[shard_id] = False
+        return status
 
-    @property
-    def shard_max_workers(self) -> int | None:
-        """Deprecated view of :attr:`default_plan`'s pool width."""
-        warnings.warn(
-            "ClusterCoordinator.shard_max_workers is deprecated; read "
-            "default_plan.max_workers instead",
-            DeprecationWarning,
-            stacklevel=2,
+    def check_health(self) -> dict[str, bool]:
+        """Heartbeat every shard and fail the dead ones (work is re-owned).
+
+        This is the crash-observation half of the failover contract: a shard
+        that stops answering is marked dead and its admitted batches move to
+        the surviving owners *before* the next dispatch, so an open-loop run
+        through a kill sees requeues, never losses.
+        """
+        status = self.heartbeat()
+        for shard_id, alive in status.items():
+            if not alive:
+                self._m_heartbeat_failures.labels(shard=shard_id).inc()
+                self.fail_shard(shard_id)
+        return status
+
+    def fail_shard(self, shard_id: str, in_flight: Sequence[ShardQuery] = ()) -> int:
+        """Unplanned removal after a crash or partition: re-own the dead shard's work.
+
+        Unlike :meth:`remove_shard` there is no warm migration — the shard is
+        unreachable, its cache is gone.  Queued (and caller-supplied
+        in-flight) batches are requeued to the new ring owners and counted in
+        :attr:`requeued_batches`; work is lost only when no shard survives.
+        Returns how many batches were requeued.
+        """
+        worker = self.workers.get(shard_id)
+        if worker is None:
+            return 0
+        stranded = self.admission.drain(shard_id)
+        self.ring.remove_shard(shard_id)
+        self.workers.pop(shard_id)
+        self._replicas.clear()
+        self.failovers += 1
+        self._m_failovers.labels(shard=shard_id).inc()
+        try:
+            worker.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # a dead shard may not shut down cleanly
+        return self._requeue_items(list(in_flight) + stranded, reason="failover")
+
+    def rejoin_shard(self, shard_id: str | None = None) -> RebalanceStats:
+        """Bring a failed shard's identity back as a fresh worker.
+
+        The replacement starts cold except for what the warm handoff migrates
+        from the surviving shards — the same path :meth:`add_shard` takes,
+        reusing the old shard id so placement returns to its pre-crash shape.
+        """
+        if shard_id is not None and shard_id in self.workers:
+            raise ValueError(f"shard {shard_id!r} is already serving")
+        return self.add_shard(shard_id)
+
+    def _requeue_items(self, items: Sequence[ShardQuery], reason: str) -> int:
+        """Re-own admitted items on the current ring; count requeues vs losses."""
+        if not items:
+            return 0
+        if not len(self.ring):
+            self.lost_batches += len(items)
+            self._m_lost.inc(len(items))
+            return 0
+        by_owner: dict[str, list[ShardQuery]] = {}
+        for item in items:
+            owner = self.ring.assign(item.fingerprint)
+            if item.plan is not None and item.plan.shard_hint != owner:
+                item = replace(item, plan=item.plan.with_shard(owner))
+            by_owner.setdefault(owner, []).append(item)
+        for owner, owned in by_owner.items():
+            self.admission.requeue(owner, owned)
+        self.requeued_batches += len(items)
+        self._m_requeued.labels(reason=reason).inc(len(items))
+        return len(items)
+
+    # -- hot-key replication ---------------------------------------------------
+
+    def _place(self, fingerprint: str) -> str:
+        """The shard a submission routes to.
+
+        The ring's primary owner, unless the key has warmed replicas — then
+        reads round-robin deterministically over primary + replicas, which is
+        what spreads a hotspot's load without moving its placement.
+        """
+        primary = self.ring.assign(fingerprint)
+        replicas = self._replicas.get(fingerprint)
+        if not replicas:
+            return primary
+        candidates = [primary] + [s for s in replicas if s != primary and s in self.workers]
+        if len(candidates) == 1:
+            return primary
+        turn = self._replica_rr.get(fingerprint, 0)
+        self._replica_rr[fingerprint] = turn + 1
+        choice = candidates[turn % len(candidates)]
+        self._m_replica_reads.labels(shard=choice).inc()
+        return choice
+
+    def _update_hot_keys(self) -> None:
+        """Fold this cycle's per-key traffic into the hot-key EWMA; replicate.
+
+        A fingerprint whose smoothed submissions-per-cycle crosses
+        :attr:`hot_key_threshold` is hot; under ``replication_factor > 1``
+        its warm artifact is published to the extra ring owners so subsequent
+        reads load-balance across them (:meth:`_place`).
+        """
+        alpha = self.hot_key_alpha
+        for fingerprint in set(self._hot_ewma) | set(self._window_counts):
+            previous = self._hot_ewma.get(fingerprint, 0.0)
+            observed = float(self._window_counts.get(fingerprint, 0))
+            self._hot_ewma[fingerprint] = (1.0 - alpha) * previous + alpha * observed
+        self._window_counts.clear()
+        if self.replication_factor > 1 and len(self.ring) > 1:
+            self._replicate_hot_keys()
+        self._m_hot_keys.set(
+            sum(1 for rate in self._hot_ewma.values() if rate >= self.hot_key_threshold)
         )
-        return self.default_plan.max_workers
+
+    def _replicate_hot_keys(self) -> None:
+        """Publish every hot key's artifact to its replica owners (idempotent)."""
+        for fingerprint in sorted(self._hot_ewma):
+            if self._hot_ewma[fingerprint] < self.hot_key_threshold:
+                continue
+            owners = self.ring.owners(fingerprint, self.replication_factor)
+            current = set(self._replicas.get(fingerprint, ()))
+            missing = [sid for sid in owners[1:] if sid not in current]
+            if not missing:
+                continue
+            source = self.workers.get(owners[0])
+            if not hasattr(source, "export_artifact"):
+                continue
+            try:
+                handoff = source.export_artifact(fingerprint)
+            except (ConnectionError, OSError):
+                continue
+            if handoff is None:
+                continue  # the primary has not served it yet; retry next cycle
+            for target_id in missing:
+                target = self.workers.get(target_id)
+                if target is None or not hasattr(target, "adopt_artifact"):
+                    continue
+                try:
+                    adopted = target.adopt_artifact(handoff)
+                except (ConnectionError, OSError):
+                    adopted = False
+                if adopted:
+                    current.add(target_id)
+                    self._m_replica_publishes.labels(path=handoff.path).inc()
+            if current:
+                self._replicas[fingerprint] = tuple(
+                    sid for sid in owners[1:] if sid in current
+                )
+
+    def replicated_keys(self) -> dict[str, tuple[str, ...]]:
+        """``fingerprint -> replica shards`` for every key currently replicated."""
+        return dict(self._replicas)
 
     # -- submission -----------------------------------------------------------
 
@@ -581,7 +793,8 @@ class ClusterCoordinator:
             graph, backend=plan.backend, backend_params=plan.backend_params
         )
         self._seen_fingerprints.add(fingerprint)
-        shard_id = self.ring.assign(fingerprint)
+        self._window_counts[fingerprint] = self._window_counts.get(fingerprint, 0) + 1
+        shard_id = self._place(fingerprint)
         item = ShardQuery(
             fingerprint=fingerprint,
             graph=graph,
@@ -624,28 +837,72 @@ class ClusterCoordinator:
             shard_reports=dict(shard_reports),
             dispatch_seconds=dispatch_seconds,
             admission=self.admission.total_stats(),
+            lost_batches=self.lost_batches,
+            requeued_batches=self.requeued_batches,
         )
         self._m_dispatch_seconds.observe(dispatch_seconds)
         return report
 
+    @staticmethod
+    def _merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
+        """Fold one shard's reports from successive failover cycles into one."""
+        if len(reports) == 1:
+            return reports[0]
+        merged = BatchReport()
+        for report in reports:
+            merged.results.extend(report.results)
+            merged.distinct_graphs += report.distinct_graphs
+            merged.cache_hits += report.cache_hits
+            merged.cache_misses += report.cache_misses
+            merged.preprocess_rounds_incurred += report.preprocess_rounds_incurred
+            merged.preprocess_rounds_reused += report.preprocess_rounds_reused
+            merged.preprocess_seconds += report.preprocess_seconds
+            merged.route_seconds += report.route_seconds
+            merged.wall_seconds += report.wall_seconds
+        return merged
+
     def dispatch(self) -> ClusterReport:
         """Drain every queue, scatter to the shard workers, gather, merge.
+
+        Failover lives here: a shard whose slice dies mid-scatter (crash,
+        partition, killed server process) is marked failed, its whole slice —
+        nothing partial ever merges from a failed shard — is requeued to the
+        surviving owners, and the cycle repeats until every queue is empty or
+        no shard remains.  Admitted work is therefore served exactly once in
+        the merged report or counted in :attr:`lost_batches`, never dropped
+        silently.
 
         The gateway composes the same three steps (:meth:`drain_slices`,
         :meth:`process_shard`, :meth:`merge_reports`) so it can stream each
         shard's report as it completes instead of gathering here.
         """
         started = time.perf_counter()
-        busy = self.drain_slices()
-        shard_reports: dict[str, BatchReport] = {}
-        if busy:
+        collected: dict[str, list[BatchReport]] = {}
+        for _ in range(len(self.workers) + 2):
+            busy = self.drain_slices()
+            if not busy:
+                break
+            failed: dict[str, list[ShardQuery]] = {}
             with ThreadPoolExecutor(max_workers=len(busy)) as pool:
                 futures = {
                     shard_id: pool.submit(self.process_shard, shard_id, items)
                     for shard_id, items in busy.items()
                 }
                 for shard_id, future in futures.items():
-                    shard_reports[shard_id] = future.result()
+                    try:
+                        collected.setdefault(shard_id, []).append(future.result())
+                    except ConnectionError:
+                        failed[shard_id] = busy[shard_id]
+            if not failed:
+                break
+            for shard_id, items in failed.items():
+                self.fail_shard(shard_id, in_flight=items)
+        self._update_hot_keys()
+        shard_reports = {
+            shard_id: self._merge_batch_reports(reports)
+            for shard_id, reports in collected.items()
+            if reports
+        }
         return self.merge_reports(shard_reports, time.perf_counter() - started)
 
     def route_batch(

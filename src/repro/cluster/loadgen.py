@@ -31,7 +31,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import networkx as nx
 
@@ -40,6 +40,10 @@ from repro.cluster.coordinator import ClusterCoordinator, ClusterReport
 from repro.metrics import quantile as _quantile
 from repro.service.service import DEFAULT_BACKEND
 from repro.workloads import Workload, make_workload
+
+if TYPE_CHECKING:  # deferred: repro.elastic imports this module
+    from repro.elastic.autoscaler import Autoscaler
+    from repro.elastic.faults import FaultPlan
 
 __all__ = ["SLOReport", "OpenLoopLoadGenerator", "DEFAULT_WORKLOAD_MIX"]
 
@@ -72,6 +76,16 @@ class SLOReport:
             transit, so comparing it with the server-side
             ``dispatch_seconds`` isolates the transport overhead instead of
             folding it into route time.
+        lost_batches / requeued_batches / failovers: the coordinator's
+            elastic counters as deltas across this run.  A chaos run is
+            correct exactly when ``lost_batches == 0`` while ``failovers``
+            and ``requeued_batches`` are non-zero — crashes were observed and
+            their work re-owned, never dropped.
+        scale_events: autoscaler decisions applied during the run (rows).
+        fault_events: the injector's applied-fault log for the run (rows).
+        failover_windows: indexes into ``cluster_reports`` of windows whose
+            dispatch absorbed a failover — their latencies are reported
+            separately so recovery cost doesn't hide inside the overall p99.
     """
 
     offered: int = 0
@@ -83,6 +97,12 @@ class SLOReport:
     wall_seconds: float = 0.0
     cluster_reports: list[ClusterReport] = field(default_factory=list)
     round_trip_seconds: list[float] = field(default_factory=list)
+    lost_batches: int = 0
+    requeued_batches: int = 0
+    failovers: int = 0
+    scale_events: list[dict[str, object]] = field(default_factory=list)
+    fault_events: list[dict[str, object]] = field(default_factory=list)
+    failover_windows: list[int] = field(default_factory=list)
 
     @property
     def drop_rate(self) -> float:
@@ -109,6 +129,32 @@ class SLOReport:
 
     def latency_quantile(self, q: float) -> float:
         return _quantile(self.query_seconds, q)
+
+    @property
+    def clean_query_seconds(self) -> list[float]:
+        """Latencies from windows that did not absorb a failover."""
+        affected = set(self.failover_windows)
+        seconds: list[float] = []
+        for index, report in enumerate(self.cluster_reports):
+            if index not in affected:
+                seconds.extend(report.query_seconds)
+        return seconds
+
+    @property
+    def failover_query_seconds(self) -> list[float]:
+        """Latencies from the windows whose dispatch rode out a failover."""
+        affected = set(self.failover_windows)
+        seconds: list[float] = []
+        for index, report in enumerate(self.cluster_reports):
+            if index in affected:
+                seconds.extend(report.query_seconds)
+        return seconds
+
+    def clean_latency_quantile(self, q: float) -> float:
+        return _quantile(self.clean_query_seconds, q)
+
+    def failover_latency_quantile(self, q: float) -> float:
+        return _quantile(self.failover_query_seconds, q)
 
     @property
     def service_dispatch_seconds(self) -> list[float]:
@@ -163,6 +209,13 @@ class SLOReport:
             "preprocess_rounds_incurred": self.preprocess_rounds_incurred,
             "simulated_seconds": self.simulated_seconds,
             "wall_seconds": self.wall_seconds,
+            "lost_batches": self.lost_batches,
+            "requeued_batches": self.requeued_batches,
+            "failovers": self.failovers,
+            "scale_events": len(self.scale_events),
+            "fault_events": len(self.fault_events),
+            "clean_p99_seconds": self.clean_latency_quantile(0.99),
+            "failover_p99_seconds": self.failover_latency_quantile(0.99),
         }
 
     def render(self) -> str:
@@ -177,6 +230,10 @@ class SLOReport:
                     ]
                 )
             )
+        if self.scale_events:
+            parts.append(format_table(self.scale_events))
+        if self.fault_events:
+            parts.append(format_table(self.fault_events))
         return "\n\n".join(parts)
 
 
@@ -294,7 +351,12 @@ class OpenLoopLoadGenerator:
             self._workload_cache[key] = workload
         return self.graphs[graph_index], workload
 
-    def run(self, coordinator: ClusterCoordinator) -> SLOReport:
+    def run(
+        self,
+        coordinator: ClusterCoordinator,
+        fault_plan: "FaultPlan | None" = None,
+        autoscaler: "Autoscaler | None" = None,
+    ) -> SLOReport:
         """Drive the cluster with the whole arrival schedule; report SLOs.
 
         ``coordinator`` is anything with the coordinator's driving surface —
@@ -302,7 +364,23 @@ class OpenLoopLoadGenerator:
         :class:`~repro.net.client.ClusterClient` pointed at a gateway runs the
         identical schedule over the network (the per-window round trip is
         recorded either way, so the two transports are directly comparable).
+
+        With a ``fault_plan``, a :class:`~repro.elastic.FaultInjector` applies
+        the plan's events on the simulated clock at each window boundary and a
+        coordinator health check reaps dead shards before the window's
+        submits, so requeued work routes straight to its new owners.  With an
+        ``autoscaler``, the policy is evaluated once per window — after the
+        window's arrivals are queued (depth at its peak), before dispatch.
+        Both require a real :class:`ClusterCoordinator`; after the schedule,
+        any still-queued work (requeued by failovers or left by a trailing
+        scale-down) is drained so the report accounts for every admitted
+        batch.
         """
+        injector = None
+        if fault_plan is not None:
+            from repro.elastic.faults import FaultInjector
+
+            injector = FaultInjector(coordinator, fault_plan)
         arrivals = self.arrival_times()
         windows: dict[int, int] = {}
         for t in arrivals:
@@ -311,9 +389,18 @@ class OpenLoopLoadGenerator:
             )
         rng = random.Random(self.seed + 1)
         before = coordinator.admission_totals()
+        lost0 = getattr(coordinator, "lost_batches", 0)
+        requeued0 = getattr(coordinator, "requeued_batches", 0)
+        failovers0 = getattr(coordinator, "failovers", 0)
+        scale_events0 = len(autoscaler.events) if autoscaler is not None else 0
         report = SLOReport(offered=len(arrivals), simulated_seconds=self.duration)
         started = time.perf_counter()
         for window in sorted(windows):
+            now = (window + 1) * self.dispatch_interval
+            failovers_before = getattr(coordinator, "failovers", 0)
+            if injector is not None:
+                injector.advance(now)
+                coordinator.check_health()
             for _ in range(windows[window]):
                 graph, workload = self._pick(rng)
                 decision = coordinator.submit(
@@ -324,11 +411,22 @@ class OpenLoopLoadGenerator:
                 )
                 if decision.accepted:
                     report.admitted += 1
-            dispatch_started = time.perf_counter()
-            cluster_report = coordinator.dispatch()
-            report.round_trip_seconds.append(time.perf_counter() - dispatch_started)
-            report.cluster_reports.append(cluster_report)
-            report.completed += cluster_report.query_count
+            if autoscaler is not None:
+                autoscaler.evaluate(now)
+            self._dispatch_once(coordinator, report, failovers_before)
+            if autoscaler is not None:
+                autoscaler.observe(report.cluster_reports[-1])
+        # Flush plan events past the last arrival (a late rejoin, say), then
+        # drain whatever failovers or scale-downs pushed back onto the queues
+        # — admitted work must complete, not linger.
+        if injector is not None:
+            injector.advance(self.duration)
+            coordinator.check_health()
+        while getattr(coordinator, "pending_count", 0) > 0:
+            failovers_before = getattr(coordinator, "failovers", 0)
+            drained = self._dispatch_once(coordinator, report, failovers_before)
+            if drained.query_count == 0 and getattr(coordinator, "pending_count", 0) > 0:
+                break  # nothing is serving; the remainder is genuinely lost
         report.wall_seconds = time.perf_counter() - started
         after = coordinator.admission_totals()
         report.rejected = after.rejected - before.rejected
@@ -336,4 +434,27 @@ class OpenLoopLoadGenerator:
         # Shed items were admitted once and then dropped from the queue; they
         # never complete, so subtract them from the admitted count.
         report.admitted -= report.shed
+        report.lost_batches = getattr(coordinator, "lost_batches", 0) - lost0
+        report.requeued_batches = getattr(coordinator, "requeued_batches", 0) - requeued0
+        report.failovers = getattr(coordinator, "failovers", 0) - failovers0
+        if autoscaler is not None:
+            report.scale_events = [
+                event.as_row() for event in autoscaler.events[scale_events0:]
+            ]
+        if injector is not None:
+            report.fault_events = injector.as_rows()
         return report
+
+    @staticmethod
+    def _dispatch_once(
+        coordinator: ClusterCoordinator, report: SLOReport, failovers_before: int
+    ) -> ClusterReport:
+        """One timed dispatch, tagging the window if it absorbed a failover."""
+        dispatch_started = time.perf_counter()
+        cluster_report = coordinator.dispatch()
+        report.round_trip_seconds.append(time.perf_counter() - dispatch_started)
+        if getattr(coordinator, "failovers", failovers_before) != failovers_before:
+            report.failover_windows.append(len(report.cluster_reports))
+        report.cluster_reports.append(cluster_report)
+        report.completed += cluster_report.query_count
+        return cluster_report

@@ -25,7 +25,7 @@ derive from the same service parameters).
 
 from __future__ import annotations
 
-import warnings
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -41,7 +41,19 @@ from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
 from repro.service.shm import attach as shm_attach
 from repro.service.shm import shm_available, shm_enabled
 
-__all__ = ["ShardQuery", "ShardWorker", "WarmHandoff"]
+__all__ = ["FAULT_KINDS", "ShardCrashed", "ShardQuery", "ShardWorker", "WarmHandoff"]
+
+#: Faults a shard can have injected (``heal`` clears ``slow``/``partition``).
+FAULT_KINDS = ("crash", "slow", "partition", "heal")
+
+
+class ShardCrashed(ConnectionError):
+    """The shard has (simulated or real) crashed and cannot serve.
+
+    A :class:`ConnectionError` subclass on purpose: the coordinator's failover
+    path catches ``ConnectionError`` uniformly, so a local crashed worker and
+    a killed remote shard server fail identically.
+    """
 
 
 @dataclass(frozen=True)
@@ -154,6 +166,9 @@ class ShardWorker:
         self.batches_served = 0
         self.queries_served = 0
         self._closed = False
+        self._crashed = False
+        self._partitioned = False
+        self._slow_seconds = 0.0
         self._m_queries = self.metrics.counter(
             "repro_cluster_queries_total", "Queries served per shard.", labels=("shard",)
         )
@@ -163,6 +178,12 @@ class ShardWorker:
 
     def process(self, items: Sequence[ShardQuery]) -> BatchReport:
         """Serve one scatter of queries as a single service batch."""
+        if self._crashed:
+            raise ShardCrashed(f"shard {self.shard_id} has crashed")
+        if self._partitioned:
+            raise ConnectionError(f"shard {self.shard_id} is partitioned from the coordinator")
+        if self._slow_seconds > 0.0:
+            time.sleep(self._slow_seconds)
         for item in items:
             self.service.submit(
                 item.graph,
@@ -225,29 +246,35 @@ class ShardWorker:
         self._closed = True
         self.service.close()
 
-    # -- compat shims ----------------------------------------------------------
+    # -- fault injection and health --------------------------------------------
 
-    @property
-    def shard_parallelism(self) -> str:
-        """Deprecated view of the shard's pool mode; read ``default_plan``."""
-        warnings.warn(
-            "ShardWorker.shard_parallelism is deprecated; read "
-            "default_plan.parallelism instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.default_plan.parallelism if self.default_plan else "threads"
+    def inject_fault(self, kind: str, seconds: float = 0.0) -> None:
+        """Apply one chaos fault to this shard (see :data:`FAULT_KINDS`).
 
-    @property
-    def shard_max_workers(self) -> int | None:
-        """Deprecated view of the shard's pool width; read ``default_plan``."""
-        warnings.warn(
-            "ShardWorker.shard_max_workers is deprecated; read "
-            "default_plan.max_workers instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.default_plan.max_workers if self.default_plan else None
+        ``crash`` makes every subsequent :meth:`process` raise
+        :class:`ShardCrashed` (fail-stop, like a dead process); ``partition``
+        raises :class:`ConnectionError` instead (the shard is fine, the
+        coordinator just cannot reach it); ``slow`` delays every batch by
+        ``seconds``; ``heal`` clears ``slow`` and ``partition`` — a crash is
+        permanent, the coordinator rejoins a *new* shard instead.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; use one of {FAULT_KINDS}")
+        if kind == "crash":
+            self._crashed = True
+        elif kind == "slow":
+            if seconds < 0:
+                raise ValueError("slow fault seconds must be non-negative")
+            self._slow_seconds = float(seconds)
+        elif kind == "partition":
+            self._partitioned = True
+        else:  # heal
+            self._partitioned = False
+            self._slow_seconds = 0.0
+
+    def healthy(self) -> bool:
+        """Would a heartbeat succeed right now? (Crashed/partitioned = no.)"""
+        return not (self._crashed or self._partitioned or self._closed)
 
     @property
     def cache_stats(self):

@@ -1,0 +1,163 @@
+"""Seeded fault schedules and the injector that applies them to a live cluster.
+
+Chaos here is *scripted*, not random-at-runtime: a :class:`FaultPlan` is a
+sorted list of :class:`FaultEvent` entries on the load generator's simulated
+clock, so the same plan replays the same kill/rejoin cycle on every run (and
+on both transports — a tcp ``crash`` SIGKILLs the real shard server process,
+a local one trips :class:`~repro.cluster.worker.ShardCrashed`).
+
+The :class:`FaultInjector` is a cursor over that plan.  The open-loop load
+generator calls :meth:`FaultInjector.advance` at each dispatch-window
+boundary; events that came due are applied in order:
+
+* ``crash`` / ``slow`` / ``partition`` / ``heal`` go to the shard via
+  ``worker.inject_fault`` (the coordinator notices a crash or partition on
+  its next dispatch or :meth:`~repro.cluster.ClusterCoordinator.check_health`
+  pass and fails the shard over — in-flight batches requeue to the new
+  owners, never drop);
+* ``rejoin`` goes to :meth:`~repro.cluster.ClusterCoordinator.rejoin_shard`,
+  bringing a previously failed shard id back into the ring.
+
+Faults targeting a shard that is not currently serving (already failed over,
+or never existed) are recorded as skipped rather than raising: a crash racing
+its own failover is normal chaos, not a plan bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.worker import FAULT_KINDS
+
+__all__ = ["FAULT_EVENT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]
+
+#: Everything a plan may schedule: the shard-level faults plus ``rejoin``.
+FAULT_EVENT_KINDS = FAULT_KINDS + ("rejoin",)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault on the simulated clock.
+
+    Attributes:
+        at: simulated seconds from run start.
+        kind: one of :data:`FAULT_EVENT_KINDS`.
+        shard: target shard id (for ``rejoin``, the id to bring back).
+        seconds: ``slow`` only — added per-batch delay.
+    """
+
+    at: float
+    kind: str
+    shard: str
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_EVENT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; use one of {FAULT_EVENT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.seconds < 0:
+            raise ValueError("slow seconds must be non-negative")
+        if self.kind == "slow" and self.seconds == 0.0:
+            raise ValueError("slow faults need seconds > 0")
+
+    def as_row(self) -> dict[str, object]:
+        return {"at": self.at, "kind": self.kind, "shard": self.shard, "seconds": self.seconds}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted fault schedule.
+
+    Construct with events in any order; they are validated and replayed
+    sorted by ``at`` (ties keep construction order, so a crash scheduled
+    before a rejoin at the same instant applies first).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda event: event.at)
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def due(self, start: float, end: float) -> list[FaultEvent]:
+        """Events with ``start < at <= end`` — one load-generator window."""
+        return [event for event in self.events if start < event.at <= end]
+
+    @classmethod
+    def kill_and_rejoin(
+        cls, shard: str, *, kill_at: float, rejoin_at: float
+    ) -> "FaultPlan":
+        """The canonical chaos cycle: crash ``shard``, bring it back later."""
+        if rejoin_at <= kill_at:
+            raise ValueError("rejoin must come after the kill")
+        return cls(
+            events=(
+                FaultEvent(at=kill_at, kind="crash", shard=shard),
+                FaultEvent(at=rejoin_at, kind="rejoin", shard=shard),
+            )
+        )
+
+
+@dataclass
+class AppliedFault:
+    """One plan event after the injector processed it."""
+
+    event: FaultEvent
+    applied: bool
+    note: str = ""
+
+    def as_row(self) -> dict[str, object]:
+        row = self.event.as_row()
+        row["applied"] = self.applied
+        row["note"] = self.note
+        return row
+
+
+@dataclass
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a live coordinator as time advances."""
+
+    coordinator: ClusterCoordinator
+    plan: FaultPlan
+    log: list[AppliedFault] = field(default_factory=list)
+    _clock: float = field(default=0.0, repr=False)
+
+    def advance(self, now: float) -> list[AppliedFault]:
+        """Apply every event due in ``(last_advance, now]``; returns them."""
+        applied = [self._apply(event) for event in self.plan.due(self._clock, now)]
+        self._clock = max(self._clock, now)
+        self.log.extend(applied)
+        return applied
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every plan event has been processed."""
+        return len(self.log) >= len(self.plan.events)
+
+    def _apply(self, event: FaultEvent) -> AppliedFault:
+        coordinator = self.coordinator
+        if event.kind == "rejoin":
+            if event.shard in coordinator.workers:
+                return AppliedFault(event, False, "already serving")
+            coordinator.rejoin_shard(event.shard)
+            return AppliedFault(event, True)
+        worker = coordinator.workers.get(event.shard)
+        if worker is None:
+            return AppliedFault(event, False, "not serving")
+        try:
+            worker.inject_fault(event.kind, seconds=event.seconds)
+        except (ConnectionError, OSError) as exc:
+            # A fault aimed at an already-dead shard is chaos working as
+            # intended; the health loop will reap it.
+            return AppliedFault(event, False, f"unreachable: {exc}")
+        return AppliedFault(event, True)
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """The applied-fault log as a report table."""
+        return [entry.as_row() for entry in self.log]

@@ -36,7 +36,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.cluster.worker import ShardQuery, ShardWorker
+from repro.cluster.worker import ShardQuery, ShardWorker, WarmHandoff
 from repro.hierarchy.builder import HierarchyParameters
 from repro.metrics import MetricsRegistry, default_registry
 from repro.net import address as net_address
@@ -44,7 +44,15 @@ from repro.net.frames import NetInstruments, read_frame, recv_frame, send_frame,
 from repro.planner import ExecutionPlan
 from repro.service.service import BatchReport
 from repro.wire.messages import (
+    ArtifactAdoptReply,
+    ArtifactAdoptRequest,
+    ArtifactExportReply,
+    ArtifactExportRequest,
     ErrorReply,
+    FaultInjectReply,
+    FaultInjectRequest,
+    HeartbeatReply,
+    HeartbeatRequest,
     Ping,
     Pong,
     ShardProcessReply,
@@ -119,6 +127,31 @@ async def serve_shard(config: ShardServerConfig, ready=None) -> None:
             return ShardProcessReply(report=WireBatchReport.from_report(report))
         if isinstance(message, ShardStatsRequest):
             return ShardStatsReply(row=dict(worker.as_row()))
+        if isinstance(message, HeartbeatRequest):
+            return HeartbeatReply(
+                shard_id=worker.shard_id,
+                healthy=worker.healthy(),
+                batches_served=worker.batches_served,
+                queries_served=worker.queries_served,
+            )
+        if isinstance(message, FaultInjectRequest):
+            worker.inject_fault(message.kind, seconds=message.seconds)
+            return FaultInjectReply(applied=True)
+        if isinstance(message, ArtifactExportRequest):
+            async with process_lock:
+                handoff = await asyncio.to_thread(worker.export_artifact, message.fingerprint)
+            # Direct (in-object) handoffs cannot cross the process boundary;
+            # only a published shm segment counts as found here.
+            if handoff is None or handoff.segment is None:
+                return ArtifactExportReply(fingerprint=message.fingerprint, found=False)
+            return ArtifactExportReply(
+                fingerprint=message.fingerprint, segment=handoff.segment, found=True
+            )
+        if isinstance(message, ArtifactAdoptRequest):
+            handoff = WarmHandoff(fingerprint=message.fingerprint, segment=message.segment)
+            async with process_lock:
+                adopted = await asyncio.to_thread(worker.adopt_artifact, handoff)
+            return ArtifactAdoptReply(adopted=bool(adopted))
         if isinstance(message, Ping):
             return Pong()
         if isinstance(message, Shutdown):
@@ -198,6 +231,7 @@ class RemoteShard:
         self._lock = threading.Lock()
         self._sock = None
         self._closed = False
+        self._partitioned = False
 
     def _connection(self):
         if self._sock is None:
@@ -208,6 +242,8 @@ class RemoteShard:
     def _request(self, message: WireMessage) -> WireMessage:
         if self._closed:
             raise RuntimeError(f"shard {self.shard_id} handle is closed")
+        if self._partitioned:
+            raise ConnectionError(f"shard {self.shard_id} is partitioned from the coordinator")
         with self._lock:
             sock = self._connection()
             send_frame(sock, message, instruments=self._instruments)
@@ -233,6 +269,65 @@ class RemoteShard:
         if not isinstance(reply, ShardStatsReply):
             raise RuntimeError(f"shard {self.shard_id} sent {reply.type!r}, expected stats")
         return dict(reply.row)
+
+    # -- elastic surface: health, faults, warm handoff -------------------------
+
+    def healthy(self) -> bool:
+        """One heartbeat round trip; ``False`` on a dead child or any wire error."""
+        if self._closed or self._partitioned:
+            return False
+        if not self.child.is_alive():
+            return False
+        try:
+            reply = self._request(HeartbeatRequest())
+        except (ConnectionError, OSError, RuntimeError):
+            return False
+        return isinstance(reply, HeartbeatReply) and reply.healthy
+
+    def inject_fault(self, kind: str, seconds: float = 0.0) -> None:
+        """Apply one chaos fault to this shard, each at its real layer.
+
+        ``crash`` kills the actual server process (SIGKILL — no orderly
+        shutdown, exactly what failover must survive); ``partition`` blocks
+        this handle's connection (the server stays healthy, the coordinator
+        just cannot reach it); ``slow``/``heal`` travel over the wire and are
+        applied by the worker inside the server.
+        """
+        if kind == "crash":
+            self.child.kill()
+            self.child.join(timeout=10)
+            return
+        if kind == "partition":
+            self._partitioned = True
+            return
+        if kind == "heal":
+            self._partitioned = False
+        elif kind != "slow":
+            raise ValueError(f"unknown fault kind {kind!r}")
+        try:
+            self._request(FaultInjectRequest(kind=kind, seconds=seconds))
+        except (ConnectionError, OSError):
+            pass  # a dead or unreachable shard cannot be slowed or healed
+
+    def export_artifact(self, fingerprint: str) -> WarmHandoff | None:
+        """Ask the server to publish ``fingerprint``'s artifact as a shm segment."""
+        reply = self._request(ArtifactExportRequest(fingerprint=fingerprint))
+        if not isinstance(reply, ArtifactExportReply) or not reply.found:
+            return None
+        return WarmHandoff(fingerprint=fingerprint, segment=reply.segment)
+
+    def adopt_artifact(self, handoff: WarmHandoff) -> bool:
+        """Ship a segment-backed handoff to the server for adoption.
+
+        Direct (in-object) handoffs cannot cross the process boundary; the
+        artifact is rebuilt on first use instead.
+        """
+        if handoff.segment is None:
+            return False
+        reply = self._request(
+            ArtifactAdoptRequest(fingerprint=handoff.fingerprint, segment=handoff.segment)
+        )
+        return isinstance(reply, ArtifactAdoptReply) and reply.adopted
 
     def close(self) -> None:
         """Orderly shutdown: ask, close the socket, reap the child; idempotent."""

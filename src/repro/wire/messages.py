@@ -755,6 +755,8 @@ class WireClusterReport(WireMessage):
     shard_reports: dict = field(default_factory=dict)
     dispatch_seconds: float = 0.0
     admission: WireAdmissionStats = field(default_factory=WireAdmissionStats)
+    lost_batches: int = 0
+    requeued_batches: int = 0
     schema_version: int = WIRE_VERSION
 
     @classmethod
@@ -766,6 +768,8 @@ class WireClusterReport(WireMessage):
             },
             dispatch_seconds=float(report.dispatch_seconds),
             admission=WireAdmissionStats.from_stats(report.admission),
+            lost_batches=int(report.lost_batches),
+            requeued_batches=int(report.requeued_batches),
         )
 
     def to_report(self):
@@ -778,6 +782,8 @@ class WireClusterReport(WireMessage):
             },
             dispatch_seconds=self.dispatch_seconds,
             admission=self.admission.to_stats(),
+            lost_batches=self.lost_batches,
+            requeued_batches=self.requeued_batches,
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -787,6 +793,8 @@ class WireClusterReport(WireMessage):
         }
         payload["dispatch_seconds"] = self.dispatch_seconds
         payload["admission"] = self.admission.to_payload()
+        payload["lost_batches"] = self.lost_batches
+        payload["requeued_batches"] = self.requeued_batches
         return payload
 
     @classmethod
@@ -800,6 +808,8 @@ class WireClusterReport(WireMessage):
             "admission": WireAdmissionStats.from_payload(
                 payload.get("admission") or WireAdmissionStats().to_payload()
             ),
+            "lost_batches": int(payload.get("lost_batches", 0)),
+            "requeued_batches": int(payload.get("requeued_batches", 0)),
         }
 
 
@@ -1136,3 +1146,195 @@ class StatsReply(WireMessage):
             },
             "shard_count": int(payload.get("shard_count", 0)),
         }
+
+
+# -- elastic-tier messages: heartbeats, fault injection, artifact handoff ----------
+
+
+@_simple("heartbeat", "Coordinator → shard: liveness probe expecting a heartbeat reply.")
+class HeartbeatRequest(WireMessage):
+    schema_version: int = WIRE_VERSION
+
+
+@_register
+@dataclass(frozen=True)
+class HeartbeatReply(WireMessage):
+    """Shard → coordinator: alive, plus the serving counters a health check reads."""
+
+    type: ClassVar[str] = "heartbeat-reply"
+
+    shard_id: str = ""
+    healthy: bool = True
+    batches_served: int = 0
+    queries_served: int = 0
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["shard_id"] = self.shard_id
+        payload["healthy"] = self.healthy
+        payload["batches_served"] = self.batches_served
+        payload["queries_served"] = self.queries_served
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "shard_id": payload.get("shard_id", ""),
+            "healthy": bool(payload.get("healthy", True)),
+            "batches_served": int(payload.get("batches_served", 0)),
+            "queries_served": int(payload.get("queries_served", 0)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class FaultInjectRequest(WireMessage):
+    """Coordinator → shard: apply one chaos fault inside the server process.
+
+    Only the faults the *server* can simulate travel over the wire (``slow``
+    and ``heal``); a tcp ``crash`` kills the real process from the coordinator
+    side, and a ``partition`` is enforced at the coordinator's connection.
+    """
+
+    type: ClassVar[str] = "fault-inject"
+
+    kind: str = ""
+    seconds: float = 0.0
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["kind"] = self.kind
+        payload["seconds"] = self.seconds
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "kind": payload.get("kind", ""),
+            "seconds": float(payload.get("seconds", 0.0)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class FaultInjectReply(WireMessage):
+    """Shard → coordinator: the fault was applied."""
+
+    type: ClassVar[str] = "fault-inject-reply"
+
+    applied: bool = True
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["applied"] = self.applied
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"applied": bool(payload.get("applied", True))}
+
+
+@_register
+@dataclass(frozen=True)
+class ArtifactExportRequest(WireMessage):
+    """Coordinator → shard: publish one warm artifact for cross-process adoption.
+
+    The shard answers with the shared-memory segment name carrying the
+    artifact; the bytes themselves never travel on this connection (that is
+    the point — the shm plane is the data plane, the wire is control).
+    """
+
+    type: ClassVar[str] = "artifact-export"
+
+    fingerprint: str = ""
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["fingerprint"] = self.fingerprint
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"fingerprint": payload.get("fingerprint", "")}
+
+
+@_register
+@dataclass(frozen=True)
+class ArtifactExportReply(WireMessage):
+    """Shard → coordinator: the published segment, or ``found=False``.
+
+    ``found`` is false when the fingerprint is not warm on this shard or the
+    shm plane is disabled — direct (in-object) handoff cannot cross a process
+    boundary, so the adopter rebuilds instead.
+    """
+
+    type: ClassVar[str] = "artifact-export-reply"
+
+    fingerprint: str = ""
+    segment: str | None = None
+    found: bool = False
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["fingerprint"] = self.fingerprint
+        payload["segment"] = self.segment
+        payload["found"] = self.found
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "fingerprint": payload.get("fingerprint", ""),
+            "segment": payload.get("segment"),
+            "found": bool(payload.get("found", False)),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class ArtifactAdoptRequest(WireMessage):
+    """Coordinator → shard: attach a published segment and warm the cache with it."""
+
+    type: ClassVar[str] = "artifact-adopt"
+
+    fingerprint: str = ""
+    segment: str = ""
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["fingerprint"] = self.fingerprint
+        payload["segment"] = self.segment
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "fingerprint": payload.get("fingerprint", ""),
+            "segment": payload.get("segment", ""),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class ArtifactAdoptReply(WireMessage):
+    """Shard → coordinator: whether the segment was attached and adopted."""
+
+    type: ClassVar[str] = "artifact-adopt-reply"
+
+    adopted: bool = False
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["adopted"] = self.adopted
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"adopted": bool(payload.get("adopted", False))}

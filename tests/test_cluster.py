@@ -148,6 +148,7 @@ def test_cluster_serves_a_batch_and_merges_reports(graphs):
     report = coordinator.dispatch()
     assert report.query_count == len(graphs) * 2
     assert report.all_delivered
+    assert report.lost_batches == 0 and report.requeued_batches == 0
     assert report.preprocess_rounds_incurred > 0
     # Merged totals equal the per-shard sums.
     assert report.query_count == sum(r.query_count for r in report.shard_reports.values())
@@ -232,6 +233,9 @@ def test_remove_shard_requeues_stranded_work(graphs):
     report = coordinator.dispatch()
     assert report.query_count == len(graphs)
     assert report.all_delivered
+    # A planned rebalance requeues the stranded batches, never loses them.
+    assert report.lost_batches == 0
+    assert report.requeued_batches > 0
     with pytest.raises(ValueError):
         one = _coordinator(shard_count=1)
         one.remove_shard(one.shard_ids[0])
@@ -340,6 +344,7 @@ def test_slo_report_has_latency_percentiles_and_shard_hit_rates(graphs):
     slo = generator.run(coordinator)
     assert slo.completed == slo.offered  # no bounds, nothing dropped
     assert slo.all_delivered
+    assert slo.lost_batches == 0 and slo.failovers == 0
     summary = slo.summary()
     assert 0 < summary["p50_seconds"] <= summary["p95_seconds"] <= summary["p99_seconds"]
     assert summary["throughput_qps"] > 0
@@ -361,6 +366,7 @@ def test_remove_shard_requeues_even_into_full_queues():
     report = coordinator.dispatch()
     assert report.query_count == pending_before
     assert report.all_delivered
+    assert report.lost_batches == 0
 
 
 def test_loadgen_rejects_nonpositive_burst_parameters(graphs):

@@ -313,8 +313,8 @@ def test_net_metric_families_render(gateway, graphs):
 
 
 def test_legacy_parallelism_kwargs_are_gone():
-    # The constructor pass-through was deleted; only the read-only property
-    # shims survive one more release.
+    # The constructor pass-through and the property shims are both gone now;
+    # the deprecation cycle announced in the previous release is complete.
     with pytest.raises(TypeError):
         ClusterCoordinator(
             shard_count=1,
@@ -323,19 +323,19 @@ def test_legacy_parallelism_kwargs_are_gone():
             metrics=MetricsRegistry(),
         )
     with ClusterCoordinator(shard_count=1, default_plan=PLAN, metrics=MetricsRegistry()) as coord:
-        with pytest.warns(DeprecationWarning, match="default_plan.parallelism"):
-            assert coord.shard_parallelism == "threads"
-        with pytest.warns(DeprecationWarning, match="default_plan.max_workers"):
-            assert coord.shard_max_workers == 2
+        with pytest.raises(AttributeError):
+            coord.shard_parallelism
+        with pytest.raises(AttributeError):
+            coord.shard_max_workers
 
 
-def test_worker_shim_properties_warn():
+def test_worker_shim_properties_are_gone():
     worker = ShardWorker("w0", default_plan=PLAN, metrics=MetricsRegistry())
     try:
-        with pytest.warns(DeprecationWarning, match="default_plan.parallelism"):
-            assert worker.shard_parallelism == "threads"
-        with pytest.warns(DeprecationWarning, match="default_plan.max_workers"):
-            assert worker.shard_max_workers == 2
+        with pytest.raises(AttributeError):
+            worker.shard_parallelism
+        with pytest.raises(AttributeError):
+            worker.shard_max_workers
     finally:
         worker.close()
 

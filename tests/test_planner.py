@@ -340,10 +340,11 @@ def test_cluster_default_plan_replaces_knob_plumbing(graph):
     with coordinator:
         assert coordinator.default_plan.parallelism == "threads"
         assert coordinator.default_plan.max_workers == 2
-        with pytest.warns(DeprecationWarning, match="default_plan.parallelism"):
-            assert coordinator.shard_parallelism == "threads"
-        with pytest.warns(DeprecationWarning, match="default_plan.max_workers"):
-            assert coordinator.shard_max_workers == 2
+        # The one-release property shims are gone too.
+        with pytest.raises(AttributeError):
+            coordinator.shard_parallelism
+        with pytest.raises(AttributeError):
+            coordinator.shard_max_workers
         for worker in coordinator.workers.values():
             assert worker.default_plan is coordinator.default_plan
             assert worker.service.parallelism == "threads"

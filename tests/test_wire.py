@@ -24,10 +24,18 @@ from repro.wire import (
     CODEC_JSON,
     HAVE_MSGPACK,
     WIRE_VERSION,
+    ArtifactAdoptReply,
+    ArtifactAdoptRequest,
+    ArtifactExportReply,
+    ArtifactExportRequest,
     DispatchDoneReply,
     DispatchRequest,
     DispatchShardReply,
     ErrorReply,
+    FaultInjectReply,
+    FaultInjectRequest,
+    HeartbeatReply,
+    HeartbeatRequest,
     Ping,
     Pong,
     SchemaVersionError,
@@ -183,6 +191,8 @@ def wire_cluster_reports(draw):
         shard_reports=draw(st.dictionaries(names, wire_batch_reports(), max_size=2)),
         dispatch_seconds=draw(st.floats(0, 10, allow_nan=False)),
         admission=draw(wire_admission_stats()),
+        lost_batches=draw(st.integers(0, 100)),
+        requeued_batches=draw(st.integers(0, 100)),
     )
 
 
@@ -238,6 +248,29 @@ MESSAGE_STRATEGIES = {
         queue_depths=st.dictionaries(names, st.integers(0, 100), max_size=3),
         shard_count=st.integers(0, 16),
     ),
+    "heartbeat": st.just(HeartbeatRequest()),
+    "heartbeat-reply": st.builds(
+        HeartbeatReply,
+        shard_id=names,
+        healthy=st.booleans(),
+        batches_served=st.integers(0, 1000),
+        queries_served=st.integers(0, 10_000),
+    ),
+    "fault-inject": st.builds(
+        FaultInjectRequest,
+        kind=st.sampled_from(["crash", "slow", "partition", "heal"]),
+        seconds=st.floats(0, 10, allow_nan=False),
+    ),
+    "fault-inject-reply": st.builds(FaultInjectReply, applied=st.booleans()),
+    "artifact-export": st.builds(ArtifactExportRequest, fingerprint=names),
+    "artifact-export-reply": st.builds(
+        ArtifactExportReply,
+        fingerprint=names,
+        segment=st.none() | names,
+        found=st.booleans(),
+    ),
+    "artifact-adopt": st.builds(ArtifactAdoptRequest, fingerprint=names, segment=names),
+    "artifact-adopt-reply": st.builds(ArtifactAdoptReply, adopted=st.booleans()),
 }
 
 
