@@ -1,0 +1,201 @@
+"""E9: durability — crash recovery latency and journal overhead, exactly once.
+
+Three measurements, one JSON artifact (``bench-recovery.json``):
+
+* **Journal overhead.**  The same seeded open-loop run with and without a
+  :class:`~repro.durability.CoordinatorJournal` attached; the row records the
+  throughput tax the write-ahead path charges (flush-per-append, no fsync).
+* **Crash-recovery latency.**  A seeded run with a
+  ``coordinator-crash`` fault mid-stream: SIGKILL semantics (abandoned
+  journal, no clean shutdown), then :func:`~repro.durability.recover` replays
+  the tail into a fresh coordinator.  The row records replay throughput
+  (records/second), recovery wall time, and journal size — and asserts the
+  exactly-once bar: zero lost batches, zero duplicate results, and a merged
+  report signature byte-identical to the crash-free twin.
+* **Replay scaling.**  Recovery time as the unfinished-work backlog grows
+  (the journal tail recovery must re-admit), so regressions in replay cost
+  show up as a curve, not an anecdote.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import QUICK
+
+from repro.analysis.reporting import format_table
+from repro.cluster import ClusterCoordinator, ClusterReport, OpenLoopLoadGenerator
+from repro.durability import CoordinatorSupervisor, read_journal_state, recover
+from repro.durability.journal import CoordinatorJournal
+from repro.elastic import FaultPlan
+from repro.graphs.generators import random_regular_expander
+from repro.metrics import MetricsRegistry
+from repro.planner import ExecutionPlan
+from repro.workloads import permutation_workload
+
+BENCH_N = 48 if QUICK else 64
+RATE = 120.0 if QUICK else 200.0
+DURATION = 0.4 if QUICK else 0.8
+BACKLOGS = [8, 24] if QUICK else [16, 48, 96]
+PLAN = ExecutionPlan(backend="deterministic", max_workers=2)
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "bench-recovery.json"
+
+
+def _graphs(count=2):
+    return [random_regular_expander(BENCH_N, degree=4, seed=seed) for seed in (1, 2)[:count]]
+
+
+def _kwargs():
+    return dict(
+        shard_count=3,
+        cache_capacity=16,
+        default_plan=PLAN,
+        metrics=MetricsRegistry(),
+    )
+
+
+def _generator(graphs):
+    return OpenLoopLoadGenerator(
+        graphs, rate=RATE, duration=DURATION, dispatch_interval=0.1, seed=3
+    )
+
+
+def _journal_overhead_rows(tmp_path):
+    graphs = _graphs()
+    rows = []
+    for journaled in (False, True):
+        kwargs = _kwargs()
+        journal = (
+            CoordinatorJournal(tmp_path / "overhead", metrics=kwargs["metrics"])
+            if journaled
+            else None
+        )
+        coordinator = ClusterCoordinator(**kwargs, journal=journal)
+        started = time.perf_counter()
+        with coordinator:
+            report = _generator(graphs).run(coordinator)
+        seconds = time.perf_counter() - started
+        assert report.lost_batches == 0
+        rows.append(
+            {
+                "experiment": "journal-overhead",
+                "n": BENCH_N,
+                "journaled": journaled,
+                "completed": report.completed,
+                "seconds": seconds,
+                "throughput_qps": report.completed / seconds if seconds else 0.0,
+                "quick": QUICK,
+            }
+        )
+    base, taxed = rows
+    taxed["overhead_pct"] = (
+        100.0 * (base["throughput_qps"] - taxed["throughput_qps"]) / base["throughput_qps"]
+        if base["throughput_qps"]
+        else 0.0
+    )
+    return rows
+
+
+def _crash_recovery_row(tmp_path):
+    graphs = _graphs()
+    kwargs = _kwargs()
+    with ClusterCoordinator(**{**kwargs, "metrics": MetricsRegistry()}) as twin:
+        baseline = _generator(graphs).run(twin)
+    supervisor = CoordinatorSupervisor(tmp_path / "crash", kwargs)
+    with supervisor:
+        coordinator = supervisor.start()
+        chaos = _generator(graphs).run(
+            coordinator,
+            fault_plan=FaultPlan.coordinator_crash(at=DURATION * 0.6),
+            supervisor=supervisor,
+        )
+    assert chaos.lost_batches == 0
+    assert chaos.duplicate_results == 0
+    parity = ClusterReport.merged(chaos.cluster_reports).signature() == ClusterReport.merged(
+        baseline.cluster_reports
+    ).signature()
+    assert parity
+    [recovery] = supervisor.recoveries
+    return {
+        "experiment": "crash-recovery",
+        "n": BENCH_N,
+        "completed": chaos.completed,
+        "lost_batches": chaos.lost_batches,
+        "duplicate_results": chaos.duplicate_results,
+        "signature_parity": parity,
+        "batches_recovered": recovery.batches_recovered,
+        "records_replayed": recovery.records_replayed,
+        "replay_records_per_second": recovery.replay_records_per_second,
+        "recovery_seconds": recovery.total_seconds,
+        "journal_bytes": recovery.journal_bytes,
+        "quick": QUICK,
+    }
+
+
+def _replay_scaling_rows(tmp_path):
+    graphs = _graphs()
+    rows = []
+    for backlog in BACKLOGS:
+        directory = tmp_path / f"backlog-{backlog}"
+        kwargs = _kwargs()
+        journal = CoordinatorJournal(directory, metrics=kwargs["metrics"])
+        coordinator = ClusterCoordinator(**kwargs, journal=journal)
+        for index in range(backlog):
+            graph = graphs[index % len(graphs)]
+            coordinator.submit(
+                graph,
+                permutation_workload(graph, shift=1 + index % 5),
+                idempotency_key=f"backlog-{index}",
+            )
+        journal.abandon()  # SIGKILL semantics: the backlog is all unfinished
+        for worker in coordinator.workers.values():
+            worker.close()
+        state = read_journal_state(directory)
+        recovered, report = recover(directory, kwargs, attach=False)
+        try:
+            assert report.batches_recovered == backlog
+            final = recovered.dispatch()
+            assert final.query_count == backlog
+            assert recovered.duplicate_results == 0
+        finally:
+            recovered.close()
+        rows.append(
+            {
+                "experiment": "replay-scaling",
+                "n": BENCH_N,
+                "backlog": backlog,
+                "records_total": state.records_total,
+                "replay_seconds": report.replay_seconds,
+                "recovery_seconds": report.total_seconds,
+                "replay_records_per_second": report.replay_records_per_second,
+                "quick": QUICK,
+            }
+        )
+    return rows
+
+
+def test_recovery(benchmark, tmp_path):
+    rows = []
+
+    def sweep():
+        rows.extend(_journal_overhead_rows(tmp_path))
+        rows.append(_crash_recovery_row(tmp_path))
+        rows.extend(_replay_scaling_rows(tmp_path))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2, default=str) + "\n")
+
+    print(f"\n[E9] durable exactly-once serving on n={BENCH_N} (quick={QUICK})")
+    print(format_table(rows))
+    print(f"wrote {len(rows)} rows to {RESULTS_PATH.name}")
+
+    crash = next(row for row in rows if row["experiment"] == "crash-recovery")
+    # The exactly-once acceptance bar, measured end to end.
+    assert crash["lost_batches"] == 0
+    assert crash["duplicate_results"] == 0
+    assert crash["signature_parity"]
+    assert crash["batches_recovered"] > 0
+    scaling = [row for row in rows if row["experiment"] == "replay-scaling"]
+    assert [row["backlog"] for row in scaling] == sorted(row["backlog"] for row in scaling)
+    assert all(row["replay_records_per_second"] > 0 for row in scaling)

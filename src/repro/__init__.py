@@ -35,7 +35,7 @@ from repro.planner import CostModel, ExecutionPlan, QueryPlanner
 from repro.service import ArtifactCache, BatchReport, ComparisonReport, RoutingService
 from repro.workloads import Workload, available_workloads, make_workload
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ExpanderRouter",

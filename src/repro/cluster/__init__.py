@@ -31,7 +31,12 @@ from repro.cluster.admission import (
     AdmissionDecision,
     AdmissionStats,
 )
-from repro.cluster.coordinator import TRANSPORTS, ClusterCoordinator, ClusterReport
+from repro.cluster.coordinator import (
+    TRANSPORTS,
+    ClusterCoordinator,
+    ClusterReport,
+    merge_batch_reports,
+)
 from repro.cluster.loadgen import DEFAULT_WORKLOAD_MIX, OpenLoopLoadGenerator, SLOReport
 from repro.cluster.ring import ConsistentHashRing, RebalanceStats
 from repro.cluster.worker import FAULT_KINDS, ShardCrashed, ShardQuery, ShardWorker, WarmHandoff
@@ -54,4 +59,5 @@ __all__ = [
     "ShardWorker",
     "TRANSPORTS",
     "WarmHandoff",
+    "merge_batch_reports",
 ]

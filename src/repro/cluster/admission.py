@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.metrics import MetricsRegistry
 
@@ -83,11 +83,15 @@ class AdmissionDecision:
         accepted: whether the item is now queued.
         shed: items that were dropped from the queue to admit this one
             (non-empty only under ``shed-oldest``).
+        duplicate: the submission's idempotency key was already pending or
+            completed, so nothing was queued — the earlier admission stands
+            (exactly-once: a duplicate is *not* a rejection of new work).
     """
 
     shard_id: str
     accepted: bool
     shed: tuple[Any, ...] = ()
+    duplicate: bool = False
 
 
 class AdmissionController:
@@ -206,6 +210,35 @@ class AdmissionController:
     def stats_for(self, shard_id: str) -> AdmissionStats:
         with self._lock:
             return self._stats.setdefault(shard_id, AdmissionStats())
+
+    def stats_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-shard lifetime stats as plain dicts (journal-checkpoint food)."""
+        with self._lock:
+            return {
+                shard_id: {
+                    "offered": stats.offered,
+                    "accepted": stats.accepted,
+                    "rejected": stats.rejected,
+                    "shed": stats.shed,
+                }
+                for shard_id, stats in self._stats.items()
+            }
+
+    def restore_stats(self, snapshot: Mapping[str, Mapping[str, int]]) -> None:
+        """Overwrite the lifetime stats from a :meth:`stats_snapshot` dict.
+
+        Recovery uses this so a journal-rebuilt coordinator reports the same
+        lifetime admission totals the crashed one did — the load generator's
+        delta accounting then spans the crash seamlessly.
+        """
+        with self._lock:
+            for shard_id, entry in snapshot.items():
+                self._stats[shard_id] = AdmissionStats(
+                    offered=int(entry.get("offered", 0)),
+                    accepted=int(entry.get("accepted", 0)),
+                    rejected=int(entry.get("rejected", 0)),
+                    shed=int(entry.get("shed", 0)),
+                )
 
     def total_stats(self) -> AdmissionStats:
         """Admission stats summed over every shard."""

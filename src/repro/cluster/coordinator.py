@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import networkx as nx
 
@@ -53,7 +54,28 @@ from repro.service.cache import ArtifactCache
 from repro.service.service import DEFAULT_BACKEND, BatchReport, RoutingService
 from repro.workloads import Workload
 
-__all__ = ["ClusterReport", "ClusterCoordinator", "TRANSPORTS"]
+if TYPE_CHECKING:  # deferred: repro.durability imports this module
+    from repro.durability.journal import CoordinatorJournal
+
+__all__ = ["ClusterReport", "ClusterCoordinator", "TRANSPORTS", "merge_batch_reports"]
+
+
+def merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
+    """Fold one shard's reports from successive cycles into one report."""
+    if len(reports) == 1:
+        return reports[0]
+    merged = BatchReport()
+    for report in reports:
+        merged.results.extend(report.results)
+        merged.distinct_graphs += report.distinct_graphs
+        merged.cache_hits += report.cache_hits
+        merged.cache_misses += report.cache_misses
+        merged.preprocess_rounds_incurred += report.preprocess_rounds_incurred
+        merged.preprocess_rounds_reused += report.preprocess_rounds_reused
+        merged.preprocess_seconds += report.preprocess_seconds
+        merged.route_seconds += report.route_seconds
+        merged.wall_seconds += report.wall_seconds
+    return merged
 
 #: The recognised cluster transports: in-process shard workers, or shard
 #: server processes behind the wire protocol (unix sockets by default).
@@ -141,6 +163,31 @@ class ClusterReport:
 
     def query_seconds_quantile(self, q: float) -> float:
         return _quantile(self.query_seconds, q)
+
+    @classmethod
+    def merged(cls, reports: Sequence["ClusterReport"]) -> "ClusterReport":
+        """Fold many window reports into one run-level report.
+
+        Per-shard batch reports concatenate across windows, so
+        ``merged(run_a).signature() == merged(run_b).signature()`` compares
+        two whole runs — the crash-recovery parity check uses exactly this.
+        """
+        by_shard: dict[str, list[BatchReport]] = {}
+        for report in reports:
+            for shard_id, shard_report in report.shard_reports.items():
+                by_shard.setdefault(shard_id, []).append(shard_report)
+        merged = cls(
+            shard_reports={
+                shard_id: merge_batch_reports(shard_reports)
+                for shard_id, shard_reports in by_shard.items()
+            },
+            dispatch_seconds=sum(report.dispatch_seconds for report in reports),
+        )
+        if reports:
+            merged.admission = reports[-1].admission
+            merged.lost_batches = reports[-1].lost_batches
+            merged.requeued_batches = reports[-1].requeued_batches
+        return merged
 
     def signature(self) -> dict[str, dict[str, object]]:
         """The deterministic shape of the dispatch: per-shard counts, no clocks.
@@ -274,8 +321,12 @@ class ClusterCoordinator:
         metrics: MetricsRegistry | None = None,
         transport: str = "local",
         net_family: str = "unix",
+        journal: "CoordinatorJournal | None" = None,
+        shard_ids: Sequence[str] | None = None,
     ) -> None:
-        if shard_count < 1:
+        if shard_ids is not None and len(shard_ids) < 1:
+            raise ValueError("shard_ids must name at least one shard")
+        if shard_ids is None and shard_count < 1:
             raise ValueError("a cluster needs at least one shard")
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; use one of {TRANSPORTS}")
@@ -325,6 +376,15 @@ class ClusterCoordinator:
         self.lost_batches = 0
         self.requeued_batches = 0
         self.failovers = 0
+        self.duplicate_results = 0
+        # -- durability state: exactly-once idempotency-key tracking.  Keys
+        # are tracked for explicitly keyed submissions always, and for every
+        # submission once a journal is attached (auto-generated keys).
+        self.journal: "CoordinatorJournal | None" = None
+        self._keys_lock = threading.Lock()
+        self._pending_keys: dict[str, str] = {}  # key -> current owner shard
+        self._completed_keys: set[str] = set()
+        self._auto_key_counter = 0
         self._hot_ewma: dict[str, float] = {}
         self._window_counts: dict[str, int] = {}
         self._replicas: dict[str, tuple[str, ...]] = {}
@@ -380,8 +440,76 @@ class ClusterCoordinator:
             "repro_cluster_replica_hot_keys",
             "Fingerprints currently above the hot-key EWMA threshold.",
         )
-        for _ in range(shard_count):
-            self.add_shard()
+        self._m_dedup_hits = self.metrics.counter(
+            "repro_journal_dedup_hits_total",
+            "Submissions short-circuited because their idempotency key was "
+            "already pending or completed.",
+        )
+        self._m_duplicate_results = self.metrics.counter(
+            "repro_cluster_duplicate_results_total",
+            "Completions observed for an already-completed idempotency key "
+            "(double execution — zero when exactly-once holds).",
+        )
+        self._m_orphans_swept = self.metrics.counter(
+            "repro_cluster_orphan_segments_swept_total",
+            "Dead-owner shared-memory segments unlinked by the failover sweep.",
+        )
+        if shard_ids is not None:
+            for shard_id in shard_ids:
+                self.add_shard(shard_id)
+        else:
+            for _ in range(shard_count):
+                self.add_shard()
+        if journal is not None:
+            self.attach_journal(journal)
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_journal(self, journal: "CoordinatorJournal") -> None:
+        """Start journaling into ``journal`` (writes a baseline checkpoint).
+
+        Every subsequent admit and completion is appended durably, and
+        membership changes checkpoint the full recoverable state —
+        :func:`repro.durability.recover` replays it all into a fresh
+        coordinator after a crash.
+        """
+        self.journal = journal
+        journal.attach(self)
+        journal.checkpoint_now()
+
+    def pending_keys(self) -> dict[str, str]:
+        """``idempotency key -> owner shard`` for every admitted, unfinished batch."""
+        with self._keys_lock:
+            return dict(self._pending_keys)
+
+    def completed_key_count(self) -> int:
+        with self._keys_lock:
+            return len(self._completed_keys)
+
+    def _record_completions(self, shard_id: str, items: Sequence[ShardQuery]) -> None:
+        """Mark each served item's key completed (and journal it), dedup-safe."""
+        for item in items:
+            key = item.idempotency_key
+            if not key:
+                continue
+            with self._keys_lock:
+                if key in self._completed_keys:
+                    self.duplicate_results += 1
+                    self._m_duplicate_results.inc()
+                    continue
+                self._completed_keys.add(key)
+                self._pending_keys.pop(key, None)
+            if self.journal is not None:
+                self.journal.record_complete(item, shard_id)
+
+    def _sweep_orphan_segments(self) -> int:
+        """Unlink shm segments whose owner process is gone (SIGKILLed shard)."""
+        from repro.service.shm import leaked_segments
+
+        swept = len(leaked_segments(reap=True))
+        if swept:
+            self._m_orphans_swept.inc(swept)
+        return swept
 
     # -- membership -----------------------------------------------------------
 
@@ -444,6 +572,8 @@ class ClusterCoordinator:
         self._migrate_warm(before)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         expected = 1.0 / len(self.ring) if before_count else 1.0
+        if self.journal is not None:
+            self.journal.record_membership()
         return RebalanceStats(total=len(seen), moved=moved, expected_fraction=expected)
 
     def remove_shard(self, shard_id: str) -> RebalanceStats:
@@ -468,6 +598,8 @@ class ClusterCoordinator:
         departing.close()
         self._requeue_items(stranded, reason="rebalance")
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
+        if self.journal is not None:
+            self.journal.record_membership()
         return RebalanceStats(
             total=len(seen), moved=moved, expected_fraction=1.0 / (len(self.ring) + 1)
         )
@@ -561,7 +693,15 @@ class ClusterCoordinator:
             worker.close()
         except (ConnectionError, OSError, RuntimeError):
             pass  # a dead shard may not shut down cleanly
-        return self._requeue_items(list(in_flight) + stranded, reason="failover")
+        if self.transport == "tcp":
+            # A SIGKILLed server process never unlinks its published RSHM
+            # segments, and its resource tracker dies with it — sweep the
+            # dead-owner segments now instead of leaking them until exit.
+            self._sweep_orphan_segments()
+        requeued = self._requeue_items(list(in_flight) + stranded, reason="failover")
+        if self.journal is not None:
+            self.journal.record_membership()
+        return requeued
 
     def rejoin_shard(self, shard_id: str | None = None) -> RebalanceStats:
         """Bring a failed shard's identity back as a fresh worker.
@@ -773,8 +913,32 @@ class ClusterCoordinator:
         backend: str | None = None,
         backend_params: Mapping[str, Any] | None = None,
         workload: str = "",
+        idempotency_key: str | None = None,
     ) -> AdmissionDecision:
-        """Plan, fingerprint, place, and offer one query; returns the admission outcome."""
+        """Plan, fingerprint, place, and offer one query; returns the admission outcome.
+
+        ``idempotency_key`` makes the submission exactly-once: a key that is
+        already pending or completed returns a ``duplicate`` decision without
+        queueing anything (the earlier admission stands), which is what makes
+        a client's crash-retry resubmission safe.  With a journal attached,
+        unkeyed submissions get coordinator-generated keys so every admitted
+        batch is dedupable after recovery.
+        """
+        key = idempotency_key
+        if key is not None:
+            with self._keys_lock:
+                if key in self._completed_keys:
+                    self._m_dedup_hits.inc()
+                    return AdmissionDecision(shard_id="", accepted=False, duplicate=True)
+                if key in self._pending_keys:
+                    self._m_dedup_hits.inc()
+                    return AdmissionDecision(
+                        shard_id=self._pending_keys[key], accepted=False, duplicate=True
+                    )
+        elif self.journal is not None:
+            with self._keys_lock:
+                key = f"auto-{self._auto_key_counter}"
+                self._auto_key_counter += 1
         if isinstance(requests, Workload):
             workload = requests.name
             if load is None:
@@ -804,8 +968,23 @@ class ClusterCoordinator:
             backend_params=dict(plan.backend_params),
             workload=workload,
             plan=plan.with_shard(shard_id),
+            idempotency_key=key or "",
         )
-        return self.admission.offer(shard_id, item)
+        decision = self.admission.offer(shard_id, item)
+        if key:
+            with self._keys_lock:
+                if decision.accepted:
+                    self._pending_keys[key] = shard_id
+                for dropped in decision.shed:
+                    dropped_key = getattr(dropped, "idempotency_key", "")
+                    if dropped_key:
+                        # Shed under overload: admitted once, then dropped —
+                        # it will never complete, so it must not stay pending
+                        # (recovery would wrongly resurrect it).
+                        self._pending_keys.pop(dropped_key, None)
+        if self.journal is not None:
+            self.journal.record_admit(key or "", decision, item)
+        return decision
 
     def queue_depths(self) -> dict[str, int]:
         return {shard_id: self.admission.depth(shard_id) for shard_id in self.workers}
@@ -826,8 +1005,16 @@ class ClusterCoordinator:
         return {shard_id: items for shard_id, items in slices.items() if items}
 
     def process_shard(self, shard_id: str, items: Sequence[ShardQuery]) -> BatchReport:
-        """Serve one shard's slice on its worker (local or remote)."""
-        return self.workers[shard_id].process(items)
+        """Serve one shard's slice on its worker (local or remote).
+
+        Completions are recorded (and journaled) only after the worker
+        returns: a crash mid-batch leaves the keys pending, so recovery
+        re-admits and re-serves them — at-least-once execution, exactly-once
+        *results* via the completed-key dedup.
+        """
+        report = self.workers[shard_id].process(items)
+        self._record_completions(shard_id, items)
+        return report
 
     def merge_reports(
         self, shard_reports: Mapping[str, BatchReport], dispatch_seconds: float
@@ -843,23 +1030,9 @@ class ClusterCoordinator:
         self._m_dispatch_seconds.observe(dispatch_seconds)
         return report
 
-    @staticmethod
-    def _merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
-        """Fold one shard's reports from successive failover cycles into one."""
-        if len(reports) == 1:
-            return reports[0]
-        merged = BatchReport()
-        for report in reports:
-            merged.results.extend(report.results)
-            merged.distinct_graphs += report.distinct_graphs
-            merged.cache_hits += report.cache_hits
-            merged.cache_misses += report.cache_misses
-            merged.preprocess_rounds_incurred += report.preprocess_rounds_incurred
-            merged.preprocess_rounds_reused += report.preprocess_rounds_reused
-            merged.preprocess_seconds += report.preprocess_seconds
-            merged.route_seconds += report.route_seconds
-            merged.wall_seconds += report.wall_seconds
-        return merged
+    # Kept as a staticmethod alias: the gateway and older callers reach the
+    # merge through the class.
+    _merge_batch_reports = staticmethod(merge_batch_reports)
 
     def dispatch(self) -> ClusterReport:
         """Drain every queue, scatter to the shard workers, gather, merge.
@@ -924,6 +1097,12 @@ class ClusterCoordinator:
         if self._closed:
             return
         self._closed = True
+        if self.journal is not None:
+            # A clean shutdown checkpoints, so recovery replays nothing.
+            try:
+                self.journal.checkpoint_now()
+            finally:
+                self.journal.close()
         for worker in self.workers.values():
             worker.close()
         self._keyer.close()

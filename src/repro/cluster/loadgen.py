@@ -81,6 +81,10 @@ class SLOReport:
             correct exactly when ``lost_batches == 0`` while ``failovers``
             and ``requeued_batches`` are non-zero — crashes were observed and
             their work re-owned, never dropped.
+        duplicate_results: completions observed for an already-completed
+            idempotency key, as a delta across this run.  The exactly-once
+            check: zero even when a coordinator crash forces journal
+            recovery to re-admit in-flight work.
         scale_events: autoscaler decisions applied during the run (rows).
         fault_events: the injector's applied-fault log for the run (rows).
         failover_windows: indexes into ``cluster_reports`` of windows whose
@@ -100,6 +104,7 @@ class SLOReport:
     lost_batches: int = 0
     requeued_batches: int = 0
     failovers: int = 0
+    duplicate_results: int = 0
     scale_events: list[dict[str, object]] = field(default_factory=list)
     fault_events: list[dict[str, object]] = field(default_factory=list)
     failover_windows: list[int] = field(default_factory=list)
@@ -212,6 +217,7 @@ class SLOReport:
             "lost_batches": self.lost_batches,
             "requeued_batches": self.requeued_batches,
             "failovers": self.failovers,
+            "duplicate_results": self.duplicate_results,
             "scale_events": len(self.scale_events),
             "fault_events": len(self.fault_events),
             "clean_p99_seconds": self.clean_latency_quantile(0.99),
@@ -356,6 +362,7 @@ class OpenLoopLoadGenerator:
         coordinator: ClusterCoordinator,
         fault_plan: "FaultPlan | None" = None,
         autoscaler: "Autoscaler | None" = None,
+        supervisor: Any = None,
     ) -> SLOReport:
         """Drive the cluster with the whole arrival schedule; report SLOs.
 
@@ -375,12 +382,20 @@ class OpenLoopLoadGenerator:
         any still-queued work (requeued by failovers or left by a trailing
         scale-down) is drained so the report accounts for every admitted
         batch.
+
+        ``supervisor`` enables the plan's *process-level* events
+        (``coordinator-crash`` / ``gateway-crash``): anything with the
+        ``crash_coordinator()`` / ``crash_gateway()`` hooks, typically a
+        :class:`~repro.durability.CoordinatorSupervisor`.  Process crashes
+        are applied after a window's submits and before its dispatch — the
+        crash point where admitted work is journaled but unserved — and the
+        run transparently continues against the recovered replacement.
         """
         injector = None
         if fault_plan is not None:
             from repro.elastic.faults import FaultInjector
 
-            injector = FaultInjector(coordinator, fault_plan)
+            injector = FaultInjector(coordinator, fault_plan, supervisor=supervisor)
         arrivals = self.arrival_times()
         windows: dict[int, int] = {}
         for t in arrivals:
@@ -392,6 +407,7 @@ class OpenLoopLoadGenerator:
         lost0 = getattr(coordinator, "lost_batches", 0)
         requeued0 = getattr(coordinator, "requeued_batches", 0)
         failovers0 = getattr(coordinator, "failovers", 0)
+        duplicates0 = getattr(coordinator, "duplicate_results", 0)
         scale_events0 = len(autoscaler.events) if autoscaler is not None else 0
         report = SLOReport(offered=len(arrivals), simulated_seconds=self.duration)
         started = time.perf_counter()
@@ -400,7 +416,9 @@ class OpenLoopLoadGenerator:
             failovers_before = getattr(coordinator, "failovers", 0)
             if injector is not None:
                 injector.advance(now)
-                coordinator.check_health()
+                check_health = getattr(coordinator, "check_health", None)
+                if check_health is not None:
+                    check_health()
             for _ in range(windows[window]):
                 graph, workload = self._pick(rng)
                 decision = coordinator.submit(
@@ -409,8 +427,15 @@ class OpenLoopLoadGenerator:
                     backend=self.backend,
                     backend_params=self.backend_params,
                 )
-                if decision.accepted:
+                # A duplicate means the earlier admission of the same key
+                # stands (a crash-retry resubmission) — still admitted work,
+                # not a drop.
+                if decision.accepted or getattr(decision, "duplicate", False):
                     report.admitted += 1
+            if injector is not None and injector.advance_process(now):
+                # A process crash landed between submit and dispatch; drive
+                # the recovered replacement from here on.
+                coordinator = injector.coordinator
             if autoscaler is not None:
                 autoscaler.evaluate(now)
             self._dispatch_once(coordinator, report, failovers_before)
@@ -421,7 +446,11 @@ class OpenLoopLoadGenerator:
         # — admitted work must complete, not linger.
         if injector is not None:
             injector.advance(self.duration)
-            coordinator.check_health()
+            if injector.advance_process(self.duration):
+                coordinator = injector.coordinator
+            check_health = getattr(coordinator, "check_health", None)
+            if check_health is not None:
+                check_health()
         while getattr(coordinator, "pending_count", 0) > 0:
             failovers_before = getattr(coordinator, "failovers", 0)
             drained = self._dispatch_once(coordinator, report, failovers_before)
@@ -437,6 +466,7 @@ class OpenLoopLoadGenerator:
         report.lost_batches = getattr(coordinator, "lost_batches", 0) - lost0
         report.requeued_batches = getattr(coordinator, "requeued_batches", 0) - requeued0
         report.failovers = getattr(coordinator, "failovers", 0) - failovers0
+        report.duplicate_results = getattr(coordinator, "duplicate_results", 0) - duplicates0
         if autoscaler is not None:
             report.scale_events = [
                 event.as_row() for event in autoscaler.events[scale_events0:]

@@ -91,6 +91,10 @@ class ShardQuery:
         plan: the :class:`~repro.planner.ExecutionPlan` the coordinator chose
             (its ``shard_hint`` records the placement); the shard's service
             executes it verbatim.
+        idempotency_key: the client-supplied (or coordinator-generated)
+            exactly-once key; empty when the submission is untracked.  The
+            durability journal dedups completions by this key, so a crash +
+            resubmit never serves the same admitted batch twice.
     """
 
     fingerprint: str
@@ -101,6 +105,7 @@ class ShardQuery:
     backend_params: Mapping[str, Any] = field(default_factory=dict)
     workload: str = ""
     plan: ExecutionPlan | None = None
+    idempotency_key: str = ""
 
 
 class ShardWorker:

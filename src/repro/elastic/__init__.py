@@ -30,13 +30,20 @@ from repro.elastic.autoscaler import (
     AutoscalerConfig,
     ScaleEvent,
 )
-from repro.elastic.faults import FAULT_EVENT_KINDS, FaultEvent, FaultInjector, FaultPlan
+from repro.elastic.faults import (
+    FAULT_EVENT_KINDS,
+    PROCESS_FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
 
 __all__ = [
     "AUTOSCALER_POLICIES",
     "Autoscaler",
     "AutoscalerConfig",
     "FAULT_EVENT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

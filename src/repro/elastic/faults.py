@@ -21,19 +21,41 @@ boundary; events that came due are applied in order:
 Faults targeting a shard that is not currently serving (already failed over,
 or never existed) are recorded as skipped rather than raising: a crash racing
 its own failover is normal chaos, not a plan bug.
+
+**Process-level faults** (the durability release) kill whole processes, not
+shards, and need a *supervisor* that owns the process lifecycle:
+
+* ``coordinator-crash`` — SIGKILL the coordinator mid-stream; the supervisor
+  (:class:`~repro.durability.CoordinatorSupervisor`) recovers a replacement
+  from the write-ahead journal and the injector repoints itself (and tells
+  its caller) at the new coordinator;
+* ``gateway-crash`` — kill and restart the gateway process; the resilient
+  client is expected to ride through via reconnect-and-resubmit.
+
+They are applied by :meth:`FaultInjector.advance_process`, a *separate*
+cursor the load generator calls **after** a window's submits and **before**
+its dispatch — the interesting crash point, where admitted work is journaled
+but not yet served.  Plans without a supervisor record process events as
+skipped.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.worker import FAULT_KINDS
 
-__all__ = ["FAULT_EVENT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]
+__all__ = ["FAULT_EVENT_KINDS", "PROCESS_FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]
 
-#: Everything a plan may schedule: the shard-level faults plus ``rejoin``.
-FAULT_EVENT_KINDS = FAULT_KINDS + ("rejoin",)
+#: Process-level faults: these target the serving processes, not one shard,
+#: and are applied by :meth:`FaultInjector.advance_process` via a supervisor.
+PROCESS_FAULT_KINDS = ("coordinator-crash", "gateway-crash")
+
+#: Everything a plan may schedule: the shard-level faults, ``rejoin``, and
+#: the process-level kinds.
+FAULT_EVENT_KINDS = FAULT_KINDS + ("rejoin",) + PROCESS_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -43,13 +65,14 @@ class FaultEvent:
     Attributes:
         at: simulated seconds from run start.
         kind: one of :data:`FAULT_EVENT_KINDS`.
-        shard: target shard id (for ``rejoin``, the id to bring back).
+        shard: target shard id (for ``rejoin``, the id to bring back; empty
+            for the process-level kinds, which target whole processes).
         seconds: ``slow`` only — added per-batch delay.
     """
 
     at: float
     kind: str
-    shard: str
+    shard: str = ""
     seconds: float = 0.0
 
     def __post_init__(self) -> None:
@@ -63,6 +86,12 @@ class FaultEvent:
             raise ValueError("slow seconds must be non-negative")
         if self.kind == "slow" and self.seconds == 0.0:
             raise ValueError("slow faults need seconds > 0")
+        if self.kind not in PROCESS_FAULT_KINDS and not self.shard:
+            raise ValueError(f"{self.kind!r} faults need a target shard")
+
+    @property
+    def is_process_fault(self) -> bool:
+        return self.kind in PROCESS_FAULT_KINDS
 
     def as_row(self) -> dict[str, object]:
         return {"at": self.at, "kind": self.kind, "shard": self.shard, "seconds": self.seconds}
@@ -103,6 +132,11 @@ class FaultPlan:
             )
         )
 
+    @classmethod
+    def coordinator_crash(cls, *, at: float) -> "FaultPlan":
+        """The canonical durability cycle: SIGKILL the coordinator once."""
+        return cls(events=(FaultEvent(at=at, kind="coordinator-crash"),))
+
 
 @dataclass
 class AppliedFault:
@@ -121,17 +155,46 @@ class AppliedFault:
 
 @dataclass
 class FaultInjector:
-    """Applies a :class:`FaultPlan` to a live coordinator as time advances."""
+    """Applies a :class:`FaultPlan` to a live coordinator as time advances.
+
+    ``supervisor`` is any object with ``crash_coordinator()`` /
+    ``crash_gateway()`` methods (duck-typed — see
+    :class:`~repro.durability.CoordinatorSupervisor`); a non-``None`` return
+    value replaces :attr:`coordinator`, and callers of
+    :meth:`advance_process` must re-read it.
+    """
 
     coordinator: ClusterCoordinator
     plan: FaultPlan
+    supervisor: Any = None
     log: list[AppliedFault] = field(default_factory=list)
     _clock: float = field(default=0.0, repr=False)
+    _process_clock: float = field(default=0.0, repr=False)
 
     def advance(self, now: float) -> list[AppliedFault]:
-        """Apply every event due in ``(last_advance, now]``; returns them."""
-        applied = [self._apply(event) for event in self.plan.due(self._clock, now)]
+        """Apply every *shard-level* event due in ``(last_advance, now]``.
+
+        Process-level events in the same interval are left for
+        :meth:`advance_process` — the two cursors straddle a window's
+        submit phase, so a coordinator crash always lands with freshly
+        admitted (journaled, undispatched) work in the queues.
+        """
+        due = [e for e in self.plan.due(self._clock, now) if not e.is_process_fault]
+        applied = [self._apply(event) for event in due]
         self._clock = max(self._clock, now)
+        self.log.extend(applied)
+        return applied
+
+    def advance_process(self, now: float) -> list[AppliedFault]:
+        """Apply every *process-level* event due in ``(last, now]``.
+
+        Called after a window's submits, before its dispatch.  When a crash
+        was applied, :attr:`coordinator` now points at the recovered
+        replacement — the caller drives that from here on.
+        """
+        due = [e for e in self.plan.due(self._process_clock, now) if e.is_process_fault]
+        applied = [self._apply(event) for event in due]
+        self._process_clock = max(self._process_clock, now)
         self.log.extend(applied)
         return applied
 
@@ -142,6 +205,17 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> AppliedFault:
         coordinator = self.coordinator
+        if event.is_process_fault:
+            if self.supervisor is None:
+                return AppliedFault(event, False, "no supervisor")
+            hook = "crash_coordinator" if event.kind == "coordinator-crash" else "crash_gateway"
+            crash = getattr(self.supervisor, hook, None)
+            if crash is None:
+                return AppliedFault(event, False, f"supervisor lacks {hook}()")
+            replacement = crash()
+            if replacement is not None:
+                self.coordinator = replacement
+            return AppliedFault(event, True)
         if event.kind == "rejoin":
             if event.shard in coordinator.workers:
                 return AppliedFault(event, False, "already serving")

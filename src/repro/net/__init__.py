@@ -20,9 +20,11 @@ from repro.net.frames import (
     write_frame,
 )
 from repro.net.gateway import ClusterGateway
+from repro.net.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.net.shard_server import (
     RemoteShard,
     ShardServerConfig,
+    ShardSpawnError,
     serve_shard,
     start_shard_server,
 )
@@ -39,6 +41,7 @@ __all__ = [
     "recv_frame",
     "send_frame",
     "ShardServerConfig",
+    "ShardSpawnError",
     "serve_shard",
     "start_shard_server",
     "RemoteShard",
@@ -46,4 +49,7 @@ __all__ = [
     "ClusterClient",
     "GatewayError",
     "DeadlineExpired",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
 ]

@@ -239,9 +239,13 @@ class ClusterGateway:
                 backend=request.backend,
                 backend_params=request.backend_params,
                 workload=request.workload,
+                idempotency_key=request.idempotency_key,
             )
         return SubmitReply(
-            shard_id=decision.shard_id, accepted=decision.accepted, shed=len(decision.shed)
+            shard_id=decision.shard_id,
+            accepted=decision.accepted,
+            shed=len(decision.shed),
+            duplicate=decision.duplicate,
         )
 
     async def _dispatch(self, request: DispatchRequest, writer: asyncio.StreamWriter) -> None:

@@ -1,0 +1,166 @@
+"""Client-side resilience primitives: jittered retries and circuit breakers.
+
+Two small, deterministic building blocks the network client composes:
+
+* :class:`RetryPolicy` — exponential backoff with **full jitter**
+  (``uniform(0, min(cap, base * multiplier**attempt))``), the AWS-style
+  variant that decorrelates a thundering herd of retrying clients.  The
+  caller supplies the RNG, so tests seed it and the schedule is exact.
+* :class:`CircuitBreaker` — the classic closed → open → half-open machine:
+  ``failure_threshold`` consecutive failures open the circuit, requests are
+  refused (:class:`CircuitOpenError`, a :class:`ConnectionError` so callers'
+  existing failure handling applies) until ``reset_timeout`` elapses, then
+  exactly one probe is let through; its outcome closes or re-opens the
+  circuit.  The clock is injectable, so the tests never sleep.
+
+State changes invoke ``on_state`` with the numeric state (0 closed, 1 open,
+2 half-open) — the client wires that straight into the
+``repro_client_breaker_state{target}`` gauge.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+#: Numeric breaker states, as exported by ``repro_client_breaker_state``.
+BREAKER_CLOSED = 0
+BREAKER_OPEN = 1
+BREAKER_HALF_OPEN = 2
+
+_STATE_NAMES = {BREAKER_CLOSED: "closed", BREAKER_OPEN: "open", BREAKER_HALF_OPEN: "half-open"}
+
+
+class CircuitOpenError(ConnectionError):
+    """The circuit breaker is open: the target is presumed down, fail fast."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attributes:
+        max_attempts: total tries, including the first (``1`` = no retries).
+        base_delay: backoff scale for the first retry, in seconds.
+        max_delay: ceiling on any single delay.
+        multiplier: backoff growth per retry.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+
+    def ceiling(self, retry: int) -> float:
+        """The un-jittered backoff cap before the ``retry``-th retry (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier**retry)
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        """The jittered sleep before the ``retry``-th retry: ``uniform(0, cap)``."""
+        return rng.uniform(0.0, self.ceiling(retry))
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for one target.
+
+    Args:
+        failure_threshold: consecutive failures that open the circuit.
+        reset_timeout: seconds the circuit stays open before one probe.
+        clock: monotonic time source (injectable for tests).
+        on_state: called with the numeric state on every transition (and once
+            at construction, so gauges start at ``closed``).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_state: Callable[[int], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._on_state = on_state
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        if on_state is not None:
+            on_state(self._state)
+
+    @property
+    def state(self) -> str:
+        """The state name: ``"closed"``, ``"open"``, or ``"half-open"``."""
+        return _STATE_NAMES[self._state]
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    def _transition(self, state: int) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        if self._on_state is not None:
+            self._on_state(state)
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Open circuits refuse until ``reset_timeout`` has elapsed, then admit
+        exactly one half-open probe; further calls refuse until that probe
+        reports back via :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self._state == BREAKER_CLOSED:
+            return True
+        if self._state == BREAKER_OPEN:
+            if self._clock() - self._opened_at < self.reset_timeout:
+                return False
+            self._transition(BREAKER_HALF_OPEN)
+            self._probing = True
+            return True
+        # Half-open: one probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """The request succeeded: close the circuit, forget the failures."""
+        self._failures = 0
+        self._probing = False
+        self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        """The request failed: count it; at the threshold (or on a failed
+        half-open probe) the circuit opens and the reset clock restarts."""
+        self._failures += 1
+        self._probing = False
+        if self._state == BREAKER_HALF_OPEN or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._transition(BREAKER_OPEN)

@@ -65,10 +65,25 @@ from repro.wire.messages import (
     WireMessage,
 )
 
-__all__ = ["ShardServerConfig", "serve_shard", "start_shard_server", "RemoteShard"]
+__all__ = [
+    "ShardServerConfig",
+    "ShardSpawnError",
+    "serve_shard",
+    "start_shard_server",
+    "RemoteShard",
+]
 
 #: How long the parent waits for a child to report its bound address.
 READY_TIMEOUT_SECONDS = 60.0
+
+
+class ShardSpawnError(RuntimeError):
+    """A shard server process failed to come up (died or never bound).
+
+    Raised by :func:`start_shard_server` after the dead or wedged child has
+    been reaped — the caller gets a clear failure, not a zombie process and
+    a :class:`TimeoutError` with no cause.
+    """
 
 
 @dataclass(frozen=True)
@@ -362,9 +377,11 @@ def start_shard_server(
 ) -> RemoteShard:
     """Spawn one shard server process and return its connected handle.
 
-    Blocks until the child reports its bound address (or
-    :data:`READY_TIMEOUT_SECONDS` pass — a child that dies during import
-    surfaces here, not as a hung dispatch).
+    Blocks until the child reports its bound address, with a bounded wait:
+    a child that dies during import is reaped and surfaces as a clear
+    :class:`ShardSpawnError` (carrying its exit code), and a child that
+    simply never binds is terminated and reaped after
+    :data:`READY_TIMEOUT_SECONDS` — never a hung dispatch, never a zombie.
     """
     context = multiprocessing.get_context("spawn")
     parent_end, child_end = context.Pipe(duplex=False)
@@ -379,10 +396,27 @@ def start_shard_server(
     deadline = time.monotonic() + READY_TIMEOUT_SECONDS
     while not parent_end.poll(0.1):
         if not process.is_alive():
-            raise RuntimeError(f"shard server {config.shard_id} died before binding")
+            process.join()  # reap: a dead child must not linger as a zombie
+            raise ShardSpawnError(
+                f"shard server {config.shard_id} died before binding "
+                f"(exit code {process.exitcode})"
+            )
         if time.monotonic() > deadline:
             process.terminate()
-            raise TimeoutError(f"shard server {config.shard_id} did not bind in time")
-    bound = parent_end.recv()
+            process.join(timeout=5)
+            raise ShardSpawnError(
+                f"shard server {config.shard_id} did not bind within "
+                f"{READY_TIMEOUT_SECONDS:.0f}s"
+            )
+    try:
+        bound = parent_end.recv()
+    except EOFError:
+        # The child closed the pipe without reporting an address (crashed
+        # between poll() and recv()); reap it and fail clearly.
+        process.join(timeout=5)
+        raise ShardSpawnError(
+            f"shard server {config.shard_id} closed the ready pipe without binding "
+            f"(exit code {process.exitcode})"
+        ) from None
     parent_end.close()
     return RemoteShard(config.shard_id, process, tuple(bound), metrics=metrics)

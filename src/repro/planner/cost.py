@@ -381,6 +381,26 @@ class CostModel:
                 ) in sorted(self._state.items())
             }
 
+    def restore(self, snapshot: dict[str, dict[str, float]], version: int = 0) -> None:
+        """Overwrite the calibration state from a :meth:`snapshot` dict.
+
+        The durability checkpoint carries the snapshot plus the version
+        counter; restoring both makes a journal-recovered planner's
+        :meth:`state_signature` (and therefore its plan cache) byte-identical
+        to the crashed one's.
+        """
+        state: dict[tuple[str, str, int, str, str], list[float]] = {}
+        for key, entry in snapshot.items():
+            backend, kernel, bucket, phase, workload = key.split("|", 4)
+            state[(backend, kernel, int(bucket), phase, workload)] = [
+                float(entry["value"]),
+                int(entry["samples"]),
+            ]
+        with self._lock:
+            self._state = state
+            self._version = int(version)
+            self._signature_cache = None
+
     def state_signature(self) -> str:
         """Hash of (version, calibration state) — equal hashes ⇒ equal plans."""
         with self._lock:

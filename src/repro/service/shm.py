@@ -491,8 +491,26 @@ class ShmArtifactStore:
         self.close()
 
 
-def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+def _segment_owner_pid(name: str, prefix: str) -> int | None:
+    """The owning pid encoded in a segment name, or ``None`` if unparseable.
+
+    Segment names are ``{prefix}-{pid}-{counter}-{fp8}`` (see
+    :meth:`ShmArtifactStore.publish`); anything else is not ours to touch.
+    """
+    remainder = name[len(prefix) + 1 :] if name.startswith(prefix + "-") else ""
+    pid_part = remainder.split("-", 1)[0]
+    return int(pid_part) if pid_part.isdigit() else None
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX, *, reap: bool = False) -> list[str]:
     """Names of repro segments still present in ``/dev/shm`` (harness audit).
+
+    With ``reap=True``, segments whose *owner process is dead* — the pid
+    baked into the segment name no longer exists — are unlinked and only
+    those reaped names are returned.  A SIGKILLed shard server never unlinks
+    its published segments and its resource tracker dies with it, so the
+    coordinator's failover path and journal recovery both call this to stop
+    the leak; segments with a live owner are always left alone.
 
     Returns an empty list on platforms without a ``/dev/shm`` filesystem —
     the audit is then simply inconclusive rather than failing.
@@ -500,6 +518,32 @@ def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
     root = "/dev/shm"
     if not os.path.isdir(root):
         return []
-    return sorted(
-        entry for entry in os.listdir(root) if entry.startswith(prefix)
-    )
+    present = sorted(entry for entry in os.listdir(root) if entry.startswith(prefix))
+    if not reap:
+        return present
+    from multiprocessing import resource_tracker
+
+    reaped = []
+    for name in present:
+        pid = _segment_owner_pid(name, prefix)
+        if pid is None:
+            continue
+        try:
+            os.kill(pid, 0)  # signal 0: existence probe only
+            continue  # the owner is alive; not a leak
+        except ProcessLookupError:
+            pass  # dead owner: the segment is orphaned
+        except PermissionError:
+            continue  # alive, but owned by another user
+        try:
+            os.unlink(os.path.join(root, name))
+        except OSError:
+            continue
+        # This process may have attached (and registered) the segment before
+        # its owner died; make sure our tracker does not re-unlink at exit.
+        try:
+            resource_tracker.unregister("/" + name, "shared_memory")
+        except (KeyError, ValueError, OSError):
+            pass
+        reaped.append(name)
+    return reaped

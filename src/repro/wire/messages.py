@@ -92,6 +92,9 @@ __all__ = [
     "DispatchDoneReply",
     "StatsRequest",
     "StatsReply",
+    "JournalAdmit",
+    "JournalComplete",
+    "JournalCheckpoint",
 ]
 
 _SCALARS = (str, int, float, bool)
@@ -417,6 +420,7 @@ class WireShardQuery(WireMessage):
     backend_params: dict = field(default_factory=dict)
     workload: str = ""
     plan: WirePlan | None = None
+    idempotency_key: str = ""
     schema_version: int = WIRE_VERSION
 
     @classmethod
@@ -430,6 +434,7 @@ class WireShardQuery(WireMessage):
             backend_params=_tree(dict(query.backend_params), "backend params"),
             workload=query.workload,
             plan=WirePlan.from_plan(query.plan) if query.plan is not None else None,
+            idempotency_key=query.idempotency_key,
         )
 
     def to_shard_query(self) -> ShardQuery:
@@ -442,6 +447,7 @@ class WireShardQuery(WireMessage):
             backend_params=dict(self.backend_params),
             workload=self.workload,
             plan=self.plan.to_plan() if self.plan is not None else None,
+            idempotency_key=self.idempotency_key,
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -454,6 +460,7 @@ class WireShardQuery(WireMessage):
         payload["backend_params"] = dict(self.backend_params)
         payload["workload"] = self.workload
         payload["plan"] = self.plan.to_payload() if self.plan is not None else None
+        payload["idempotency_key"] = self.idempotency_key
         return payload
 
     @classmethod
@@ -470,6 +477,7 @@ class WireShardQuery(WireMessage):
             "backend_params": dict(payload.get("backend_params") or {}),
             "workload": payload.get("workload", ""),
             "plan": WirePlan.from_payload(plan) if plan is not None else None,
+            "idempotency_key": payload.get("idempotency_key", ""),
         }
 
 
@@ -971,6 +979,7 @@ class SubmitRequest(WireMessage):
     backend_params: dict | None = None
     workload: str = ""
     deadline: float | None = None
+    idempotency_key: str | None = None
     schema_version: int = WIRE_VERSION
 
     def to_payload(self) -> dict[str, Any]:
@@ -984,6 +993,7 @@ class SubmitRequest(WireMessage):
         )
         payload["workload"] = self.workload
         payload["deadline"] = self.deadline
+        payload["idempotency_key"] = self.idempotency_key
         return payload
 
     @classmethod
@@ -999,6 +1009,7 @@ class SubmitRequest(WireMessage):
             "backend_params": dict(params) if params is not None else None,
             "workload": payload.get("workload", ""),
             "deadline": payload.get("deadline"),
+            "idempotency_key": payload.get("idempotency_key"),
         }
 
 
@@ -1012,6 +1023,7 @@ class SubmitReply(WireMessage):
     shard_id: str = ""
     accepted: bool = False
     shed: int = 0
+    duplicate: bool = False
     schema_version: int = WIRE_VERSION
 
     def to_payload(self) -> dict[str, Any]:
@@ -1019,6 +1031,7 @@ class SubmitReply(WireMessage):
         payload["shard_id"] = self.shard_id
         payload["accepted"] = self.accepted
         payload["shed"] = self.shed
+        payload["duplicate"] = self.duplicate
         return payload
 
     @classmethod
@@ -1027,6 +1040,7 @@ class SubmitReply(WireMessage):
             "shard_id": payload.get("shard_id", ""),
             "accepted": bool(payload.get("accepted", False)),
             "shed": int(payload.get("shed", 0)),
+            "duplicate": bool(payload.get("duplicate", False)),
         }
 
 
@@ -1338,3 +1352,173 @@ class ArtifactAdoptReply(WireMessage):
     @classmethod
     def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
         return {"adopted": bool(payload.get("adopted", False))}
+
+
+# -- durability: write-ahead journal records ---------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class JournalAdmit(WireMessage):
+    """Journal record: one submit's admission outcome, durable before dispatch.
+
+    Accepted submissions carry the full wire-versioned :class:`WireShardQuery`
+    (recovery re-admits it verbatim); rejected ones carry only the accounting.
+    ``shed_keys`` lists idempotency keys dropped from the target queue under
+    the ``shed-oldest`` policy — recovery must not resurrect them.
+    """
+
+    type: ClassVar[str] = "journal-admit"
+
+    key: str = ""
+    shard_id: str = ""
+    accepted: bool = False
+    shed_keys: tuple = ()
+    query: WireShardQuery | None = None
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["key"] = self.key
+        payload["shard_id"] = self.shard_id
+        payload["accepted"] = self.accepted
+        payload["shed_keys"] = list(self.shed_keys)
+        payload["query"] = self.query.to_payload() if self.query is not None else None
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        query = payload.get("query")
+        return {
+            "key": payload.get("key", ""),
+            "shard_id": payload.get("shard_id", ""),
+            "accepted": bool(payload.get("accepted", False)),
+            "shed_keys": tuple(payload.get("shed_keys") or ()),
+            "query": WireShardQuery.from_payload(query) if query is not None else None,
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class JournalComplete(WireMessage):
+    """Journal record: one admitted batch served to completion on ``shard_id``.
+
+    A key with a durable complete record is *done*: recovery dedups any later
+    submit or replayed admit for it — exactly-once results, never
+    re-execution.
+    """
+
+    type: ClassVar[str] = "journal-complete"
+
+    key: str = ""
+    fingerprint: str = ""
+    shard_id: str = ""
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["key"] = self.key
+        payload["fingerprint"] = self.fingerprint
+        payload["shard_id"] = self.shard_id
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "key": payload.get("key", ""),
+            "fingerprint": payload.get("fingerprint", ""),
+            "shard_id": payload.get("shard_id", ""),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class JournalCheckpoint(WireMessage):
+    """Journal record: the coordinator's full recoverable state at one instant.
+
+    Written at journal-segment rotation, on membership changes, and every
+    ``checkpoint_interval`` records; replay starts from the last checkpoint
+    and folds the records after it.  Carries ring membership, the pending and
+    completed idempotency-key state, warm-cache exemplars (in last-use order,
+    so re-warmed LRU caches end up byte-identical), per-shard admission
+    stats, the elastic lifetime counters, the hot-key/replica maps, and the
+    planner's cost-model calibration.
+    """
+
+    type: ClassVar[str] = "journal-checkpoint"
+
+    shard_ids: tuple = ()
+    next_shard_index: int = 0
+    seen_fingerprints: tuple = ()
+    pending: tuple = ()  # WireShardQuery, admission order
+    completed_keys: tuple = ()
+    warm: tuple = ()  # WireShardQuery exemplars, last-use order
+    auto_key_counter: int = 0
+    admission: dict = field(default_factory=dict)  # shard -> stats dict
+    lost_batches: int = 0
+    requeued_batches: int = 0
+    failovers: int = 0
+    duplicate_results: int = 0
+    hot_ewma: dict = field(default_factory=dict)
+    replicas: dict = field(default_factory=dict)
+    planner_state: dict | None = None
+    planner_version: int = 0
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["shard_ids"] = list(self.shard_ids)
+        payload["next_shard_index"] = self.next_shard_index
+        payload["seen_fingerprints"] = list(self.seen_fingerprints)
+        payload["pending"] = [query.to_payload() for query in self.pending]
+        payload["completed_keys"] = list(self.completed_keys)
+        payload["warm"] = [query.to_payload() for query in self.warm]
+        payload["auto_key_counter"] = self.auto_key_counter
+        payload["admission"] = {shard: dict(stats) for shard, stats in self.admission.items()}
+        payload["lost_batches"] = self.lost_batches
+        payload["requeued_batches"] = self.requeued_batches
+        payload["failovers"] = self.failovers
+        payload["duplicate_results"] = self.duplicate_results
+        payload["hot_ewma"] = dict(self.hot_ewma)
+        payload["replicas"] = {key: list(owners) for key, owners in self.replicas.items()}
+        payload["planner_state"] = (
+            {key: dict(entry) for key, entry in self.planner_state.items()}
+            if self.planner_state is not None
+            else None
+        )
+        payload["planner_version"] = self.planner_version
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        planner_state = payload.get("planner_state")
+        return {
+            "shard_ids": tuple(payload.get("shard_ids") or ()),
+            "next_shard_index": int(payload.get("next_shard_index", 0)),
+            "seen_fingerprints": tuple(payload.get("seen_fingerprints") or ()),
+            "pending": tuple(
+                WireShardQuery.from_payload(entry) for entry in payload.get("pending") or ()
+            ),
+            "completed_keys": tuple(payload.get("completed_keys") or ()),
+            "warm": tuple(
+                WireShardQuery.from_payload(entry) for entry in payload.get("warm") or ()
+            ),
+            "auto_key_counter": int(payload.get("auto_key_counter", 0)),
+            "admission": {
+                shard: dict(stats) for shard, stats in (payload.get("admission") or {}).items()
+            },
+            "lost_batches": int(payload.get("lost_batches", 0)),
+            "requeued_batches": int(payload.get("requeued_batches", 0)),
+            "failovers": int(payload.get("failovers", 0)),
+            "duplicate_results": int(payload.get("duplicate_results", 0)),
+            "hot_ewma": dict(payload.get("hot_ewma") or {}),
+            "replicas": {
+                key: tuple(owners) for key, owners in (payload.get("replicas") or {}).items()
+            },
+            "planner_state": (
+                {key: dict(entry) for key, entry in planner_state.items()}
+                if planner_state is not None
+                else None
+            ),
+            "planner_version": int(payload.get("planner_version", 0)),
+        }

@@ -1,0 +1,279 @@
+"""Tests for the client resilience layer: retries, breakers, hedges, resubmit.
+
+The deterministic building blocks (:class:`RetryPolicy` with a caller-seeded
+RNG, :class:`CircuitBreaker` with an injectable clock) are tested exactly;
+the client-level behaviours — ride through a gateway restart on the same
+address, fail fast when the breaker opens, hedge a stalled read, never
+double-enqueue a resubmitted submit — run against real sockets.
+"""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cluster import ClusterCoordinator
+from repro.graphs.generators import random_regular_expander
+from repro.metrics import MetricsRegistry
+from repro.net import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ClusterClient,
+    ClusterGateway,
+    RetryPolicy,
+    recv_frame,
+    send_frame,
+)
+from repro.net.resilience import BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN
+from repro.planner import ExecutionPlan
+from repro.wire import Ping, Pong
+from repro.workloads import permutation_workload
+
+PLAN = ExecutionPlan(backend="deterministic", max_workers=2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_regular_expander(48, degree=4, seed=1)
+
+
+def _coordinator():
+    return ClusterCoordinator(
+        shard_count=2, cache_capacity=8, default_plan=PLAN, metrics=MetricsRegistry()
+    )
+
+
+# -- retry policy ------------------------------------------------------------------
+
+
+def test_retry_policy_validates_its_knobs():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+def test_retry_policy_backoff_grows_and_caps():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.1, max_delay=1.0, multiplier=2.0)
+    ceilings = [policy.ceiling(retry) for retry in range(6)]
+    assert ceilings == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]  # capped at max_delay
+
+
+def test_retry_policy_jitter_is_seeded_and_bounded():
+    policy = RetryPolicy(base_delay=0.1, max_delay=1.0, multiplier=2.0)
+    first = [policy.delay(retry, random.Random(7)) for retry in range(4)]
+    second = [policy.delay(retry, random.Random(7)) for retry in range(4)]
+    assert first == second  # same seed, same schedule
+    for retry, delay in enumerate(first):
+        assert 0.0 <= delay <= policy.ceiling(retry)  # full jitter: uniform(0, cap)
+
+
+# -- circuit breaker ---------------------------------------------------------------
+
+
+def test_breaker_state_machine_with_fake_clock():
+    clock = [0.0]
+    states = []
+    breaker = CircuitBreaker(
+        failure_threshold=2,
+        reset_timeout=10.0,
+        clock=lambda: clock[0],
+        on_state=states.append,
+    )
+    assert states == [BREAKER_CLOSED]  # gauges start at closed
+    assert breaker.allow() and breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.allow()  # below the threshold: still closed
+    breaker.record_failure()
+    assert breaker.state == "open" and breaker.failures == 2
+    assert not breaker.allow()  # open: fail fast
+    clock[0] = 9.9
+    assert not breaker.allow()  # reset_timeout not yet elapsed
+    clock[0] = 10.0
+    assert breaker.allow()  # exactly one half-open probe
+    assert breaker.state == "half-open"
+    assert not breaker.allow()  # the probe is out; everyone else waits
+    breaker.record_failure()  # probe failed: re-open, clock restarts
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    clock[0] = 20.0
+    assert breaker.allow()
+    breaker.record_success()  # probe succeeded: closed, failures forgotten
+    assert breaker.state == "closed" and breaker.failures == 0
+    assert states == [
+        BREAKER_CLOSED,
+        BREAKER_OPEN,
+        BREAKER_HALF_OPEN,
+        BREAKER_OPEN,
+        BREAKER_HALF_OPEN,
+        BREAKER_CLOSED,
+    ]
+
+
+def test_breaker_validates_its_knobs():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=-1.0)
+
+
+# -- client rides through a gateway restart ----------------------------------------
+
+
+def test_client_retries_through_gateway_restart(tmp_path, graph):
+    socket_path = str(tmp_path / "gateway.sock")
+    registry = MetricsRegistry()
+    with _coordinator() as coordinator:
+        first = ClusterGateway(coordinator, socket_path=socket_path)
+        client = ClusterClient(first.address, metrics=registry, retry_seed=1)
+        client._sleep = lambda _: None  # no real backoff sleeps in tests
+        try:
+            assert client.ping()
+            reply = client.submit(graph, permutation_workload(graph, shift=1))
+            assert reply.accepted
+            first.close()  # the gateway dies; the coordinator survives
+            second = ClusterGateway(coordinator, socket_path=socket_path)
+            try:
+                # The broken connection surfaces as a ConnectionError, the
+                # retry reconnects to the restarted gateway, and queued work
+                # is still there to dispatch.
+                report = client.dispatch()
+                assert report.query_count == 1
+                assert report.all_delivered
+            finally:
+                second.close()
+            retries = registry.as_dict()["repro_client_retries_total"]
+            assert sum(retries.values()) >= 1
+        finally:
+            client.close()
+
+
+def test_resubmitted_key_dedups_instead_of_double_enqueueing(tmp_path, graph):
+    with _coordinator() as coordinator:
+        with ClusterGateway(coordinator, socket_path=str(tmp_path / "g.sock")) as gate:
+            with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+                workload = permutation_workload(graph, shift=1)
+                first = client.submit(graph, workload, idempotency_key="retry-1")
+                assert first.accepted and not first.duplicate
+                # The crash-retry path resends the same key; the server
+                # answers duplicate and enqueues nothing.
+                again = client.submit(graph, workload, idempotency_key="retry-1")
+                assert again.duplicate and not again.accepted
+                assert again.shard_id == first.shard_id
+                assert client.dispatch().query_count == 1
+                # Unkeyed submissions auto-key client-side.
+                auto = client.submit(graph, workload)
+                assert auto.accepted and not auto.duplicate
+
+
+# -- circuit breaker in the client -------------------------------------------------
+
+
+def test_client_fails_fast_once_the_breaker_opens(tmp_path, graph):
+    registry = MetricsRegistry()
+    with _coordinator() as coordinator:
+        gate = ClusterGateway(coordinator, socket_path=str(tmp_path / "g.sock"))
+        client = ClusterClient(
+            gate.address,
+            metrics=registry,
+            retry=RetryPolicy(max_attempts=1),  # surface each failure directly
+            breaker_failures=2,
+            breaker_reset=3600.0,  # no probe within this test
+        )
+        client._sleep = lambda _: None
+        try:
+            assert client.ping()
+            gate.close()  # nothing restarts it this time
+            for _ in range(2):
+                with pytest.raises((ConnectionError, OSError)):
+                    client.ping()
+            assert client.breaker_state == "open"
+            # The next call never touches the socket: the breaker refuses.
+            with pytest.raises(CircuitOpenError):
+                client.ping()
+            gauge = registry.as_dict()["repro_client_breaker_state"]
+            assert sum(gauge.values()) == 1.0  # one target, state == open
+        finally:
+            client.close()
+
+
+# -- hedged reads ------------------------------------------------------------------
+
+
+class _StallThenServe:
+    """A frame server whose first connection stalls forever; later ones answer.
+
+    The hedge path needs exactly this shape: the primary connection accepts
+    the request and goes silent, and only a second connection gets a reply.
+    """
+
+    def __init__(self, path):
+        self.listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.listener.bind(path)
+        self.listener.listen(4)
+        self.address = ("unix", path)
+        self.connections = 0
+        self._stalled = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections == 1:
+                self._stalled.append(conn)  # read nothing, answer nothing
+                continue
+            try:
+                if isinstance(recv_frame(conn), Ping):
+                    send_frame(conn, Pong())
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        for conn in self._stalled:
+            conn.close()
+        self.listener.close()
+
+
+def test_hedged_ping_races_a_second_connection(tmp_path):
+    server = _StallThenServe(str(tmp_path / "stall.sock"))
+    registry = MetricsRegistry()
+    client = ClusterClient(
+        server.address,
+        metrics=registry,
+        retry=RetryPolicy(max_attempts=1),
+        hedge_delay=0.05,
+    )
+    try:
+        assert client.ping()  # the hedge's reply wins
+        assert server.connections == 2
+        hedges = registry.as_dict()["repro_client_hedges_total"]
+        assert hedges.get('op="ping"', hedges.get("op=ping", 0)) >= 1
+    finally:
+        client.close()
+        server.close()
+
+
+def test_hedging_disabled_uses_one_connection(tmp_path, graph):
+    with _coordinator() as coordinator:
+        with ClusterGateway(coordinator, socket_path=str(tmp_path / "g.sock")) as gate:
+            registry = MetricsRegistry()
+            with ClusterClient(gate.address, metrics=registry) as client:
+                assert client.ping()
+                assert client.admission_totals().offered == 0
+                assert "repro_client_hedges_total" not in {
+                    name: series
+                    for name, series in registry.as_dict().items()
+                    if any(value for value in series.values())
+                }

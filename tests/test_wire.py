@@ -36,6 +36,9 @@ from repro.wire import (
     FaultInjectRequest,
     HeartbeatReply,
     HeartbeatRequest,
+    JournalAdmit,
+    JournalCheckpoint,
+    JournalComplete,
     Ping,
     Pong,
     SchemaVersionError,
@@ -130,6 +133,39 @@ def wire_shard_queries(draw):
         backend_params=draw(params),
         workload=draw(st.text(max_size=12)),
         plan=draw(st.none() | wire_plans()),
+        idempotency_key=draw(st.text(max_size=16)),
+    )
+
+
+@st.composite
+def wire_journal_checkpoints(draw):
+    stats_rows = st.fixed_dictionaries(
+        {
+            "offered": st.integers(0, 1000),
+            "accepted": st.integers(0, 1000),
+            "rejected": st.integers(0, 1000),
+            "shed": st.integers(0, 1000),
+        }
+    )
+    return JournalCheckpoint(
+        shard_ids=tuple(draw(st.lists(names, max_size=3))),
+        next_shard_index=draw(st.integers(0, 64)),
+        seen_fingerprints=tuple(draw(st.lists(names, max_size=3))),
+        pending=tuple(draw(st.lists(wire_shard_queries(), max_size=2))),
+        completed_keys=tuple(draw(st.lists(names, max_size=3))),
+        warm=tuple(draw(st.lists(wire_shard_queries(), max_size=2))),
+        auto_key_counter=draw(st.integers(0, 10_000)),
+        admission=draw(st.dictionaries(names, stats_rows, max_size=2)),
+        lost_batches=draw(st.integers(0, 100)),
+        requeued_batches=draw(st.integers(0, 100)),
+        failovers=draw(st.integers(0, 100)),
+        duplicate_results=draw(st.integers(0, 100)),
+        hot_ewma=draw(st.dictionaries(names, st.floats(0, 100, allow_nan=False), max_size=2)),
+        replicas=draw(
+            st.dictionaries(names, st.lists(names, max_size=2).map(tuple), max_size=2)
+        ),
+        planner_state=draw(st.none() | st.dictionaries(names, params, max_size=2)),
+        planner_version=draw(st.integers(0, 100)),
     )
 
 
@@ -228,9 +264,14 @@ MESSAGE_STRATEGIES = {
         backend_params=st.none() | params,
         workload=st.text(max_size=12),
         deadline=st.none() | st.floats(0, 10, allow_nan=False),
+        idempotency_key=st.text(max_size=16),
     ),
     "submit-reply": st.builds(
-        SubmitReply, shard_id=names, accepted=st.booleans(), shed=st.integers(0, 10)
+        SubmitReply,
+        shard_id=names,
+        accepted=st.booleans(),
+        shed=st.integers(0, 10),
+        duplicate=st.booleans(),
     ),
     "dispatch": st.builds(DispatchRequest, deadline=st.none() | st.floats(0, 10, allow_nan=False)),
     "dispatch-shard": st.builds(
@@ -271,6 +312,18 @@ MESSAGE_STRATEGIES = {
     ),
     "artifact-adopt": st.builds(ArtifactAdoptRequest, fingerprint=names, segment=names),
     "artifact-adopt-reply": st.builds(ArtifactAdoptReply, adopted=st.booleans()),
+    "journal-admit": st.builds(
+        JournalAdmit,
+        key=names,
+        shard_id=names,
+        accepted=st.booleans(),
+        shed_keys=st.lists(names, max_size=3).map(tuple),
+        query=st.none() | wire_shard_queries(),
+    ),
+    "journal-complete": st.builds(
+        JournalComplete, key=names, fingerprint=names, shard_id=names
+    ),
+    "journal-checkpoint": wire_journal_checkpoints(),
 }
 
 
