@@ -48,6 +48,13 @@ SUITE_PATH = REPO_ROOT / "bench-suite.json"
 NETWORK_PATH = REPO_ROOT / "bench-network.json"
 SHM_PATH = REPO_ROOT / "bench-shm.json"
 
+#: PR 6 blessed bench-network.json, the pre-fast-path wire overhead the
+#: network fast path (coalescing + fingerprint dedup + group commit) is
+#: gated against.  Ratios rather than absolute seconds so the gate is
+#: insensitive to how loaded the benchmarking machine happens to be.
+PR6_TCP_QPS_RATIO = 66.449 / 118.745  # tcp ran at 0.56x local throughput
+PR6_TCP_RTT_RATIO = 0.36181 / 0.16180  # tcp rtt_p99 was 2.24x local
+
 #: Scenarios whose optimized configuration includes the process pool.
 POOLED = ("bench_service", "bench_cluster")
 #: Scenarios asserted to hit the ISSUE's >=2x bar in full mode.
@@ -510,7 +517,94 @@ def run_policy_gate(policy: str) -> dict:
     }
 
 
-def run_network_bench() -> dict:
+def _gateway_coalesce_row(graphs, plan, *, coalesce: bool, quick: bool) -> tuple[dict, str]:
+    """One gateway scenario: K submitter threads over one gateway, coalescing
+    on (``max_batch=16``) or off (``max_batch=1`` — every submit admits alone).
+
+    Returns the measured row and the drained ``ClusterReport.signature()`` so
+    the caller can assert coalesced-vs-sequential byte parity.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path as _Path
+
+    from repro.cluster import ClusterCoordinator
+    from repro.durability import CoordinatorJournal
+    from repro.metrics import MetricsRegistry
+    from repro.net import ClusterClient, ClusterGateway
+    from repro.workloads import permutation_workload
+
+    submitters, total = (4, 32) if quick else (4, 128)
+    workloads = [permutation_workload(graph, shift=1) for graph in graphs]
+    jobs = [
+        (graphs[index % 2], workloads[index % 2], index)
+        for index in range(total)
+    ]
+    metrics = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        # Journaled on purpose: group commit is what coalescing buys — one
+        # fsync per admission window instead of one per submit.
+        journal = CoordinatorJournal(_Path(tmp) / "journal", metrics=metrics)
+        coordinator = ClusterCoordinator(
+            shard_count=2, cache_capacity=4, default_plan=plan, metrics=metrics,
+            journal=journal,
+        )
+        with coordinator, ClusterGateway(
+            coordinator,
+            socket_path=os.path.join(tmp, "bench.sock"),
+            max_batch=16 if coalesce else 1,
+            max_delay_ms=2.0,
+        ) as gateway:
+            start = time.perf_counter()
+
+            def submit_chunk(chunk):
+                with ClusterClient(gateway.address, metrics=MetricsRegistry()) as client:
+                    for graph, workload, index in chunk:
+                        request = workload.requests[index % len(workload.requests)]
+                        decision = client.submit(graph, [request], workload=workload.name)
+                        assert decision.accepted, f"gateway bench: submit {index} rejected"
+
+            threads = [
+                threading.Thread(target=submit_chunk, args=(jobs[rank::submitters],))
+                for rank in range(submitters)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with ClusterClient(gateway.address, metrics=MetricsRegistry()) as client:
+                report = client.dispatch()
+            elapsed = time.perf_counter() - start
+
+    assert report.query_count == total, (
+        f"gateway bench: {report.query_count}/{total} queries served"
+    )
+
+    def counter(name: str) -> float:
+        family = metrics.get(name)
+        return family.labels(role="gateway").value if family is not None else 0.0
+
+    def journal_counter(name: str) -> float:
+        series = metrics.as_dict().get(name, {})
+        return float(sum(series.values()))
+
+    row = {
+        "coalesce": coalesce,
+        "submitters": submitters,
+        "submits": total,
+        "elapsed_seconds": elapsed,
+        "throughput_qps": total / elapsed,
+        "coalesced_batches": counter("repro_net_coalesced_batches_total"),
+        "coalesced_submits": counter("repro_net_coalesced_submits_total"),
+        "graph_uploads": counter("repro_net_graph_uploads_total"),
+        "payloads_deduped": counter("repro_net_payloads_deduped_total"),
+        "journal_group_commits": journal_counter("repro_journal_group_commits_total"),
+        "journal_group_records": journal_counter("repro_journal_group_records_total"),
+    }
+    return row, report.signature()
+
+
+def run_network_bench(coalesce: str = "both") -> dict:
     """TCP serving smoke: local vs tcp under the same seeded open-loop load.
 
     Drives identical traffic through a ``transport="local"`` and a
@@ -520,6 +614,13 @@ def run_network_bench() -> dict:
     ``ClusterReport.signature()`` values match byte for byte — then reports
     throughput and latency percentiles per transport so the wire's overhead
     is a tracked number, not a guess.
+
+    The fast-path additions are gated here too: tcp/local ratios must beat
+    the PR 6 baseline (full mode: tcp >= 0.85x local throughput and an
+    rtt_p99 ratio at least 2x better than PR 6's 2.24x; quick mode keeps the
+    same shape with slack for CI scheduling noise), and the gateway rows
+    (``coalesce`` = ``"on"``/``"off"``/``"both"``) must produce byte-identical
+    drained signatures whether submits coalesced or admitted one by one.
     """
     from repro.cluster import ClusterCoordinator, OpenLoopLoadGenerator
     from repro.graphs.generators import random_regular_expander
@@ -576,10 +677,61 @@ def run_network_bench() -> dict:
         f"{len(signatures['local'])} dispatch windows ✓",
         flush=True,
     )
+
+    quick = _quick()
+    qps_ratio = transports["tcp"]["throughput_qps"] / transports["local"]["throughput_qps"]
+    rtt_ratio = transports["tcp"]["rtt_p99_seconds"] / transports["local"]["rtt_p99_seconds"]
+    # Full mode holds the acceptance bar exactly; quick runs are tiny (tens
+    # of batches) so the same gates get headroom for scheduler noise.
+    min_qps_ratio = 0.60 if quick else 0.85
+    max_rtt_ratio = 1.50 if quick else PR6_TCP_RTT_RATIO / 2
+    assert qps_ratio >= min_qps_ratio, (
+        f"network bench: tcp at {qps_ratio:.2f}x local throughput "
+        f"(gate {min_qps_ratio:.2f}x; PR 6 baseline was {PR6_TCP_QPS_RATIO:.2f}x)"
+    )
+    assert rtt_ratio <= max_rtt_ratio, (
+        f"network bench: tcp rtt_p99 at {rtt_ratio:.2f}x local "
+        f"(gate {max_rtt_ratio:.2f}x; PR 6 baseline was {PR6_TCP_RTT_RATIO:.2f}x)"
+    )
+    print(
+        f"[harness] network bench: tcp/local qps {qps_ratio:.2f}x (PR 6: "
+        f"{PR6_TCP_QPS_RATIO:.2f}x), rtt_p99 {rtt_ratio:.2f}x (PR 6: "
+        f"{PR6_TCP_RTT_RATIO:.2f}x) ✓",
+        flush=True,
+    )
+
+    gateway_rows: dict[str, dict] = {}
+    gateway_signatures: dict[str, str] = {}
+    modes = {"both": ("on", "off"), "on": ("on",), "off": ("off",)}[coalesce]
+    for mode in modes:
+        print(f"[harness] network bench: gateway coalesce {mode} ...", flush=True)
+        row, signature = _gateway_coalesce_row(graphs, plan, coalesce=mode == "on", quick=quick)
+        gateway_rows[f"coalesce_{mode}"] = row
+        gateway_signatures[mode] = signature
+        print(
+            f"[harness] network bench gateway coalesce {mode}: "
+            f"{row['submits']} submits in {row['elapsed_seconds']:.3f}s "
+            f"({row['throughput_qps']:.1f} qps, "
+            f"{row['coalesced_batches']:.0f} coalesced windows)",
+            flush=True,
+        )
+    if {"on", "off"} <= set(gateway_signatures):
+        assert gateway_signatures["on"] == gateway_signatures["off"], (
+            "network bench: coalesced vs sequential ClusterReport signatures diverged"
+        )
+        print("[harness] network bench: coalesced/sequential signature parity ✓", flush=True)
+
     return {
-        "meta": {"quick": _quick(), "rate": rate, "duration": duration, "shards": 2},
+        "meta": {"quick": quick, "rate": rate, "duration": duration, "shards": 2},
         "signature_windows": len(signatures["local"]),
         "transports": transports,
+        "ratios": {
+            "tcp_vs_local_qps": qps_ratio,
+            "tcp_vs_local_rtt_p99": rtt_ratio,
+            "pr6_tcp_vs_local_qps": PR6_TCP_QPS_RATIO,
+            "pr6_tcp_vs_local_rtt_p99": PR6_TCP_RTT_RATIO,
+        },
+        "gateway": gateway_rows,
     }
 
 
@@ -726,6 +878,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the local-vs-tcp serving smoke (always on with --quick)",
     )
+    parser.add_argument(
+        "--coalesce",
+        choices=("on", "off", "both"),
+        default="both",
+        help="which gateway coalescing rows the network bench measures",
+    )
     parser.add_argument("--output", type=Path, default=SUITE_PATH)
     parser.add_argument("--network-output", type=Path, default=NETWORK_PATH)
     parser.add_argument("--shm-output", type=Path, default=SHM_PATH)
@@ -749,7 +907,7 @@ def main(argv: list[str] | None = None) -> int:
     # The tcp serving smoke rides along in quick (CI) mode: its zero-loss and
     # signature-parity assertions are the cheap canary for the network tier.
     if args.network or args.quick:
-        network = run_network_bench()
+        network = run_network_bench(coalesce=args.coalesce)
         args.network_output.write_text(json.dumps(network, indent=2) + "\n")
         print(f"[harness] wrote {args.network_output}")
 

@@ -35,6 +35,7 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
@@ -369,6 +370,10 @@ class ClusterCoordinator:
         self.workers: dict[str, ShardWorker] = {}
         self._next_shard_index = 0
         self._seen_fingerprints: set[str] = set()
+        # Bumped on every membership change (add/remove/fail/rejoin); the
+        # gateway watches it to invalidate fingerprint-negotiation caches
+        # whose entries may be pinned to a stale placement.
+        self.membership_version = 0
         # -- elasticity state: hot-key replication and failover accounting.
         self.replication_factor = replication_factor
         self.hot_key_threshold = hot_key_threshold
@@ -572,6 +577,7 @@ class ClusterCoordinator:
         self._migrate_warm(before)
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
         expected = 1.0 / len(self.ring) if before_count else 1.0
+        self.membership_version += 1
         if self.journal is not None:
             self.journal.record_membership()
         return RebalanceStats(total=len(seen), moved=moved, expected_fraction=expected)
@@ -598,6 +604,7 @@ class ClusterCoordinator:
         departing.close()
         self._requeue_items(stranded, reason="rebalance")
         moved = sum(1 for key in seen if self.ring.assign(key) != before.get(key))
+        self.membership_version += 1
         if self.journal is not None:
             self.journal.record_membership()
         return RebalanceStats(
@@ -699,6 +706,7 @@ class ClusterCoordinator:
             # dead-owner segments now instead of leaking them until exit.
             self._sweep_orphan_segments()
         requeued = self._requeue_items(list(in_flight) + stranded, reason="failover")
+        self.membership_version += 1
         if self.journal is not None:
             self.journal.record_membership()
         return requeued
@@ -985,6 +993,31 @@ class ClusterCoordinator:
         if self.journal is not None:
             self.journal.record_admit(key or "", decision, item)
         return decision
+
+    def submit_many(
+        self, calls: Sequence[Mapping[str, Any]]
+    ) -> list[AdmissionDecision | Exception]:
+        """Admit a coalesced batch of submissions in one coordinator pass.
+
+        Each element of ``calls`` is a kwargs mapping for :meth:`submit`,
+        admitted in order.  With a journal attached, every admit record in
+        the batch reaches disk as **one group commit** (one buffered write,
+        one fsync) instead of one flush per submission — the gateway's
+        micro-batch window rides on this.  Outcomes are returned only after
+        the group is flushed, so the caller may acknowledge all of them the
+        moment this returns; a crash mid-group loses only un-acked
+        admissions.  A submission that raises is captured as the exception
+        instance in its slot rather than aborting the rest of the batch.
+        """
+        outcomes: list[AdmissionDecision | Exception] = []
+        group = self.journal.group() if self.journal is not None else nullcontext()
+        with group:
+            for kwargs in calls:
+                try:
+                    outcomes.append(self.submit(**kwargs))
+                except Exception as error:  # noqa: BLE001 - per-slot capture
+                    outcomes.append(error)
+        return outcomes
 
     def queue_depths(self) -> dict[str, int]:
         return {shard_id: self.admission.depth(shard_id) for shard_id in self.workers}

@@ -27,8 +27,9 @@ import struct
 import threading
 import zlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.metrics import MetricsRegistry, default_registry
 from repro.wire.messages import (
@@ -113,6 +114,14 @@ class WriteAheadJournal:
         self._m_checkpoints = self.metrics.counter(
             "repro_journal_checkpoints_total", "Checkpoint records written."
         )
+        self._m_groups = self.metrics.counter(
+            "repro_journal_group_commits_total",
+            "Record groups flushed as a single buffered write (one fsync each).",
+        )
+        self._m_group_records = self.metrics.counter(
+            "repro_journal_group_records_total",
+            "Records that reached disk inside a group commit.",
+        )
         existing = self.segments()
         self._segment_index = _segment_index(existing[-1]) if existing else 0
         self._active_path = self.directory / (
@@ -140,6 +149,11 @@ class WriteAheadJournal:
 
     # -- appending ---------------------------------------------------------------
 
+    @staticmethod
+    def _frame(message: WireMessage) -> bytes:
+        payload = message.to_wire()
+        return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
     def append(self, message: WireMessage) -> int:
         """Durably append one record; returns its encoded size in bytes.
 
@@ -147,8 +161,7 @@ class WriteAheadJournal:
         returns — the write-ahead contract is that the caller may act on the
         outcome only once ``append`` has.
         """
-        payload = message.to_wire()
-        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        frame = self._frame(message)
         with self._lock:
             if self._closed:
                 raise ValueError("journal is closed")
@@ -161,6 +174,37 @@ class WriteAheadJournal:
             if self._file.tell() >= self.segment_bytes:
                 self._rotate()
         return len(frame)
+
+    def append_group(self, messages: Sequence[WireMessage]) -> int:
+        """Durably append many records as **one** buffered write and flush.
+
+        Group commit: every record is framed and checksummed exactly as
+        :meth:`append` frames it (replay cannot tell the difference), but the
+        group pays for one ``write``/``flush``/``fsync`` instead of one per
+        record.  A crash mid-group truncates at a record boundary inside the
+        group — the intact prefix replays, the torn suffix is exactly the
+        work whose outcome was never acknowledged.  Returns the group's total
+        encoded size in bytes.
+        """
+        frames = [self._frame(message) for message in messages]
+        if not frames:
+            return 0
+        blob = b"".join(frames)
+        with self._lock:
+            if self._closed:
+                raise ValueError("journal is closed")
+            self._file.write(blob)
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            for message in messages:
+                self._m_records.labels(kind=message.type).inc()
+            self._m_bytes.inc(len(blob))
+            self._m_groups.inc()
+            self._m_group_records.inc(len(frames))
+            if self._file.tell() >= self.segment_bytes:
+                self._rotate()
+        return len(blob)
 
     def checkpoint(self, message: WireMessage) -> None:
         """Write ``message`` as the first record of a fresh segment and prune.
@@ -306,6 +350,10 @@ class CoordinatorJournal:
         self._records_since_checkpoint = 0
         self._pending: "OrderedDict[str, WireShardQuery]" = OrderedDict()
         self._warm: "OrderedDict[str, WireShardQuery]" = OrderedDict()
+        self._group_owner: int | None = None
+        self._group_depth = 0
+        self._group_buffer: list[WireMessage] = []
+        self._group_checkpoint_due = False
 
     @property
     def directory(self) -> Path:
@@ -332,6 +380,62 @@ class CoordinatorJournal:
             self._warm = OrderedDict(warm)
 
     # -- recording ---------------------------------------------------------------
+
+    @contextmanager
+    def group(self) -> Iterator[None]:
+        """Group-commit window: buffer this thread's records into one flush.
+
+        Inside the ``with`` block, ``record_admit``/``record_complete`` calls
+        **from the owning thread** accumulate in memory; on exit they reach
+        disk via one :meth:`WriteAheadJournal.append_group` (one buffered
+        write, one flush, one optional fsync).  The write-ahead contract
+        holds as long as the caller acts on the grouped outcomes only after
+        the block exits — which is exactly how the coordinator's batched
+        admission uses it: decisions are returned (and replies sent) only
+        once the group is flushed, so a crash mid-group loses nothing that
+        was acknowledged.
+
+        Records from *other* threads (a dispatch drain completing earlier
+        work while an admission group is open) bypass the buffer and append
+        directly — their callers expect per-record durability, and their
+        admits were flushed by an earlier group.  Checkpoints that fall due
+        inside the window are deferred to the flush, keeping the window at
+        one fsync.  Re-entrant use by the owner nests into one group; a
+        competing ``group()`` from a second thread degrades to a no-op
+        passthrough rather than interleaving buffers.
+        """
+        ident = threading.get_ident()
+        with self._lock:
+            if self._group_depth > 0 and self._group_owner != ident:
+                grouped = False
+            else:
+                grouped = True
+                self._group_owner = ident
+                self._group_depth += 1
+        if not grouped:
+            yield
+            return
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._group_depth -= 1
+                if self._group_depth == 0:
+                    buffer, self._group_buffer = self._group_buffer, []
+                    self._group_owner = None
+                    checkpoint_due = self._group_checkpoint_due
+                    self._group_checkpoint_due = False
+                    if buffer:
+                        self.wal.append_group(buffer)
+                    if checkpoint_due:
+                        self.checkpoint_now()
+
+    def _append(self, record: WireMessage) -> None:
+        """Append one record, buffering it when the caller owns an open group."""
+        if self._group_depth > 0 and self._group_owner == threading.get_ident():
+            self._group_buffer.append(record)
+        else:
+            self.wal.append(record)
 
     def record_admit(
         self, key: str, decision: "AdmissionDecision", item: "ShardQuery"
@@ -360,7 +464,7 @@ class CoordinatorJournal:
                 self._pending[key] = wire_query
             for shed_key in shed_keys:
                 self._pending.pop(shed_key, None)
-            self.wal.append(record)
+            self._append(record)
             self._maybe_checkpoint()
 
     def record_complete(self, item: "ShardQuery", shard_id: str) -> None:
@@ -375,7 +479,7 @@ class CoordinatorJournal:
                 exemplar = WireShardQuery.from_shard_query(item)
             self._warm[item.fingerprint] = exemplar
             self._warm.move_to_end(item.fingerprint)
-            self.wal.append(record)
+            self._append(record)
             self._maybe_checkpoint()
 
     def record_membership(self) -> None:
@@ -390,7 +494,10 @@ class CoordinatorJournal:
     def _maybe_checkpoint(self) -> None:
         self._records_since_checkpoint += 1
         if self._records_since_checkpoint >= self.checkpoint_interval:
-            self.checkpoint_now()
+            if self._group_depth > 0:
+                self._group_checkpoint_due = True
+            else:
+                self.checkpoint_now()
 
     # -- checkpoints -------------------------------------------------------------
 
@@ -427,6 +534,12 @@ class CoordinatorJournal:
         with self._lock:
             if self._coordinator is None:
                 return  # nothing to snapshot yet; attach() writes the baseline
+            if self._group_depth > 0 and self._group_owner == threading.get_ident():
+                # Flush the open group's buffer first: a checkpoint must never
+                # precede records whose effects it already summarizes.
+                if self._group_buffer:
+                    buffer, self._group_buffer = self._group_buffer, []
+                    self.wal.append_group(buffer)
             self.wal.checkpoint(self.build_checkpoint())
             self._records_since_checkpoint = 0
 

@@ -36,6 +36,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "NetInstruments",
     "pack_frame",
+    "pack_frame_into",
     "read_frame",
     "write_frame",
     "recv_frame",
@@ -73,6 +74,31 @@ class NetInstruments:
             "Requests that hit their deadline before being served.",
             labels=("role", "phase"),
         )
+        self._coalesced = metrics.counter(
+            "repro_net_coalesced_batches_total",
+            "Cross-connection micro-batches admitted in one coordinator pass.",
+            labels=("role",),
+        )
+        self._coalesced_submits = metrics.counter(
+            "repro_net_coalesced_submits_total",
+            "Submissions that rode inside a coalesced micro-batch.",
+            labels=("role",),
+        )
+        self._deduped = metrics.counter(
+            "repro_net_payloads_deduped_total",
+            "Graph payloads elided from the wire by fingerprint negotiation.",
+            labels=("role",),
+        )
+        self._uploads = metrics.counter(
+            "repro_net_graph_uploads_total",
+            "Full graph payloads shipped over the wire (first sight or re-upload).",
+            labels=("role",),
+        )
+        self._need_graph = metrics.counter(
+            "repro_net_need_graph_total",
+            "need-graph round trips (a fingerprint missed the peer's cache).",
+            labels=("role",),
+        )
         self._open = 0
 
     def frame_sent(self, nbytes: int) -> None:
@@ -94,6 +120,19 @@ class NetInstruments:
     def deadline_expired(self, phase: str) -> None:
         self._deadlines.labels(role=self.role, phase=phase).inc()
 
+    def coalesced_batch(self, size: int) -> None:
+        self._coalesced.labels(role=self.role).inc()
+        self._coalesced_submits.labels(role=self.role).inc(size)
+
+    def payload_deduped(self) -> None:
+        self._deduped.labels(role=self.role).inc()
+
+    def graph_uploaded(self, count: int = 1) -> None:
+        self._uploads.labels(role=self.role).inc(count)
+
+    def need_graph(self) -> None:
+        self._need_graph.labels(role=self.role).inc()
+
 
 def pack_frame(message: WireMessage, codec: int | None = None) -> bytes:
     """One message as a complete frame (header + codec byte + payload)."""
@@ -101,6 +140,26 @@ def pack_frame(message: WireMessage, codec: int | None = None) -> bytes:
     if len(data) > MAX_FRAME_BYTES:
         raise WireEncodeError(f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES")
     return len(data).to_bytes(_LENGTH_BYTES, "big") + data
+
+
+def pack_frame_into(
+    buffer: bytearray, message: WireMessage, codec: int | None = None
+) -> memoryview:
+    """Encode one frame into a caller-owned reusable buffer.
+
+    Clears ``buffer``, encodes the frame into it, and returns a memoryview of
+    the encoded bytes — a hot sender (the coordinator-side shard handle ships
+    one frame per queue slice) reuses one buffer across calls instead of
+    allocating a fresh ``bytes`` per frame.  The view is valid until the next
+    call with the same buffer.
+    """
+    data = message.to_wire(codec)
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireEncodeError(f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES")
+    buffer.clear()
+    buffer += len(data).to_bytes(_LENGTH_BYTES, "big")
+    buffer += data
+    return memoryview(buffer)
 
 
 def _check_length(length: int) -> None:

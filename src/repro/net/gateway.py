@@ -10,6 +10,22 @@ internals) and speaks the frame protocol of :mod:`repro.net.frames`:
   reader stops being written to (TCP does the rest).  Across connections a
   global semaphore bounds in-flight requests, so a connection storm queues at
   the door instead of overwhelming the admission tier.
+* **Coalescing.** Submits from *all* connections feed one admission queue
+  drained by a single-writer loop.  The loop closes an adaptive micro-batch
+  window — on ``max_batch`` submits, on ``max_delay_ms`` elapsed, or
+  immediately when the queue runs dry with at most one connection active (a
+  lone sequential client never waits) — and admits the whole window in one
+  coordinator pass (:meth:`~repro.cluster.ClusterCoordinator.submit_many`,
+  which group-commits the window's journal records in one fsync).  Replies
+  are split back per connection afterwards.  Admission order is queue
+  arrival order, so placement stays a pure function of frame arrival order
+  exactly as it was under the old per-submit lock.
+* **Fingerprint negotiation.** A client that has already uploaded a graph
+  may submit with only its fingerprint; the gateway resolves it from an
+  LRU-bounded cache and answers ``NeedGraphReply`` on a miss (eviction or a
+  membership change, which invalidates the cache) so the client re-sends the
+  full payload once.  ``repro_net_payloads_deduped_total`` counts the elided
+  uploads.
 * **Deadlines.** ``SubmitRequest.deadline`` / ``DispatchRequest.deadline``
   are *relative* second budgets (client clocks are never trusted).  An
   expired submit is refused with an ``ErrorReply(code="deadline")``; a
@@ -21,31 +37,36 @@ internals) and speaks the frame protocol of :mod:`repro.net.frames`:
   completes* — the client renders results shard by shard instead of waiting
   for the stragglers — then one :class:`~repro.wire.messages.DispatchDoneReply`.
 
-Submission order is serialised by an internal lock, so one client driving the
-gateway sees exactly the placement/admission sequence the in-process
-coordinator gives — that is what makes ``transport="local"`` and
-``transport="tcp"`` signature-compatible end to end.
+Dispatch drains and the admission loop serialise on one mutex only around
+their coordinator calls, so a drain no longer blocks submits from *queueing*
+(they coalesce into the next window) and shard processing overlaps admission
+entirely.
 """
 
 from __future__ import annotations
 
 import asyncio
-import hashlib
-import json
 import os
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
 
 import networkx as nx
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.net import address as net_address
 from repro.net.frames import NetInstruments, read_frame, write_frame
+from repro.wire.codec import codec_name, negotiate_codec
 from repro.wire.messages import (
     DispatchDoneReply,
     DispatchRequest,
     DispatchShardReply,
     ErrorReply,
+    Hello,
+    HelloReply,
+    NeedGraphReply,
     Ping,
     Pong,
     Shutdown,
@@ -60,7 +81,29 @@ from repro.wire.messages import (
     WireMessage,
 )
 
-__all__ = ["ClusterGateway"]
+__all__ = ["ClusterGateway", "GATEWAY_FEATURES"]
+
+#: Capabilities a new gateway advertises in its hello reply.  ``need-graph``
+#: tells the client fingerprint-only submits are understood; a gateway
+#: without it (or one answering ``unsupported``) gets full payloads forever.
+GATEWAY_FEATURES = ("need-graph", "coalesce")
+
+
+@dataclass
+class _Ticket:
+    """One queued submit: the coordinator kwargs plus the reply future."""
+
+    kwargs: dict[str, Any]
+    future: asyncio.Future = field(repr=False)
+
+
+class _Connection:
+    """Per-connection negotiated state (codec today, features tomorrow)."""
+
+    __slots__ = ("codec",)
+
+    def __init__(self) -> None:
+        self.codec: int | None = None  # None = DEFAULT_CODEC (pre-hello traffic)
 
 
 class ClusterGateway:
@@ -73,6 +116,15 @@ class ClusterGateway:
         socket_path: listening path for the unix family.
         host: listening host for the inet family.
         max_inflight: global bound on concurrently served requests.
+        max_batch: close a coalescing window once this many submits are in it.
+        max_delay_ms: longest a window stays open waiting for company when
+            more than one connection is active; a lone connection's window
+            closes the moment its queue runs dry (zero added latency for
+            sequential traffic).
+        graph_cache_size: LRU capacity of the fingerprint-negotiation cache
+            (distinct graphs resolvable without a payload); evicting an entry
+            costs the next fingerprint-only submit one ``NeedGraphReply``
+            round trip.
         metrics: registry for the ``repro_net_*{role="gateway"}`` series
             (default: the coordinator's registry).
 
@@ -89,6 +141,9 @@ class ClusterGateway:
         socket_path: str | None = None,
         host: str = "127.0.0.1",
         max_inflight: int = 64,
+        max_batch: int = 16,
+        max_delay_ms: float = 2.0,
+        graph_cache_size: int = 128,
         metrics=None,
     ) -> None:
         if family not in net_address.FAMILIES:
@@ -97,16 +152,30 @@ class ClusterGateway:
             raise ValueError("a unix gateway needs socket_path")
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if graph_cache_size < 1:
+            raise ValueError("graph_cache_size must be at least 1")
         self.coordinator = coordinator
         self._family = family
         self._socket_path = socket_path
         self._host = host
         self._max_inflight = max_inflight
+        self._max_batch = max_batch
+        self._max_delay = max(0.0, max_delay_ms) / 1000.0
+        self._graph_cache_size = graph_cache_size
         self._instruments = NetInstruments(
             metrics if metrics is not None else coordinator.metrics, role="gateway"
         )
         self.address: tuple = ()
-        self._graph_cache: dict[str, nx.Graph] = {}
+        # fingerprint -> reconstructed graph, LRU by last use.  One cache
+        # serves two duties: per-content graph-object memoization (the
+        # coordinator's per-object fingerprint cache needs stable objects)
+        # and fingerprint negotiation (a hit is a payload the client may
+        # elide).  A coordinator membership change clears it wholesale.
+        self._graph_cache: "OrderedDict[str, nx.Graph]" = OrderedDict()
+        self._membership_seen = coordinator.membership_version
+        self._active_connections = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._closed = False
@@ -132,11 +201,15 @@ class ClusterGateway:
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        # Submissions (and queue drains) are serialised: placement and
-        # admission order is then a pure function of frame arrival order,
-        # exactly like call order on the in-process coordinator.
-        self._submit_lock = asyncio.Lock()
+        # All submits flow through one queue into one single-writer admission
+        # loop: placement and admission order is then a pure function of
+        # queue (= frame) arrival order, exactly like call order on the
+        # in-process coordinator.  The mutex serialises the admission loop
+        # against dispatch drains — the only two coordinator writers.
+        self._admit_queue: asyncio.Queue[_Ticket] = asyncio.Queue()
+        self._admit_mutex = asyncio.Lock()
         self._inflight = asyncio.Semaphore(self._max_inflight)
+        admitter = asyncio.create_task(self._admission_loop())
         if self._family == "unix":
             server = await asyncio.start_unix_server(self._handle, path=self._socket_path)
             self.address = ("unix", self._socket_path)
@@ -144,11 +217,20 @@ class ClusterGateway:
             server = await asyncio.start_server(self._handle, host=self._host, port=0)
             self.address = ("inet", self._host, server.sockets[0].getsockname()[1])
         self._ready.set()
-        async with server:
-            await self._stop.wait()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            admitter.cancel()
+            try:
+                await admitter
+            except asyncio.CancelledError:
+                pass
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._instruments.connection_opened()
+        self._active_connections += 1
+        conn = _Connection()
         try:
             while True:
                 message = await read_frame(reader, self._instruments)
@@ -156,7 +238,7 @@ class ClusterGateway:
                     break
                 async with self._inflight:
                     try:
-                        done = await self._answer(message, writer)
+                        done = await self._answer(message, writer, conn)
                     except Exception as error:  # noqa: BLE001 - reported to the peer
                         await self._send(
                             writer,
@@ -164,11 +246,13 @@ class ClusterGateway:
                                 code="gateway-error",
                                 message=f"{type(error).__name__}: {error}",
                             ),
+                            conn,
                         )
                         done = False
                 if done:
                     break
         finally:
+            self._active_connections -= 1
             self._instruments.connection_closed()
             writer.close()
             # CancelledError included: loop shutdown cancels handler tasks
@@ -178,21 +262,35 @@ class ClusterGateway:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _send(self, writer: asyncio.StreamWriter, message: WireMessage) -> None:
-        await write_frame(writer, message, instruments=self._instruments)
+    async def _send(
+        self, writer: asyncio.StreamWriter, message: WireMessage, conn: _Connection
+    ) -> None:
+        await write_frame(writer, message, codec=conn.codec, instruments=self._instruments)
 
-    async def _answer(self, message: WireMessage, writer: asyncio.StreamWriter) -> bool:
+    async def _answer(
+        self, message: WireMessage, writer: asyncio.StreamWriter, conn: _Connection
+    ) -> bool:
         """Serve one request; returns True when the connection should close."""
         if isinstance(message, SubmitRequest):
-            await self._send(writer, await self._submit(message))
+            await self._send(writer, await self._submit(message), conn)
         elif isinstance(message, DispatchRequest):
-            await self._dispatch(message, writer)
+            await self._dispatch(message, writer, conn)
         elif isinstance(message, StatsRequest):
-            await self._send(writer, self._stats())
+            await self._send(writer, self._stats(), conn)
+        elif isinstance(message, Hello):
+            conn.codec = negotiate_codec(message.codecs)
+            await self._send(
+                writer,
+                HelloReply(
+                    codec=codec_name(conn.codec),
+                    features=GATEWAY_FEATURES,
+                ),
+                conn,
+            )
         elif isinstance(message, Ping):
-            await self._send(writer, Pong())
+            await self._send(writer, Pong(), conn)
         elif isinstance(message, Shutdown):
-            await self._send(writer, ShutdownAck())
+            await self._send(writer, ShutdownAck(), conn)
             if self._stop is not None:
                 self._stop.set()
             return True
@@ -200,47 +298,118 @@ class ClusterGateway:
             await self._send(
                 writer,
                 ErrorReply(code="unsupported", message=f"gateway cannot serve {message.type!r}"),
+                conn,
             )
         return False
+
+    # -- the admission loop ----------------------------------------------------
+
+    async def _admission_loop(self) -> None:
+        """Single writer: coalesce queued submits and admit them in one pass."""
+        while True:
+            batch = [await self._admit_queue.get()]
+            window_closes = self._loop.time() + self._max_delay
+            while len(batch) < self._max_batch:
+                try:
+                    batch.append(self._admit_queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                # Queue dry: wait for company only when another connection
+                # could plausibly provide it within the window — a lone
+                # sequential client sees zero added latency, so the local
+                # and tcp transports stay latency- and order-equivalent.
+                remaining = window_closes - self._loop.time()
+                if self._active_connections <= 1 or remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._admit_queue.get(), timeout=remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            async with self._admit_mutex:
+                outcomes = await asyncio.to_thread(
+                    self.coordinator.submit_many, [ticket.kwargs for ticket in batch]
+                )
+            if len(batch) > 1:
+                self._instruments.coalesced_batch(len(batch))
+            for ticket, outcome in zip(batch, outcomes):
+                if not ticket.future.done():  # the submitter may have gone away
+                    ticket.future.set_result(outcome)
 
     # -- request handlers ------------------------------------------------------
 
     def _graph_for(self, wire_graph: WireGraph) -> nx.Graph:
-        """Reconstruct (and memoize) the submitted graph.
+        """Reconstruct (and LRU-memoize) an uploaded graph by fingerprint.
 
         Clients replay the same graphs query after query; caching on the
-        canonical payload keeps one graph *object* per distinct graph, so the
-        coordinator's per-object fingerprint memoization works exactly as it
-        does in process.
+        canonical fingerprint keeps one graph *object* per distinct graph, so
+        the coordinator's per-object fingerprint memoization works exactly as
+        it does in process — and the same entry answers the next
+        fingerprint-only submit without a payload.
         """
-        payload = wire_graph.to_payload()
-        payload.pop("v", None)
-        key = hashlib.sha256(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
-        ).hexdigest()
+        key = wire_graph.fingerprint()
         graph = self._graph_cache.get(key)
         if graph is None:
             graph = wire_graph.to_graph()
             self._graph_cache[key] = graph
+            while len(self._graph_cache) > self._graph_cache_size:
+                self._graph_cache.popitem(last=False)
+        self._graph_cache.move_to_end(key)
         return graph
+
+    def _check_membership(self) -> None:
+        """Drop every negotiated fingerprint when cluster membership changed.
+
+        A membership change rebinds placements; entries negotiated against
+        the old ring must not silently satisfy post-change submits, so the
+        client re-uploads (one ``NeedGraphReply`` round trip per live graph).
+        """
+        version = self.coordinator.membership_version
+        if version != self._membership_seen:
+            self._membership_seen = version
+            self._graph_cache.clear()
 
     async def _submit(self, request: SubmitRequest) -> WireMessage:
         if request.deadline is not None and request.deadline <= 0:
             self._instruments.deadline_expired("submit")
             return ErrorReply(code="deadline", message="submit deadline expired")
-        graph = self._graph_for(request.graph)
-        requests = tuple(entry.to_request() for entry in request.requests)
-        async with self._submit_lock:
-            decision = await asyncio.to_thread(
-                self.coordinator.submit,
-                graph,
-                requests,
-                load=request.load,
-                backend=request.backend,
-                backend_params=request.backend_params,
-                workload=request.workload,
-                idempotency_key=request.idempotency_key,
+        self._check_membership()
+        if request.graph is not None:
+            graph = self._graph_for(request.graph)
+            self._instruments.graph_uploaded()
+        elif request.graph_fingerprint:
+            graph = self._graph_cache.get(request.graph_fingerprint)
+            if graph is None:
+                # Never seen (or evicted, or invalidated): one round trip
+                # buys the full payload; the client retries with it.
+                self._instruments.need_graph()
+                return NeedGraphReply(fingerprints=(request.graph_fingerprint,))
+            self._graph_cache.move_to_end(request.graph_fingerprint)
+            self._instruments.payload_deduped()
+        else:
+            return ErrorReply(
+                code="bad-request", message="submit carries neither graph nor fingerprint"
             )
+        future: asyncio.Future = self._loop.create_future()
+        await self._admit_queue.put(
+            _Ticket(
+                kwargs=dict(
+                    graph=graph,
+                    requests=tuple(entry.to_request() for entry in request.requests),
+                    load=request.load,
+                    backend=request.backend,
+                    backend_params=request.backend_params,
+                    workload=request.workload,
+                    idempotency_key=request.idempotency_key,
+                ),
+                future=future,
+            )
+        )
+        decision = await future
+        if isinstance(decision, Exception):
+            raise decision
         return SubmitReply(
             shard_id=decision.shard_id,
             accepted=decision.accepted,
@@ -248,10 +417,14 @@ class ClusterGateway:
             duplicate=decision.duplicate,
         )
 
-    async def _dispatch(self, request: DispatchRequest, writer: asyncio.StreamWriter) -> None:
+    async def _dispatch(
+        self, request: DispatchRequest, writer: asyncio.StreamWriter, conn: _Connection
+    ) -> None:
         started = time.perf_counter()
         expires_at = started + request.deadline if request.deadline is not None else None
-        async with self._submit_lock:
+        # The mutex covers only the drain: queued submits keep coalescing
+        # while shards grind through the drained slices below.
+        async with self._admit_mutex:
             busy = await asyncio.to_thread(self.coordinator.drain_slices)
         expired: list[str] = []
         running: set[asyncio.Task] = set()
@@ -283,6 +456,7 @@ class ClusterGateway:
                     DispatchShardReply(
                         shard_id=shard_id, report=WireBatchReport.from_report(report)
                     ),
+                    conn,
                 )
         merged = self.coordinator.merge_reports(
             shard_reports, dispatch_seconds=time.perf_counter() - started
@@ -294,6 +468,7 @@ class ClusterGateway:
                 admission=WireAdmissionStats.from_stats(merged.admission),
                 expired=tuple(expired),
             ),
+            conn,
         )
 
     def _stats(self) -> StatsReply:

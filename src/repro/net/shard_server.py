@@ -34,15 +34,26 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+import networkx as nx
 
 from repro.cluster.worker import ShardQuery, ShardWorker, WarmHandoff
 from repro.hierarchy.builder import HierarchyParameters
 from repro.metrics import MetricsRegistry, default_registry
 from repro.net import address as net_address
-from repro.net.frames import NetInstruments, read_frame, recv_frame, send_frame, write_frame
+from repro.net.frames import (
+    NetInstruments,
+    pack_frame_into,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
 from repro.planner import ExecutionPlan
 from repro.service.service import BatchReport
+from repro.wire.codec import codec_id, codec_name, negotiate_codec, supported_codec_names
 from repro.wire.messages import (
     ArtifactAdoptReply,
     ArtifactAdoptRequest,
@@ -53,6 +64,9 @@ from repro.wire.messages import (
     FaultInjectRequest,
     HeartbeatReply,
     HeartbeatRequest,
+    Hello,
+    HelloReply,
+    NeedGraphReply,
     Ping,
     Pong,
     ShardProcessReply,
@@ -62,7 +76,9 @@ from repro.wire.messages import (
     Shutdown,
     ShutdownAck,
     WireBatchReport,
+    WireGraph,
     WireMessage,
+    WireShardQuery,
 )
 
 __all__ = [
@@ -105,6 +121,10 @@ class ShardServerConfig:
     cache_capacity: int = 8
     default_plan: ExecutionPlan | None = None
     backend_params: dict = field(default_factory=dict)
+    #: LRU capacity of the server's decoded-graph cache (fingerprint → graph).
+    #: Evicting a ref the coordinator believes acknowledged costs one
+    #: need-graph round trip; it never costs correctness.
+    graph_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.family not in net_address.FAMILIES:
@@ -134,11 +154,51 @@ async def serve_shard(config: ShardServerConfig, ready=None) -> None:
     # One slice at a time: the worker's service batches internally, and
     # serialising slices keeps per-shard signatures deterministic.
     process_lock = asyncio.Lock()
+    # fingerprint -> decoded graph, LRU.  Queries that ship only a
+    # ``graph_ref`` resolve here; a request's ``graphs`` table feeds it.
+    # Shared across connections — the cache is content-addressed, so any
+    # coordinator's upload serves every connection.
+    graph_cache: "OrderedDict[str, nx.Graph]" = OrderedDict()
+
+    def _resolve_queries(
+        message: ShardProcessRequest,
+    ) -> tuple[list[ShardQuery], tuple[str, ...]]:
+        """Decode a slice against the graph cache; returns (queries, missing refs)."""
+        for ref, wire_graph in message.graphs.items():
+            if ref not in graph_cache:
+                graph_cache[ref] = wire_graph.to_graph()
+            graph_cache.move_to_end(ref)
+        while len(graph_cache) > config.graph_cache_size:
+            graph_cache.popitem(last=False)
+        missing = tuple(
+            dict.fromkeys(
+                query.graph_ref
+                for query in message.queries
+                if query.graph is None and query.graph_ref not in graph_cache
+            )
+        )
+        if missing:
+            return [], missing
+        queries: list[ShardQuery] = []
+        for query in message.queries:
+            if query.graph is None:
+                graph_cache.move_to_end(query.graph_ref)
+                queries.append(query.to_shard_query(graph=graph_cache[query.graph_ref]))
+                instruments.payload_deduped()
+            else:
+                queries.append(query.to_shard_query())
+        return queries, ()
 
     async def reply_for(message: WireMessage) -> WireMessage:
         if isinstance(message, ShardProcessRequest):
+            queries, missing = _resolve_queries(message)
+            if missing:
+                # Cache miss (restart or eviction): ask for the payloads
+                # instead of failing the slice — the sender retries once.
+                instruments.need_graph()
+                return NeedGraphReply(fingerprints=missing)
             async with process_lock:
-                report = await asyncio.to_thread(worker.process, message.to_queries())
+                report = await asyncio.to_thread(worker.process, queries)
             return ShardProcessReply(report=WireBatchReport.from_report(report))
         if isinstance(message, ShardStatsRequest):
             return ShardStatsReply(row=dict(worker.as_row()))
@@ -175,18 +235,25 @@ async def serve_shard(config: ShardServerConfig, ready=None) -> None:
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         instruments.connection_opened()
+        codec: int | None = None  # negotiated per connection by the hello frame
         try:
             while True:
                 message = await read_frame(reader, instruments)
                 if message is None:
                     break
-                try:
-                    reply = await reply_for(message)
-                except Exception as error:  # noqa: BLE001 - reported to the peer
-                    reply = ErrorReply(
-                        code="shard-error", message=f"{type(error).__name__}: {error}"
+                if isinstance(message, Hello):
+                    codec = negotiate_codec(message.codecs)
+                    reply: WireMessage = HelloReply(
+                        codec=codec_name(codec), features=("need-graph",)
                     )
-                await write_frame(writer, reply, instruments=instruments)
+                else:
+                    try:
+                        reply = await reply_for(message)
+                    except Exception as error:  # noqa: BLE001 - reported to the peer
+                        reply = ErrorReply(
+                            code="shard-error", message=f"{type(error).__name__}: {error}"
+                        )
+                await write_frame(writer, reply, codec=codec, instruments=instruments)
                 if isinstance(reply, ShutdownAck):
                     stop.set()
                     break
@@ -247,12 +314,43 @@ class RemoteShard:
         self._sock = None
         self._closed = False
         self._partitioned = False
+        # Negotiated per connection by the hello handshake.
+        self._codec: int | None = None
+        self._features: tuple = ()
+        # Graphs are replayed slice after slice; encode each object once …
+        self._wire_graphs: dict[int, tuple[object, WireGraph]] = {}
+        # … and ship each distinct graph's payload once: refs the server has
+        # acknowledged (by serving a slice that referenced them) are elided
+        # from later requests.  A server-side eviction or restart answers
+        # ``NeedGraphReply`` and the slice retries with the payloads.
+        self._acked: set[str] = set()
+        # One frame in flight at a time (the lock), so one encode buffer
+        # serves every send without a per-frame bytes allocation.
+        self._send_buffer = bytearray()
 
     def _connection(self):
         if self._sock is None:
             self._sock = net_address.connect(self.address, timeout=READY_TIMEOUT_SECONDS)
             self._instruments.connection_opened()
+            self._codec = None
+            self._features = ()
+            self._acked.clear()
+            send_frame(
+                self._sock,
+                Hello(codecs=supported_codec_names(), features=("need-graph",)),
+                instruments=self._instruments,
+            )
+            reply = recv_frame(self._sock, instruments=self._instruments)
+            if isinstance(reply, HelloReply):
+                self._codec = codec_id(reply.codec)
+                self._features = tuple(reply.features)
+            # An old server's ErrorReply leaves the JSON/full-payload defaults.
         return self._sock
+
+    def _send_locked(self, sock, message: WireMessage) -> None:
+        view = pack_frame_into(self._send_buffer, message, self._codec)
+        sock.sendall(view)
+        self._instruments.frame_sent(len(view))
 
     def _request(self, message: WireMessage) -> WireMessage:
         if self._closed:
@@ -261,7 +359,7 @@ class RemoteShard:
             raise ConnectionError(f"shard {self.shard_id} is partitioned from the coordinator")
         with self._lock:
             sock = self._connection()
-            send_frame(sock, message, instruments=self._instruments)
+            self._send_locked(sock, message)
             reply = recv_frame(sock, instruments=self._instruments)
         if reply is None:
             raise ConnectionError(f"shard {self.shard_id} closed the connection")
@@ -272,9 +370,61 @@ class RemoteShard:
     def ping(self) -> bool:
         return isinstance(self._request(Ping()), Pong)
 
+    def _encode_slice(
+        self, items: list[ShardQuery], force_refs: tuple[str, ...] = ()
+    ) -> ShardProcessRequest:
+        """One slice as a request: refs for every query, payloads only as needed.
+
+        Each distinct graph is shipped at most once per request (the
+        ``graphs`` table), and not at all once the server acknowledged the
+        ref; ``force_refs`` re-includes payloads a ``NeedGraphReply`` asked
+        for.
+        """
+        queries: list[WireShardQuery] = []
+        graphs: dict[str, WireGraph] = {}
+        elided = 0
+        for item in items:
+            cached = self._wire_graphs.get(id(item.graph))
+            if cached is None or cached[0] is not item.graph:
+                cached = (item.graph, WireGraph.from_graph(item.graph))
+                self._wire_graphs[id(item.graph)] = cached
+            wire_graph = cached[1]
+            ref = wire_graph.fingerprint()
+            queries.append(
+                WireShardQuery.from_shard_query(item, wire_graph=wire_graph, omit_graph=True)
+            )
+            if ref in graphs:
+                elided += 1
+            elif ref in self._acked and ref not in force_refs:
+                elided += 1
+            else:
+                graphs[ref] = wire_graph
+        if elided:
+            for _ in range(elided):
+                self._instruments.payload_deduped()
+        if graphs:
+            self._instruments.graph_uploaded(len(graphs))
+        return ShardProcessRequest(queries=tuple(queries), graphs=graphs)
+
     def process(self, items: list[ShardQuery]) -> BatchReport:
         """Serve one scatter slice remotely; same contract as ``ShardWorker.process``."""
-        reply = self._request(ShardProcessRequest.from_queries(items))
+        if "need-graph" not in self._features:
+            # Ensure the handshake ran at least once before deciding the
+            # server is too old for refs (the first request connects lazily).
+            with self._lock:
+                self._connection()
+        if "need-graph" in self._features:
+            request = self._encode_slice(items)
+            reply = self._request(request)
+            if isinstance(reply, NeedGraphReply):
+                # Evicted or restarted server: one retry carrying the payloads.
+                self._instruments.need_graph()
+                self._acked.difference_update(reply.fingerprints)
+                reply = self._request(self._encode_slice(items, force_refs=reply.fingerprints))
+            if isinstance(reply, ShardProcessReply):
+                self._acked.update(query.graph_ref for query in request.queries)
+        else:
+            reply = self._request(ShardProcessRequest.from_queries(items))
         if not isinstance(reply, ShardProcessReply):
             raise RuntimeError(f"shard {self.shard_id} sent {reply.type!r}, expected a report")
         return reply.report.to_report()

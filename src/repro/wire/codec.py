@@ -33,6 +33,9 @@ __all__ = [
     "WireDecodeError",
     "SchemaVersionError",
     "codec_name",
+    "codec_id",
+    "supported_codec_names",
+    "negotiate_codec",
     "encode_payload",
     "decode_payload",
 ]
@@ -78,6 +81,41 @@ class SchemaVersionError(WireDecodeError):
 def codec_name(codec: int) -> str:
     """Human-readable name of a codec id (for errors and reports)."""
     return _CODEC_NAMES.get(codec, f"unknown({codec})")
+
+
+def codec_id(name: str) -> int | None:
+    """The codec id for a negotiated name, or ``None`` for an unknown name."""
+    for known_id, known_name in _CODEC_NAMES.items():
+        if known_name == name:
+            return known_id
+    return None
+
+
+def supported_codec_names() -> tuple[str, ...]:
+    """The codec names this process can *encode and decode*, best first.
+
+    This is what a hello frame advertises: JSON is always supported, msgpack
+    only when the optional package imported.
+    """
+    if HAVE_MSGPACK:  # pragma: no cover - optional dep
+        return ("msgpack", "json")
+    return ("json",)
+
+
+def negotiate_codec(peer_names) -> int:
+    """Pick the connection codec from a peer's advertised codec names.
+
+    Chooses the best codec both sides support (msgpack when available on
+    both, otherwise JSON).  Unknown names are ignored, so a peer from the
+    future degrades to the common subset instead of failing the handshake.
+    """
+    ours = supported_codec_names()
+    for name in ours:
+        if name in tuple(peer_names):
+            chosen = codec_id(name)
+            if chosen is not None:
+                return chosen
+    return CODEC_JSON
 
 
 def encode_payload(payload: dict[str, Any], codec: int | None = None) -> tuple[int, bytes]:

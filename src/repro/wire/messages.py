@@ -44,6 +44,8 @@ canonical fingerprint as the original (the parity the placement layer needs).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Mapping, Sequence, TypeVar
 
@@ -80,6 +82,9 @@ __all__ = [
     "Pong",
     "Shutdown",
     "ShutdownAck",
+    "Hello",
+    "HelloReply",
+    "NeedGraphReply",
     "ErrorReply",
     "ShardProcessRequest",
     "ShardProcessReply",
@@ -257,6 +262,24 @@ class WireGraph(WireMessage):
             graph.add_edge(u, v, **data)
         return graph
 
+    def fingerprint(self) -> str:
+        """Content hash of the canonical payload (stable across peers).
+
+        Both ends of a connection compute this over the *encoded* graph, so a
+        client's fingerprint-only submit and the server's negotiation-cache
+        key agree byte for byte.  Memoized per instance — graphs are replayed
+        query after query and hashing a payload is not free.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = self.to_payload()
+            payload.pop("v", None)
+            cached = hashlib.sha256(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def to_payload(self) -> dict[str, Any]:
         payload = self._envelope()
         payload["nodes"] = list(self.nodes)
@@ -408,12 +431,20 @@ class WirePlan(WireMessage):
 @_register
 @dataclass(frozen=True)
 class WireShardQuery(WireMessage):
-    """The coordinator→shard hand-off (:class:`~repro.cluster.ShardQuery`) on the wire."""
+    """The coordinator→shard hand-off (:class:`~repro.cluster.ShardQuery`) on the wire.
+
+    ``graph`` may be ``None`` when the peer is expected to resolve the graph
+    from ``graph_ref`` (the :meth:`WireGraph.fingerprint` content hash) —
+    either a per-request graph table (:attr:`ShardProcessRequest.graphs`) or
+    the server's negotiation cache.  Journal records always carry the full
+    graph: replay must never depend on a peer's cache.
+    """
 
     type: ClassVar[str] = "shard-query"
 
     fingerprint: str = ""
-    graph: WireGraph = field(default_factory=WireGraph)
+    graph: WireGraph | None = field(default_factory=WireGraph)
+    graph_ref: str = ""
     requests: tuple = ()
     load: int | None = None
     backend: str = ""
@@ -424,10 +455,23 @@ class WireShardQuery(WireMessage):
     schema_version: int = WIRE_VERSION
 
     @classmethod
-    def from_shard_query(cls, query: ShardQuery) -> "WireShardQuery":
+    def from_shard_query(
+        cls,
+        query: ShardQuery,
+        wire_graph: WireGraph | None = None,
+        omit_graph: bool = False,
+    ) -> "WireShardQuery":
+        """Encode one hand-off; ``wire_graph`` reuses a pre-encoded graph.
+
+        With ``omit_graph`` the query ships only ``graph_ref`` — the sender
+        must guarantee the receiver can resolve it (graph table or a
+        previously acknowledged upload).
+        """
+        graph = wire_graph if wire_graph is not None else WireGraph.from_graph(query.graph)
         return cls(
             fingerprint=query.fingerprint,
-            graph=WireGraph.from_graph(query.graph),
+            graph=None if omit_graph else graph,
+            graph_ref=graph.fingerprint() if (omit_graph or wire_graph is not None) else "",
             requests=tuple(WireRequest.from_request(request) for request in query.requests),
             load=query.load,
             backend=query.backend,
@@ -437,10 +481,19 @@ class WireShardQuery(WireMessage):
             idempotency_key=query.idempotency_key,
         )
 
-    def to_shard_query(self) -> ShardQuery:
+    def to_shard_query(self, graph: nx.Graph | None = None) -> ShardQuery:
+        """Decode back to a live query; ``graph`` supplies a resolved graph
+        when the wire form shipped only ``graph_ref``."""
+        if graph is None:
+            if self.graph is None:
+                raise WireDecodeError(
+                    f"shard query {self.fingerprint!r} shipped no graph and no "
+                    f"resolved graph was supplied for ref {self.graph_ref!r}"
+                )
+            graph = self.graph.to_graph()
         return ShardQuery(
             fingerprint=self.fingerprint,
-            graph=self.graph.to_graph(),
+            graph=graph,
             requests=tuple(request.to_request() for request in self.requests),
             load=self.load,
             backend=self.backend,
@@ -453,7 +506,8 @@ class WireShardQuery(WireMessage):
     def to_payload(self) -> dict[str, Any]:
         payload = self._envelope()
         payload["fingerprint"] = self.fingerprint
-        payload["graph"] = self.graph.to_payload()
+        payload["graph"] = self.graph.to_payload() if self.graph is not None else None
+        payload["graph_ref"] = self.graph_ref
         payload["requests"] = [request.to_payload() for request in self.requests]
         payload["load"] = self.load
         payload["backend"] = self.backend
@@ -466,9 +520,11 @@ class WireShardQuery(WireMessage):
     @classmethod
     def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
         plan = payload.get("plan")
+        graph = payload.get("graph")
         return {
             "fingerprint": payload["fingerprint"],
-            "graph": WireGraph.from_payload(payload["graph"]),
+            "graph": WireGraph.from_payload(graph) if graph is not None else None,
+            "graph_ref": payload.get("graph_ref", ""),
             "requests": tuple(
                 WireRequest.from_payload(entry) for entry in payload.get("requests", [])
             ),
@@ -891,12 +947,103 @@ class ErrorReply(WireMessage):
 
 @_register
 @dataclass(frozen=True)
+class Hello(WireMessage):
+    """Peer → server, first frame on a connection: negotiate the wire codec.
+
+    ``codecs`` is the peer's supported codec names, best first; ``features``
+    advertises optional protocol extensions (e.g. ``"need-graph"`` for
+    fingerprint-negotiated payloads).  Rolling-upgrade tolerant both ways: a
+    server that predates the handshake answers ``ErrorReply(code="unsupported")``
+    and the peer falls back to per-message defaults; a peer that never says
+    hello is served with the defaults too.
+    """
+
+    type: ClassVar[str] = "hello"
+
+    codecs: tuple = ("json",)
+    features: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["codecs"] = list(self.codecs)
+        payload["features"] = list(self.features)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "codecs": tuple(payload.get("codecs") or ("json",)),
+            "features": tuple(payload.get("features") or ()),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class HelloReply(WireMessage):
+    """Server → peer: the codec chosen for this connection plus server features."""
+
+    type: ClassVar[str] = "hello-reply"
+
+    codec: str = "json"
+    features: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["codec"] = self.codec
+        payload["features"] = list(self.features)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "codec": payload.get("codec", "json"),
+            "features": tuple(payload.get("features") or ()),
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class NeedGraphReply(WireMessage):
+    """Server → peer: the named graph fingerprints are not cached here.
+
+    Answers a fingerprint-only submit (or a deduped shard slice) whose graph
+    the server cannot resolve — the peer re-sends with the full graph payload
+    attached.  Not an error: it is the one-time-upload half of the
+    fingerprint negotiation.
+    """
+
+    type: ClassVar[str] = "need-graph"
+
+    fingerprints: tuple = ()
+    schema_version: int = WIRE_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = self._envelope()
+        payload["fingerprints"] = list(self.fingerprints)
+        return payload
+
+    @classmethod
+    def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"fingerprints": tuple(payload.get("fingerprints") or ())}
+
+
+@_register
+@dataclass(frozen=True)
 class ShardProcessRequest(WireMessage):
-    """Coordinator → shard server: serve one scatter slice as a batch."""
+    """Coordinator → shard server: serve one scatter slice as a batch.
+
+    ``graphs`` maps a :meth:`WireGraph.fingerprint` content hash to its graph,
+    shipped **once per distinct graph** for the queries that omit theirs.  A
+    query whose ``graph_ref`` is in neither the table nor the server's cache
+    makes the server answer :class:`NeedGraphReply` instead of a report.
+    """
 
     type: ClassVar[str] = "shard-process"
 
     queries: tuple = ()
+    graphs: dict = field(default_factory=dict)
     schema_version: int = WIRE_VERSION
 
     @classmethod
@@ -909,6 +1056,7 @@ class ShardProcessRequest(WireMessage):
     def to_payload(self) -> dict[str, Any]:
         payload = self._envelope()
         payload["queries"] = [query.to_payload() for query in self.queries]
+        payload["graphs"] = {ref: graph.to_payload() for ref, graph in self.graphs.items()}
         return payload
 
     @classmethod
@@ -916,7 +1064,11 @@ class ShardProcessRequest(WireMessage):
         return {
             "queries": tuple(
                 WireShardQuery.from_payload(entry) for entry in payload.get("queries", [])
-            )
+            ),
+            "graphs": {
+                ref: WireGraph.from_payload(entry)
+                for ref, entry in (payload.get("graphs") or {}).items()
+            },
         }
 
 
@@ -968,11 +1120,18 @@ class SubmitRequest(WireMessage):
     ``deadline`` is a *relative* budget in seconds (client and server clocks
     never compare absolute times); the gateway stamps arrival and refuses the
     submit once the budget has lapsed.
+
+    ``graph`` may be ``None`` when ``graph_fingerprint`` names a graph the
+    gateway's negotiation cache has seen (the steady-state fast path: request
+    bytes are metadata only).  A fingerprint the gateway does not know is
+    answered with :class:`NeedGraphReply`, and the client re-sends with the
+    full graph attached — a one-time upload per graph per gateway.
     """
 
     type: ClassVar[str] = "submit"
 
-    graph: WireGraph = field(default_factory=WireGraph)
+    graph: WireGraph | None = None
+    graph_fingerprint: str = ""
     requests: tuple = ()
     load: int | None = None
     backend: str | None = None
@@ -984,7 +1143,8 @@ class SubmitRequest(WireMessage):
 
     def to_payload(self) -> dict[str, Any]:
         payload = self._envelope()
-        payload["graph"] = self.graph.to_payload()
+        payload["graph"] = self.graph.to_payload() if self.graph is not None else None
+        payload["graph_fingerprint"] = self.graph_fingerprint
         payload["requests"] = [request.to_payload() for request in self.requests]
         payload["load"] = self.load
         payload["backend"] = self.backend
@@ -999,8 +1159,10 @@ class SubmitRequest(WireMessage):
     @classmethod
     def _fields_from_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
         params = payload.get("backend_params")
+        graph = payload.get("graph")
         return {
-            "graph": WireGraph.from_payload(payload["graph"]),
+            "graph": WireGraph.from_payload(graph) if graph is not None else None,
+            "graph_fingerprint": payload.get("graph_fingerprint", ""),
             "requests": tuple(
                 WireRequest.from_payload(entry) for entry in payload.get("requests", [])
             ),

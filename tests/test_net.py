@@ -11,6 +11,7 @@ close-idempotency satellites.
 """
 
 import socket
+import threading
 import warnings
 
 import pytest
@@ -307,6 +308,147 @@ def test_net_metric_families_render(gateway, graphs):
         "repro_net_connections",
     ):
         assert family in text
+
+
+# -- fingerprint negotiation and cross-connection coalescing -----------------------
+
+
+def _gateway_counter(coordinator, name):
+    family = coordinator.metrics.get(name)
+    return family.labels(role="gateway").value if family is not None else 0
+
+
+def test_two_clients_share_one_graph_upload(gateway, graphs):
+    """One fingerprint, two connections, exactly one full payload on the wire."""
+    coordinator = gateway.coordinator
+    workload = permutation_workload(graphs[0], shift=1)
+    with ClusterClient(gateway.address, metrics=MetricsRegistry()) as first:
+        # First sight: the optimistic fingerprint-only submit misses, one
+        # need-graph round trip buys the payload.
+        first.submit(graphs[0], workload.requests[:1], workload=workload.name)
+        first.submit(graphs[0], workload.requests[1:2], workload=workload.name)
+        with ClusterClient(gateway.address, metrics=MetricsRegistry()) as second:
+            second.submit(graphs[0], workload.requests[2:3], workload=workload.name)
+    assert _gateway_counter(coordinator, "repro_net_graph_uploads_total") == 1
+    assert _gateway_counter(coordinator, "repro_net_need_graph_total") == 1
+    assert _gateway_counter(coordinator, "repro_net_payloads_deduped_total") == 2
+
+
+def test_negotiation_cache_eviction_forces_reupload(tmp_path, graphs):
+    coordinator = ClusterCoordinator(
+        shard_count=2, cache_capacity=4, default_plan=PLAN, metrics=MetricsRegistry()
+    )
+    with coordinator, ClusterGateway(
+        coordinator, socket_path=str(tmp_path / "small.sock"), graph_cache_size=1
+    ) as gate:
+        with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+            w0 = permutation_workload(graphs[0], shift=1)
+            w1 = permutation_workload(graphs[1], shift=1)
+            client.submit(graphs[0], w0.requests[:1], workload=w0.name)  # uploads g0
+            client.submit(graphs[1], w1.requests[:1], workload=w1.name)  # evicts g0
+            client.submit(graphs[0], w0.requests[1:2], workload=w0.name)  # re-upload
+        assert _gateway_counter(coordinator, "repro_net_need_graph_total") == 3
+        assert _gateway_counter(coordinator, "repro_net_graph_uploads_total") == 3
+
+
+def test_membership_change_invalidates_negotiation_cache(tmp_path, graphs):
+    coordinator = ClusterCoordinator(
+        shard_count=2, cache_capacity=4, default_plan=PLAN, metrics=MetricsRegistry()
+    )
+    with coordinator, ClusterGateway(
+        coordinator, socket_path=str(tmp_path / "member.sock")
+    ) as gate:
+        workload = permutation_workload(graphs[0], shift=1)
+        with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+            client.submit(graphs[0], workload.requests[:1], workload=workload.name)
+            client.submit(graphs[0], workload.requests[1:2], workload=workload.name)
+            assert _gateway_counter(coordinator, "repro_net_graph_uploads_total") == 1
+            coordinator.add_shard()
+            # Stale negotiated entries must not survive the ring change.
+            client.submit(graphs[0], workload.requests[2:3], workload=workload.name)
+        assert _gateway_counter(coordinator, "repro_net_need_graph_total") == 2
+        assert _gateway_counter(coordinator, "repro_net_graph_uploads_total") == 2
+
+
+def test_coalesced_submits_match_sequential_signature(tmp_path, graphs):
+    """K concurrent submitters coalesce into micro-batches; the merged report
+    signature is byte-identical to the same submissions made sequentially."""
+    workload = permutation_workload(graphs[0], shift=1)
+    requests = workload.requests[:12]
+
+    def run(concurrency: int, tag: str):
+        coordinator = ClusterCoordinator(
+            shard_count=2, cache_capacity=4, default_plan=PLAN, metrics=MetricsRegistry()
+        )
+        with coordinator, ClusterGateway(
+            coordinator, socket_path=str(tmp_path / f"{tag}.sock"), max_delay_ms=25.0
+        ) as gate:
+            if concurrency > 1:
+                def submit_chunk(chunk):
+                    with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+                        for request in chunk:
+                            assert client.submit(
+                                graphs[0], [request], workload=workload.name
+                            ).accepted
+                threads = [
+                    threading.Thread(target=submit_chunk, args=(requests[i::concurrency],))
+                    for i in range(concurrency)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            else:
+                with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+                    for request in requests:
+                        assert client.submit(
+                            graphs[0], [request], workload=workload.name
+                        ).accepted
+            with ClusterClient(gate.address, metrics=MetricsRegistry()) as client:
+                report = client.dispatch()
+            coalesced = _gateway_counter(coordinator, "repro_net_coalesced_batches_total")
+        return report, coalesced
+
+    concurrent_report, coalesced = run(4, "coalesced")
+    sequential_report, _ = run(1, "sequential")
+    assert concurrent_report.query_count == sequential_report.query_count == len(requests)
+    assert concurrent_report.signature() == sequential_report.signature()
+    # With four connections racing, at least one window held >1 submit.
+    assert coalesced >= 1
+
+
+def test_remote_shard_ships_each_graph_once(tmp_path, graphs):
+    """The coordinator→shard path dedups graph payloads across slices."""
+    registry = MetricsRegistry()
+    config = ShardServerConfig(
+        shard_id="shard-0",
+        socket_path=str(tmp_path / "dedup.sock"),
+        cache_capacity=4,
+        default_plan=PLAN,
+    )
+    shard = start_shard_server(config, metrics=registry)
+    try:
+        with ClusterCoordinator(
+            shard_count=1, default_plan=PLAN, metrics=MetricsRegistry()
+        ) as local:
+            workload = permutation_workload(graphs[0], shift=1)
+            slices = []
+            for start in (0, 2):
+                for request in workload.requests[start : start + 2]:
+                    local.submit(graphs[0], [request], workload=workload.name)
+                [(_, items)] = local.drain_slices().items()
+                slices.append(items)
+        first = shard.process(slices[0])
+        second = shard.process(slices[1])
+        assert first.all_delivered and second.all_delivered
+        uploads = registry.get("repro_net_graph_uploads_total")
+        deduped = registry.get("repro_net_payloads_deduped_total")
+        # Slice one ships the graph once (two queries, one table entry);
+        # slice two references the acked fingerprint and ships nothing.
+        assert uploads.labels(role="coordinator").value == 1
+        assert deduped.labels(role="coordinator").value == 3
+    finally:
+        shard.close()
 
 
 # -- deprecation shims and lifecycle satellites ------------------------------------

@@ -36,9 +36,12 @@ from repro.wire import (
     FaultInjectRequest,
     HeartbeatReply,
     HeartbeatRequest,
+    Hello,
+    HelloReply,
     JournalAdmit,
     JournalCheckpoint,
     JournalComplete,
+    NeedGraphReply,
     Ping,
     Pong,
     SchemaVersionError,
@@ -250,8 +253,23 @@ MESSAGE_STRATEGIES = {
     "shard-stats-request": st.just(ShardStatsRequest()),
     "stats-request": st.just(StatsRequest()),
     "error": st.builds(ErrorReply, code=names, message=st.text(max_size=30)),
+    "hello": st.builds(
+        Hello,
+        codecs=st.lists(st.sampled_from(["json", "msgpack"]), min_size=1, max_size=2).map(tuple),
+        features=st.lists(names, max_size=3).map(tuple),
+    ),
+    "hello-reply": st.builds(
+        HelloReply,
+        codec=st.sampled_from(["json", "msgpack"]),
+        features=st.lists(names, max_size=3).map(tuple),
+    ),
+    "need-graph": st.builds(
+        NeedGraphReply, fingerprints=st.lists(names, max_size=3).map(tuple)
+    ),
     "shard-process": st.builds(
-        ShardProcessRequest, queries=st.lists(wire_shard_queries(), max_size=2).map(tuple)
+        ShardProcessRequest,
+        queries=st.lists(wire_shard_queries(), max_size=2).map(tuple),
+        graphs=st.dictionaries(names, wire_graphs(), max_size=2),
     ),
     "shard-report": st.builds(ShardProcessReply, report=wire_batch_reports()),
     "shard-stats": st.builds(ShardStatsReply, row=params),
